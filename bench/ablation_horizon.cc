@@ -1,0 +1,46 @@
+// Ablation: the adaptation-benefit horizon (control window).
+//
+// Mistral predicts the stability interval with the adaptive ARMA filter and
+// uses it as the horizon CW in Eq. 3. This sweep replaces the prediction
+// with fixed horizons — too-short horizons make every adaptation look
+// unprofitable, too-long ones overcommit during volatile phases — and
+// compares against the ARMA-driven default.
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace mistral;
+
+int main() {
+    bench::print_header("Ablation — control-window horizon",
+                        "ARMA-predicted vs. fixed CW; utility and actions");
+
+    auto scn = core::make_rubis_scenario({.host_count = 4, .app_count = 2});
+    const auto& costs = bench::measured_costs();
+
+    table_printer t({"horizon", "invocations", "actions", "mean power (W)",
+                     "cumulative utility"});
+
+    auto run_with = [&](const std::string& label, core::controller_options opts) {
+        core::mistral_strategy s(scn.model, costs, opts);
+        const auto r = core::run_scenario(scn, s);
+        t.add_row({label, std::to_string(r.invocations),
+                   std::to_string(r.total_actions),
+                   table_printer::fmt(r.mean_power, 1),
+                   table_printer::fmt(r.cumulative_utility, 1)});
+    };
+
+    run_with("ARMA (paper)", {});
+    for (const double fixed : {120.0, 360.0, 720.0, 1800.0}) {
+        core::controller_options opts;
+        opts.min_control_window = fixed;
+        opts.max_control_window = fixed;
+        run_with("fixed " + std::to_string(static_cast<int>(fixed)) + "s", opts);
+    }
+    t.print(std::cout);
+    std::cout << "\nReading: a very short fixed horizon suppresses profitable\n"
+                 "consolidations (migration costs never repay); a very long one\n"
+                 "over-adapts at flash-crowd onsets. The ARMA horizon tracks\n"
+                 "the workload's actual stability.\n";
+    return 0;
+}

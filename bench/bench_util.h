@@ -1,0 +1,46 @@
+// Shared setup for the figure/table reproduction benches.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (Section V) against the testbed simulator, printing the same
+// rows/series the paper plots. Benches share the scenario construction and
+// the measured cost table so that every figure comes from the same system.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "apps/rubis.h"
+#include "common/table_printer.h"
+#include "core/experiment.h"
+#include "cost/table.h"
+#include "sim/cost_campaign.h"
+
+namespace mistral::bench {
+
+// The offline-measured cost table used by all controller benches (Fig. 7's
+// campaign at moderate resolution). Cached across calls within a binary.
+inline const cost::cost_table& measured_costs() {
+    static const cost::cost_table table = [] {
+        sim::campaign_options opts;
+        opts.trials = 3;
+        return sim::run_cost_campaign(apps::rubis_browsing("campaign"), opts);
+    }();
+    return table;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+    std::cout << "==================================================================\n"
+              << title << "\n(" << paper_ref << ")\n"
+              << "==================================================================\n";
+}
+
+// Formats an absolute trace timestamp as hh:mm (the paper's x-axis labels).
+inline std::string clock_label(double t) {
+    const int h = static_cast<int>(t / 3600.0);
+    const int m = static_cast<int>(t / 60.0) % 60;
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%02d:%02d", h, m);
+    return buf;
+}
+
+}  // namespace mistral::bench

@@ -1,0 +1,42 @@
+// Fig. 3: the performance utility function.
+//
+// Reward for meeting the target response time and penalty for missing it, as
+// functions of the request rate: the reward increases and the penalty
+// decreases (in magnitude) as the workload grows, reflecting the
+// increasingly best-effort nature of heavy load (Section V-A).
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/utility.h"
+
+using namespace mistral;
+
+int main() {
+    bench::print_header("Fig. 3 — performance utility function",
+                        "reward / penalty ($ per monitoring interval) vs. "
+                        "request rate");
+
+    const core::utility_model u;
+    table_printer t({"req/s", "reward", "penalty"});
+    for (int rate = 0; rate <= 100; rate += 10) {
+        t.add_row({std::to_string(rate), table_printer::fmt(u.reward(rate), 2),
+                   table_printer::fmt(u.penalty(rate), 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nSizing check (Section V-A: rewards yield ~20% net profit over\n"
+                 "the default configuration's power cost):\n";
+    const double reward_at_50 = 2.0 * u.reward(50.0);  // two applications
+    const double default_power_cost =
+        190.0 * u.params().power_cost_per_watt_interval;  // ~2.5 hosts
+    std::cout << "  2 apps at 50 req/s reward/interval: $"
+              << table_printer::fmt(reward_at_50, 2) << "\n"
+              << "  default-config power cost/interval: $"
+              << table_printer::fmt(default_power_cost, 2) << "\n"
+              << "  net profit margin: "
+              << table_printer::fmt(
+                     100.0 * (reward_at_50 - default_power_cost) / default_power_cost,
+                     0)
+              << "%\n";
+    return 0;
+}

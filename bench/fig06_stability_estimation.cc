@@ -1,0 +1,76 @@
+// Fig. 6: accuracy of stability-interval estimation.
+//
+// The ARMA filter of Section III-D predicts how long the workload stays
+// within its band; the paper reports ~14 % average error over ~95 control
+// windows using RUBiS-1 and RUBiS-2.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/time_series.h"
+#include "predict/arma.h"
+#include "workload/generators.h"
+#include "workload/monitor.h"
+
+using namespace mistral;
+
+int main() {
+    bench::print_header("Fig. 6 — accuracy of stability interval estimation",
+                        "measured vs. estimated stability interval (ms) per "
+                        "control window, RUBiS-1/2, band 8 req/s");
+
+    // Real request streams jitter by a few req/s in absolute terms at every
+    // load level (that is what exits an 8 req/s band even at night); the
+    // additive AR(1) noise transform supplies that texture on top of the
+    // Fig. 4 shapes.
+    wl::generator_options gen;
+    std::vector<wl::trace> traces = {
+        wl::world_cup_trace(gen, 0).scaled_to_range(0.0, 100.0)
+            .with_additive_noise(3.0, 77),
+        wl::world_cup_trace(gen, 1).scaled_to_range(0.0, 100.0)
+            .with_additive_noise(3.0, 78)};
+    wl::workload_monitor monitor(2, 8.0);
+    // Per-application predictors, as in Section III-D.
+    predict::stability_predictor p0, p1;
+
+    series_bundle bundle;
+    auto& experiment = bundle.series("Experiment");
+    auto& estimated = bundle.series("Model");
+
+    int window = 0;
+    double abs_err = 0.0, measured_sum = 0.0;
+    const seconds start = traces[0].start_time();
+    const seconds end = traces[0].end_time();
+    for (seconds t = start; t <= end; t += 120.0) {
+        const std::vector<req_per_sec> rates = {traces[0].rate_at(t),
+                                                traces[1].rate_at(t)};
+        const auto event = monitor.observe(t, rates);
+        if (!event.any_exceeded) continue;
+        for (std::size_t i = 0; i < event.exceeded.size(); ++i) {
+            auto& p = event.exceeded[i] == 0 ? p0 : p1;
+            const seconds measured = event.completed_intervals[i];
+            ++window;
+            experiment.add(window, measured * 1000.0);
+            estimated.add(window, p.current_estimate() * 1000.0);
+            abs_err += std::abs(p.current_estimate() - measured);
+            measured_sum += measured;
+            p.observe(measured);
+        }
+        monitor.recenter(t, rates);
+    }
+
+    std::cout << "\n(one row per control window; values in ms)\n";
+    bundle.print(std::cout, 12, 0);
+    std::cout << "\nControl windows observed: " << window << "\n"
+              << "Per-window MAPE: RUBiS-1 "
+              << table_printer::fmt(p0.mape_percent(), 1) << "%, RUBiS-2 "
+              << table_printer::fmt(p1.mape_percent(), 1) << "%\n"
+              << "Magnitude-weighted error (sum |err| / sum measured): "
+              << table_printer::fmt(100.0 * abs_err / measured_sum, 1) << "%\n"
+              << "\nNote: the paper reports ~14% average error. Our synthetic\n"
+                 "traces yield a heavier-tailed interval distribution than the\n"
+                 "authors' testbed traces, so the k=3 ARMA's relative error is\n"
+                 "larger here; the qualitative behaviour (estimates tracking\n"
+                 "the measured regime, fast recovery after shocks via the\n"
+                 "adaptive beta) is what this figure checks.\n";
+    return 0;
+}

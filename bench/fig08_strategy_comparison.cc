@@ -1,0 +1,71 @@
+// Fig. 8: comparison of control strategies.
+//
+// The headline experiment: RUBiS-1 and RUBiS-2 over the full 15:00–21:30
+// day, controlled by Perf-Pwr, Perf-Cost, Pwr-Cost, and Mistral. Panels:
+// per-application response times and total cluster power. The paper's
+// qualitative findings to reproduce: Mistral runs slightly hotter than the
+// over-provisioned baselines and briefly violates at the peaks, the cost-
+// blind strategies spike during their adaptation storms, and Mistral draws
+// the least power by consolidating onto fewer hosts.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/time_series.h"
+
+using namespace mistral;
+
+int main() {
+    bench::print_header("Fig. 8 — comparison of control strategies",
+                        "response times (ms) and power (W), 15:00-21:30");
+
+    auto scn = core::make_rubis_scenario({.host_count = 4, .app_count = 2});
+    const auto& costs = bench::measured_costs();
+
+    std::vector<std::unique_ptr<core::strategy>> strategies;
+    strategies.push_back(std::make_unique<core::perf_pwr_strategy>(scn.model));
+    strategies.push_back(std::make_unique<core::perf_cost_strategy>(scn.model, costs));
+    strategies.push_back(std::make_unique<core::pwr_cost_strategy>(scn.model, costs));
+    strategies.push_back(std::make_unique<core::mistral_strategy>(scn.model, costs));
+
+    series_bundle rt1, rt2, power;
+    std::vector<core::run_result> results;
+    for (auto& s : strategies) {
+        auto r = core::run_scenario(scn, *s);
+        // Re-sample to 12-minute rows to keep the printed series readable.
+        const auto* src1 = r.series.find("rt_RUBiS-1");
+        const auto* src2 = r.series.find("rt_RUBiS-2");
+        const auto* srcp = r.series.find("power");
+        for (std::size_t i = 0; i < src1->size(); i += 6) {
+            const double hours = (scn.traces[0].start_time() +
+                                  src1->samples()[i].time) / 3600.0;
+            rt1.series(r.strategy_name).add(hours, src1->samples()[i].value);
+            rt2.series(r.strategy_name).add(hours, src2->samples()[i].value);
+            power.series(r.strategy_name).add(hours, srcp->samples()[i].value);
+        }
+        results.push_back(std::move(r));
+    }
+
+    std::cout << "\n(a) RUBiS-1 response time (ms); time in hours of day\n";
+    rt1.print(std::cout, 10, 0);
+    std::cout << "\n(b) RUBiS-2 response time (ms)\n";
+    rt2.print(std::cout, 10, 0);
+    std::cout << "\n(c) Power consumption (W)\n";
+    power.print(std::cout, 10, 0);
+
+    std::cout << "\nRun summary:\n";
+    table_printer t({"strategy", "mean power (W)", "viol R1 %", "viol R2 %",
+                     "actions", "invocations"});
+    for (const auto& r : results) {
+        t.add_row({r.strategy_name, table_printer::fmt(r.mean_power, 1),
+                   table_printer::fmt(100.0 * r.violation_fraction[0], 1),
+                   table_printer::fmt(100.0 * r.violation_fraction[1], 1),
+                   std::to_string(r.total_actions), std::to_string(r.invocations)});
+    }
+    t.print(std::cout);
+    std::cout << "\nShape check vs. paper: Mistral has the lowest mean power\n"
+                 "(fewer hosts), Perf-Cost the highest (fixed 2-host pools per\n"
+                 "app, no consolidation); Perf-Pwr adapts most and fluctuates;\n"
+                 "Mistral's violations cluster at the workload peaks.\n";
+    return 0;
+}

@@ -1,0 +1,37 @@
+// Microbenchmark: the Perf-Pwr optimizer.
+//
+// The ideal-configuration computation runs once per controller invocation
+// (it is both the Perf-Pwr baseline and the A* heuristic), bin-packing plus
+// gradient search over host counts.
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.h"
+#include "core/perf_pwr.h"
+
+namespace {
+
+using namespace mistral;
+
+void bm_perf_pwr_optimize(benchmark::State& state) {
+    const auto apps = static_cast<std::size_t>(state.range(0));
+    auto scn = core::make_rubis_scenario(
+        {.host_count = 2 * apps, .app_count = apps});
+    const core::perf_pwr_optimizer opt(scn.model, core::utility_model{});
+    std::vector<req_per_sec> rates(apps, 55.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(opt.optimize(rates));
+    }
+}
+BENCHMARK(bm_perf_pwr_optimize)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void bm_perf_pwr_with_reference(benchmark::State& state) {
+    auto scn = core::make_rubis_scenario({.host_count = 4, .app_count = 2});
+    const core::perf_pwr_optimizer opt(scn.model, core::utility_model{});
+    const std::vector<req_per_sec> rates = {55.0, 55.0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(opt.optimize(rates, &scn.initial));
+    }
+}
+BENCHMARK(bm_perf_pwr_with_reference)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,40 @@
+// Microbenchmark: the LQN solver.
+//
+// The solver runs inside every UtilityEst call of the A* search, so its
+// latency bounds how many configurations a controller can evaluate per
+// second of decision time.
+#include <benchmark/benchmark.h>
+
+#include "apps/rubis.h"
+#include "cluster/translate.h"
+#include "core/experiment.h"
+#include "lqn/solver.h"
+
+namespace {
+
+using namespace mistral;
+
+void bm_lqn_solve(benchmark::State& state) {
+    const auto apps = static_cast<std::size_t>(state.range(0));
+    auto scn = core::make_rubis_scenario(
+        {.host_count = 2 * apps, .app_count = apps});
+    std::vector<req_per_sec> rates(apps, 50.0);
+    const auto deps = cluster::to_lqn(scn.model, scn.initial, rates);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            lqn::solve(deps, scn.model.host_count()));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_lqn_solve)->Arg(1)->Arg(2)->Arg(4);
+
+void bm_full_prediction(benchmark::State& state) {
+    auto scn = core::make_rubis_scenario({.host_count = 4, .app_count = 2});
+    const std::vector<req_per_sec> rates = {50.0, 50.0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cluster::predict(scn.model, scn.initial, rates));
+    }
+}
+BENCHMARK(bm_full_prediction);
+
+}  // namespace

@@ -1,0 +1,41 @@
+// Microbenchmark: one adaptation-search invocation.
+//
+// Wall-clock cost of a full self-aware A* decision at increasing scale; the
+// model-clock meter keeps the *decision logic* deterministic while this
+// measures real CPU time.
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.h"
+#include "core/search.h"
+#include "cost/table.h"
+
+namespace {
+
+using namespace mistral;
+
+void bm_self_aware_search(benchmark::State& state) {
+    const auto apps = static_cast<std::size_t>(state.range(0));
+    auto scn = core::make_rubis_scenario(
+        {.host_count = 2 * apps, .app_count = apps});
+    const core::adaptation_search search(scn.model, core::utility_model{},
+                                         cost::cost_table::paper_defaults(), {});
+    std::vector<req_per_sec> rates(apps, 60.0);
+    for (auto _ : state) {
+        core::model_clock_meter meter;
+        benchmark::DoNotOptimize(
+            search.find(scn.initial, rates, 600.0, 0.0, meter));
+    }
+}
+BENCHMARK(bm_self_aware_search)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void bm_enumerate_actions(benchmark::State& state) {
+    const auto apps = static_cast<std::size_t>(state.range(0));
+    auto scn = core::make_rubis_scenario(
+        {.host_count = 2 * apps, .app_count = apps});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(enumerate_actions(scn.model, scn.initial));
+    }
+}
+BENCHMARK(bm_enumerate_actions)->Arg(2)->Arg(4);
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Table I: search durations and utilities at increasing scale.
+//
+// Three scenarios — 2 apps / 10 VMs / 4 hosts, 3 apps / 15 VMs / 6 hosts,
+// 4 apps / 20 VMs / 8 hosts — run under the two-level hierarchical Mistral
+// (level 1: band 0, CPU tuning + intra-group migration; level 2: band
+// 8 req/s, full action set). Reported per scenario, as in the paper:
+//   * mean search duration of the self-aware search, overall and per level;
+//   * mean search duration of the naive search on the same scenario;
+//   * Mistral's total utility vs. the *ideal* utility (the simulated
+//     Perf-Pwr optimum integrated over the run, ignoring adaptation costs).
+// The paper's shape: naive durations blow up super-linearly with scale while
+// self-aware durations grow roughly linearly, and the gap between achieved
+// and ideal utility stays approximately constant.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/hierarchy.h"
+#include "core/perf_pwr.h"
+
+using namespace mistral;
+
+namespace {
+
+struct scenario_row {
+    std::size_t apps;
+    std::size_t hosts;
+    std::vector<std::vector<std::size_t>> groups;
+};
+
+std::vector<std::vector<std::size_t>> split_hosts(std::size_t hosts,
+                                                  std::size_t groups) {
+    std::vector<std::vector<std::size_t>> out(groups);
+    for (std::size_t h = 0; h < hosts; ++h) out[h * groups / hosts].push_back(h);
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Table I — search durations and utilities",
+                        "2/3/4-app scenarios; self-aware vs. naive search; "
+                        "Mistral vs. ideal utility");
+
+    const auto& costs = bench::measured_costs();
+    // The paper's groups: one level-1 controller for the 2-app scenario,
+    // two level-1 controllers for 3- and 4-app scenarios.
+    const std::vector<scenario_row> rows = {
+        {2, 4, split_hosts(4, 1)},
+        {3, 6, split_hosts(6, 2)},
+        {4, 8, split_hosts(8, 2)},
+    };
+
+    table_printer t({"scenario", "#VMs/#hosts", "self-aware avg (s)", "- 1st level",
+                     "- 2nd level", "naive avg (s)", "Mistral utility",
+                     "ideal utility"});
+
+    for (const auto& row : rows) {
+        auto scn = core::make_rubis_scenario(
+            {.host_count = row.hosts, .app_count = row.apps});
+
+        // Self-aware hierarchical run over the full day.
+        core::hierarchy_options ho;
+        core::hierarchical_controller mistral(scn.model, costs, row.groups, ho);
+        const auto r = core::run_scenario(scn, mistral);
+
+        // Naive variant: same hierarchy, pruning and early stop disabled.
+        // Measured over a shortened window — the naive search's cost per
+        // invocation is exactly what scales badly.
+        core::hierarchy_options naive_opts;
+        naive_opts.base.search.self_aware = false;
+        naive_opts.base.search.max_expansions = 1500;
+        core::hierarchical_controller naive(scn.model, costs, row.groups,
+                                            naive_opts);
+        auto short_scn = scn;
+        const seconds t0 = scn.traces[0].start_time();
+        std::vector<wl::trace> short_traces;
+        for (const auto& tr : scn.traces) {
+            std::vector<wl::trace_sample> cut;
+            for (const auto& s : tr.samples()) {
+                if (s.time <= t0 + 7200.0) cut.push_back(s);
+            }
+            short_traces.push_back(wl::trace(tr.name(), std::move(cut)));
+        }
+        short_scn.traces = short_traces;
+        const auto rn = core::run_scenario(short_scn, naive);
+
+        // Ideal utility: the simulated Perf-Pwr optimizer per interval,
+        // adaptation costs ignored (Section V-E's "Ideal (total utility)").
+        core::perf_pwr_optimizer ideal_opt(scn.model, core::utility_model{});
+        double ideal_total = 0.0;
+        const seconds interval = scn.options.monitoring_interval;
+        for (seconds t2 = scn.traces[0].start_time();
+             t2 + interval <= scn.traces[0].end_time() + 1e-9; t2 += interval) {
+            std::vector<req_per_sec> rates;
+            for (const auto& tr : scn.traces) {
+                rates.push_back(tr.mean_rate(t2, t2 + interval));
+            }
+            const auto ideal = ideal_opt.optimize(rates);
+            if (ideal.feasible) ideal_total += ideal.utility_rate * interval;
+        }
+
+        t.add_row({std::to_string(row.apps) + "-app",
+                   std::to_string(scn.model.vm_count()) + " / " +
+                       std::to_string(row.hosts),
+                   table_printer::fmt(r.search_duration.mean(), 2),
+                   table_printer::fmt(mistral.level1_durations().mean(), 2),
+                   table_printer::fmt(mistral.level2_durations().mean(), 2),
+                   table_printer::fmt(rn.search_duration.mean(), 2),
+                   table_printer::fmt(r.cumulative_utility, 1),
+                   table_printer::fmt(ideal_total, 1)});
+    }
+    t.print(std::cout);
+    std::cout
+        << "\nShape check vs. paper: the naive search's duration grows much\n"
+           "faster with scale than the self-aware search's (paper: 4.3 s ->\n"
+           "35.2 s avg vs. 3.8 s -> 7.5 s), and the achieved-vs-ideal utility\n"
+           "gap stays roughly constant across scenarios. Ideal utilities\n"
+           "ignore every adaptation cost, so they upper-bound any controller.\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+// Two-level hierarchical control (Sections II-C, V-E).
+//
+// Three applications on six hosts, managed by two first-level controllers
+// (one per 3-host group; band 0, CPU tuning + intra-group migration only)
+// under one second-level controller (band 8 req/s, full action set). The
+// example contrasts the levels' behaviour: the first level fires nearly
+// every interval with quick small refinements, the second level fires
+// rarely with cluster-wide reconfigurations.
+//
+// Build & run:  ./build/examples/hierarchy
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/experiment.h"
+#include "core/hierarchy.h"
+#include "cost/table.h"
+
+using namespace mistral;
+
+int main() {
+    auto scn = core::make_rubis_scenario({.host_count = 6, .app_count = 3});
+    std::cout << "Scenario: 3 applications / 15 VMs / 6 hosts; level-1 groups "
+                 "{0,1,2} and {3,4,5}; level-2 over the whole cluster\n\n";
+
+    core::hierarchical_controller controller(
+        scn.model, cost::cost_table::paper_defaults(), {{0, 1, 2}, {3, 4, 5}});
+    const auto r = core::run_scenario(scn, controller);
+
+    table_printer t({"metric", "value"});
+    t.add_row({"cumulative utility ($)",
+               table_printer::fmt(r.cumulative_utility, 1)});
+    t.add_row({"mean power (W)", table_printer::fmt(r.mean_power, 1)});
+    t.add_row({"controller invocations", std::to_string(r.invocations)});
+    t.add_row({"actions executed", std::to_string(r.total_actions)});
+    t.add_row({"level-1 searches", std::to_string(controller.level1_durations().count())});
+    t.add_row({"level-1 mean search (s)",
+               table_printer::fmt(controller.level1_durations().mean(), 2)});
+    t.add_row({"level-2 searches", std::to_string(controller.level2_durations().count())});
+    t.add_row({"level-2 mean search (s)",
+               table_printer::fmt(controller.level2_durations().mean(), 2)});
+    t.print(std::cout);
+
+    std::cout << "\nThe division of labour (Section II-C): the first level is\n"
+                 "invoked constantly but restricted to quick, local moves; the\n"
+                 "second level wakes only on large workload shifts and wields\n"
+                 "replication and host power-cycling over the whole cluster.\n"
+                 "Scaling to racks means more level-1 groups, not a bigger\n"
+                 "central search — that is the paper's answer to centralized\n"
+                 "optimizers that cannot run every few minutes at datacenter\n"
+                 "scale.\n";
+    return 0;
+}

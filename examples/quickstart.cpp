@@ -1,0 +1,78 @@
+// Quickstart: one Mistral decision, end to end.
+//
+// Builds a small managed cluster (two hosts, one RUBiS-like application),
+// asks the Mistral controller what to do for a given workload, and prints
+// the chosen adaptation sequence with its utility accounting. This is the
+// smallest complete tour of the public API:
+//
+//   cluster_model        — hosts + applications + the VM inventory
+//   configuration        — who runs where, with what CPU cap
+//   cost_table           — offline-measured adaptation costs
+//   mistral_controller   — the holistic optimizer (Section IV of the paper)
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "apps/rubis.h"
+#include "cluster/translate.h"
+#include "core/controller.h"
+#include "cost/table.h"
+
+using namespace mistral;
+
+int main() {
+    // 1. The managed cluster: two 1 GB hosts and one 3-tier application.
+    std::vector<apps::application_spec> specs = {apps::rubis_browsing("shop")};
+    const cluster::cluster_model model(cluster::uniform_hosts(2), std::move(specs));
+    std::cout << "Cluster: " << model.host_count() << " hosts, "
+              << model.vm_count() << " deployable VMs (web x1, app x2, db x2)\n";
+
+    // 2. A deliberately mediocre starting configuration: everything crammed
+    //    on host0 at minimal caps, host1 burning idle watts for nothing.
+    cluster::configuration config(model.vm_count(), model.host_count());
+    config.set_host_power(host_id{0}, true);
+    config.set_host_power(host_id{1}, true);
+    config.deploy(model.tier_vms(app_id{0}, 0)[0], host_id{0}, 0.2);
+    config.deploy(model.tier_vms(app_id{0}, 1)[0], host_id{0}, 0.2);
+    config.deploy(model.tier_vms(app_id{0}, 2)[0], host_id{0}, 0.2);
+    std::cout << "\nInitial configuration:\n  " << config.describe(model) << "\n";
+
+    // 3. What does the performance model think of it at 45 req/s?
+    const std::vector<req_per_sec> rates = {45.0};
+    const auto before = cluster::predict(model, config, rates);
+    std::cout << "  predicted response time: "
+              << static_cast<int>(before.perf.apps[0].mean_response_time * 1000)
+              << " ms (target 400 ms), power: "
+              << static_cast<int>(before.power) << " W\n";
+
+    // 4. Ask Mistral. The cost tables here are the paper's published
+    //    measurements; run sim::run_cost_campaign() to measure your own.
+    core::mistral_controller controller(model, cost::cost_table::paper_defaults());
+    const auto decision = controller.step(/*now=*/0.0, rates, config,
+                                          /*last_interval_utility=*/0.0);
+
+    std::cout << "\nMistral's decision (control window "
+              << static_cast<int>(decision.control_window) << " s, searched "
+              << decision.stats.expansions << " vertices in "
+              << decision.stats.duration << " s):\n";
+    if (decision.actions.empty()) {
+        std::cout << "  stay: the current configuration is already the best "
+                     "tradeoff.\n";
+        return 0;
+    }
+    for (const auto& a : decision.actions) {
+        std::cout << "  - " << to_string(model, a) << "\n";
+        config = apply(model, config, a);
+    }
+
+    // 5. The configuration Mistral steered to, and why it is better.
+    const auto after = cluster::predict(model, config, rates);
+    std::cout << "\nResulting configuration:\n  " << config.describe(model) << "\n"
+              << "  predicted response time: "
+              << static_cast<int>(after.perf.apps[0].mean_response_time * 1000)
+              << " ms, power: " << static_cast<int>(after.power) << " W\n"
+              << "  expected utility over the window: $"
+              << decision.expected_utility << " (ideal bound: $"
+              << decision.ideal_utility << ")\n";
+    return 0;
+}

@@ -1,0 +1,282 @@
+#include "cluster/action.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mistral::cluster {
+
+const char* to_string(action_kind kind) {
+    switch (kind) {
+        case action_kind::increase_cpu: return "increase_cpu";
+        case action_kind::decrease_cpu: return "decrease_cpu";
+        case action_kind::add_replica: return "add_replica";
+        case action_kind::remove_replica: return "remove_replica";
+        case action_kind::migrate: return "migrate";
+        case action_kind::power_on: return "power_on";
+        case action_kind::power_off: return "power_off";
+    }
+    return "unknown";
+}
+
+action_kind kind_of(const action& a) {
+    return std::visit(
+        [](const auto& x) {
+            using T = std::decay_t<decltype(x)>;
+            if constexpr (std::is_same_v<T, increase_cpu>) return action_kind::increase_cpu;
+            else if constexpr (std::is_same_v<T, decrease_cpu>) return action_kind::decrease_cpu;
+            else if constexpr (std::is_same_v<T, add_replica>) return action_kind::add_replica;
+            else if constexpr (std::is_same_v<T, remove_replica>) return action_kind::remove_replica;
+            else if constexpr (std::is_same_v<T, migrate>) return action_kind::migrate;
+            else if constexpr (std::is_same_v<T, power_on>) return action_kind::power_on;
+            else return action_kind::power_off;
+        },
+        a);
+}
+
+namespace {
+
+std::string vm_label(const cluster_model& model, vm_id vm) {
+    const auto& desc = model.vm(vm);
+    const auto& app = model.app(desc.app);
+    std::ostringstream os;
+    os << vm << "(" << app.name() << "/" << app.tiers()[desc.tier].name
+       << desc.replica_index << ")";
+    return os.str();
+}
+
+// Count of deployed replicas in the (app, tier) that owns `vm`.
+int deployed_replicas(const cluster_model& model, const configuration& config,
+                      vm_id vm) {
+    const auto& desc = model.vm(vm);
+    int n = 0;
+    for (vm_id peer : model.tier_vms(desc.app, desc.tier)) {
+        n += config.deployed(peer) ? 1 : 0;
+    }
+    return n;
+}
+
+bool host_has_room(const cluster_model& model, const configuration& config,
+                   host_id host, double extra_memory_mb, std::string* why) {
+    if (!config.host_on(host)) {
+        if (why) *why = "target host is powered off";
+        return false;
+    }
+    const auto hosted = config.vms_on(host);
+    if (static_cast<int>(hosted.size()) + 1 > model.limits().max_vms_per_host) {
+        if (why) *why = "target host VM slots full";
+        return false;
+    }
+    const double available = model.hosts()[host.index()].memory_mb -
+                             model.limits().dom0_memory_mb -
+                             config.memory_sum(model, host);
+    if (extra_memory_mb > available + 1e-9) {
+        if (why) *why = "target host memory full";
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+std::string to_string(const cluster_model& model, const action& a) {
+    std::ostringstream os;
+    std::visit(
+        [&](const auto& x) {
+            using T = std::decay_t<decltype(x)>;
+            if constexpr (std::is_same_v<T, increase_cpu>) {
+                os << "increase_cpu " << vm_label(model, x.vm);
+            } else if constexpr (std::is_same_v<T, decrease_cpu>) {
+                os << "decrease_cpu " << vm_label(model, x.vm);
+            } else if constexpr (std::is_same_v<T, add_replica>) {
+                os << "add_replica " << vm_label(model, x.vm) << " -> "
+                   << model.hosts()[x.to.index()].name << " @"
+                   << static_cast<int>(x.cpu_cap * 100) << "%";
+            } else if constexpr (std::is_same_v<T, remove_replica>) {
+                os << "remove_replica " << vm_label(model, x.vm);
+            } else if constexpr (std::is_same_v<T, migrate>) {
+                os << "migrate " << vm_label(model, x.vm) << " -> "
+                   << model.hosts()[x.to.index()].name;
+            } else if constexpr (std::is_same_v<T, power_on>) {
+                os << "power_on " << model.hosts()[x.host.index()].name;
+            } else {
+                os << "power_off " << model.hosts()[x.host.index()].name;
+            }
+        },
+        a);
+    return os.str();
+}
+
+bool applicable(const cluster_model& model, const configuration& config,
+                const action& a, std::string* why) {
+    const auto step = model.limits().cpu_step;
+    return std::visit(
+        [&](const auto& x) -> bool {
+            using T = std::decay_t<decltype(x)>;
+            if constexpr (std::is_same_v<T, increase_cpu>) {
+                const auto& p = config.placement(x.vm);
+                if (!p) { if (why) *why = "VM is dormant"; return false; }
+                const auto& tier = model.tier_spec_of(x.vm);
+                if (p->cpu_cap + step > tier.max_cpu_cap + 1e-9) {
+                    if (why) *why = "cap already at tier maximum";
+                    return false;
+                }
+                return true;
+            } else if constexpr (std::is_same_v<T, decrease_cpu>) {
+                const auto& p = config.placement(x.vm);
+                if (!p) { if (why) *why = "VM is dormant"; return false; }
+                const auto& tier = model.tier_spec_of(x.vm);
+                if (p->cpu_cap - step < tier.min_cpu_cap - 1e-9) {
+                    if (why) *why = "cap already at tier minimum";
+                    return false;
+                }
+                return true;
+            } else if constexpr (std::is_same_v<T, add_replica>) {
+                if (config.deployed(x.vm)) {
+                    if (why) *why = "replica already deployed";
+                    return false;
+                }
+                const auto& tier = model.tier_spec_of(x.vm);
+                if (x.cpu_cap < tier.min_cpu_cap - 1e-9 ||
+                    x.cpu_cap > tier.max_cpu_cap + 1e-9) {
+                    if (why) *why = "cap outside tier window";
+                    return false;
+                }
+                return host_has_room(model, config, x.to,
+                                     model.vm(x.vm).memory_mb, why);
+            } else if constexpr (std::is_same_v<T, remove_replica>) {
+                if (!config.deployed(x.vm)) {
+                    if (why) *why = "VM is dormant";
+                    return false;
+                }
+                const auto& tier = model.tier_spec_of(x.vm);
+                if (deployed_replicas(model, config, x.vm) - 1 < tier.min_replicas) {
+                    if (why) *why = "tier at minimum replication";
+                    return false;
+                }
+                return true;
+            } else if constexpr (std::is_same_v<T, migrate>) {
+                const auto& p = config.placement(x.vm);
+                if (!p) { if (why) *why = "VM is dormant"; return false; }
+                if (p->host == x.to) {
+                    if (why) *why = "already on target host";
+                    return false;
+                }
+                return host_has_room(model, config, x.to,
+                                     model.vm(x.vm).memory_mb, why);
+            } else if constexpr (std::is_same_v<T, power_on>) {
+                if (config.host_on(x.host)) {
+                    if (why) *why = "host already on";
+                    return false;
+                }
+                return true;
+            } else {
+                if (!config.host_on(x.host)) {
+                    if (why) *why = "host already off";
+                    return false;
+                }
+                if (!config.vms_on(x.host).empty()) {
+                    if (why) *why = "host still has VMs";
+                    return false;
+                }
+                return true;
+            }
+        },
+        a);
+}
+
+configuration apply(const cluster_model& model, const configuration& config,
+                    const action& a) {
+    std::string why;
+    MISTRAL_CHECK_MSG(applicable(model, config, a, &why),
+                      "inapplicable action " << to_string(model, a) << ": " << why);
+    configuration next = config;
+    const auto step = model.limits().cpu_step;
+    std::visit(
+        [&](const auto& x) {
+            using T = std::decay_t<decltype(x)>;
+            if constexpr (std::is_same_v<T, increase_cpu>) {
+                next.set_cap(x.vm, config.placement(x.vm)->cpu_cap + step);
+            } else if constexpr (std::is_same_v<T, decrease_cpu>) {
+                next.set_cap(x.vm, config.placement(x.vm)->cpu_cap - step);
+            } else if constexpr (std::is_same_v<T, add_replica>) {
+                next.deploy(x.vm, x.to, x.cpu_cap);
+            } else if constexpr (std::is_same_v<T, remove_replica>) {
+                next.undeploy(x.vm);
+            } else if constexpr (std::is_same_v<T, migrate>) {
+                next.deploy(x.vm, x.to, config.placement(x.vm)->cpu_cap);
+            } else if constexpr (std::is_same_v<T, power_on>) {
+                next.set_host_power(x.host, true);
+            } else {
+                next.set_host_power(x.host, false);
+            }
+        },
+        a);
+    return next;
+}
+
+std::vector<action> enumerate_actions(const cluster_model& model,
+                                      const configuration& config,
+                                      const action_menu& menu) {
+    std::vector<action> out;
+    auto offer = [&](action a) {
+        if (applicable(model, config, a)) out.push_back(std::move(a));
+    };
+
+    for (const auto& desc : model.vms()) {
+        if (!config.deployed(desc.vm)) continue;
+        if (menu.cpu_tuning) {
+            offer(increase_cpu{desc.vm});
+            offer(decrease_cpu{desc.vm});
+        }
+        if (menu.migration) {
+            for (std::size_t h = 0; h < model.host_count(); ++h) {
+                offer(migrate{desc.vm, host_id{static_cast<std::int32_t>(h)}});
+            }
+        }
+    }
+
+    if (menu.replication) {
+        for (std::size_t a = 0; a < model.app_count(); ++a) {
+            const app_id app{static_cast<std::int32_t>(a)};
+            for (std::size_t t = 0; t < model.app(app).tier_count(); ++t) {
+                const auto& tier_vm_list = model.tier_vms(app, t);
+                // Lowest-index dormant replica (replicas are interchangeable).
+                for (vm_id vm : tier_vm_list) {
+                    if (config.deployed(vm)) continue;
+                    const auto cap = model.app(app).tiers()[t].min_cpu_cap;
+                    for (std::size_t h = 0; h < model.host_count(); ++h) {
+                        offer(add_replica{vm, host_id{static_cast<std::int32_t>(h)}, cap});
+                    }
+                    break;
+                }
+                // Highest-index deployed replica.
+                for (auto it = tier_vm_list.rbegin(); it != tier_vm_list.rend(); ++it) {
+                    if (!config.deployed(*it)) continue;
+                    offer(remove_replica{*it});
+                    break;
+                }
+            }
+        }
+    }
+
+    if (menu.host_power) {
+        bool offered_on = false;
+        for (std::size_t h = 0; h < model.host_count(); ++h) {
+            const host_id host{static_cast<std::int32_t>(h)};
+            if (!config.host_on(host)) {
+                // One powered-off host is as good as another.
+                if (!offered_on) {
+                    offer(power_on{host});
+                    offered_on = true;
+                }
+            } else {
+                offer(power_off{host});
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace mistral::cluster

@@ -1,0 +1,107 @@
+// Adaptation actions.
+//
+// Section III-C: "we consider six adaptation actions: increase/decrease a
+// VM's CPU capacity by a fixed amount, addition/removal of a VM,
+// live-migration of a VM between hosts, and shutting down/restarting
+// physical hosts. Addition of a VM replica is implemented by migrating a
+// dormant VM from a pool of VMs to the target host and activating it."
+//
+// Actions are a closed variant; `apply` is a pure function from
+// configuration to configuration so the optimizer can expand search-graph
+// edges without mutating shared state.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cluster/configuration.h"
+#include "cluster/model.h"
+
+namespace mistral::cluster {
+
+enum class action_kind {
+    increase_cpu,
+    decrease_cpu,
+    add_replica,
+    remove_replica,
+    migrate,
+    power_on,
+    power_off,
+};
+
+[[nodiscard]] const char* to_string(action_kind kind);
+
+struct increase_cpu {
+    vm_id vm;
+    friend bool operator==(const increase_cpu&, const increase_cpu&) = default;
+};
+struct decrease_cpu {
+    vm_id vm;
+    friend bool operator==(const decrease_cpu&, const decrease_cpu&) = default;
+};
+// Activates a dormant replica VM on `to` with cap `cpu_cap` (migration from
+// the cold-store pool).
+struct add_replica {
+    vm_id vm;
+    host_id to;
+    fraction cpu_cap = 0.2;
+    friend bool operator==(const add_replica&, const add_replica&) = default;
+};
+// Deactivates a deployed replica (migration back to the pool).
+struct remove_replica {
+    vm_id vm;
+    friend bool operator==(const remove_replica&, const remove_replica&) = default;
+};
+struct migrate {
+    vm_id vm;
+    host_id to;
+    friend bool operator==(const migrate&, const migrate&) = default;
+};
+struct power_on {
+    host_id host;
+    friend bool operator==(const power_on&, const power_on&) = default;
+};
+struct power_off {
+    host_id host;
+    friend bool operator==(const power_off&, const power_off&) = default;
+};
+
+using action = std::variant<increase_cpu, decrease_cpu, add_replica, remove_replica,
+                            migrate, power_on, power_off>;
+
+[[nodiscard]] action_kind kind_of(const action& a);
+
+// "migrate vm3(RUBiS-1/db0) -> host2" style description.
+[[nodiscard]] std::string to_string(const cluster_model& model, const action& a);
+
+// True when `a` can legally fire from `config`; fills *why otherwise. Legal
+// means the action's own preconditions hold and the result is structurally
+// valid — the result may still be an *intermediate* (CPU-overbooked)
+// configuration, which the search resolves with follow-up actions.
+bool applicable(const cluster_model& model, const configuration& config,
+                const action& a, std::string* why = nullptr);
+
+// Applies `a` to `config`. Throws invariant_error when !applicable.
+[[nodiscard]] configuration apply(const cluster_model& model,
+                                  const configuration& config, const action& a);
+
+// Which actions the optimizer may consider; levels of the controller
+// hierarchy restrict this set (Section II-C).
+struct action_menu {
+    bool cpu_tuning = true;
+    bool replication = true;
+    bool migration = true;
+    bool host_power = true;
+};
+
+// All applicable actions from `config`, filtered by `menu`. Symmetry
+// reductions: only the lowest-index dormant replica of a tier is offered for
+// add_replica and only the highest-index deployed one for remove_replica;
+// only the first powered-off host is offered for power_on (hosts are
+// interchangeable).
+std::vector<action> enumerate_actions(const cluster_model& model,
+                                      const configuration& config,
+                                      const action_menu& menu = {});
+
+}  // namespace mistral::cluster

@@ -1,0 +1,235 @@
+#include "cluster/configuration.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mistral::cluster {
+
+namespace {
+
+fraction round_cap(fraction cap) { return std::round(cap * 1000.0) / 1000.0; }
+
+void hash_combine(std::size_t& seed, std::size_t value) {
+    seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace
+
+configuration::configuration(std::size_t vm_count, std::size_t host_count)
+    : vms_(vm_count), hosts_on_(host_count, false) {
+    MISTRAL_CHECK(vm_count > 0);
+    MISTRAL_CHECK(host_count > 0);
+}
+
+bool configuration::deployed(vm_id vm) const { return placement(vm).has_value(); }
+
+const std::optional<vm_placement>& configuration::placement(vm_id vm) const {
+    MISTRAL_CHECK(vm.valid() && vm.index() < vms_.size());
+    return vms_[vm.index()];
+}
+
+bool configuration::host_on(host_id host) const {
+    MISTRAL_CHECK(host.valid() && host.index() < hosts_on_.size());
+    return hosts_on_[host.index()];
+}
+
+std::vector<vm_id> configuration::vms_on(host_id host) const {
+    MISTRAL_CHECK(host.valid() && host.index() < hosts_on_.size());
+    std::vector<vm_id> out;
+    for (std::size_t i = 0; i < vms_.size(); ++i) {
+        if (vms_[i] && vms_[i]->host == host) {
+            out.push_back(vm_id{static_cast<std::int32_t>(i)});
+        }
+    }
+    return out;
+}
+
+std::size_t configuration::active_host_count() const {
+    std::size_t n = 0;
+    for (bool on : hosts_on_) n += on ? 1 : 0;
+    return n;
+}
+
+std::size_t configuration::deployed_vm_count() const {
+    std::size_t n = 0;
+    for (const auto& p : vms_) n += p.has_value() ? 1 : 0;
+    return n;
+}
+
+fraction configuration::cap_sum(host_id host) const {
+    fraction sum = 0.0;
+    for (const auto& p : vms_) {
+        if (p && p->host == host) sum += p->cpu_cap;
+    }
+    return sum;
+}
+
+double configuration::memory_sum(const cluster_model& model, host_id host) const {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < vms_.size(); ++i) {
+        if (vms_[i] && vms_[i]->host == host) {
+            sum += model.vm(vm_id{static_cast<std::int32_t>(i)}).memory_mb;
+        }
+    }
+    return sum;
+}
+
+void configuration::deploy(vm_id vm, host_id host, fraction cpu_cap) {
+    MISTRAL_CHECK(vm.valid() && vm.index() < vms_.size());
+    MISTRAL_CHECK(host.valid() && host.index() < hosts_on_.size());
+    MISTRAL_CHECK(cpu_cap > 0.0 && cpu_cap <= 1.0);
+    vms_[vm.index()] = vm_placement{host, round_cap(cpu_cap)};
+}
+
+void configuration::undeploy(vm_id vm) {
+    MISTRAL_CHECK(vm.valid() && vm.index() < vms_.size());
+    vms_[vm.index()].reset();
+}
+
+void configuration::set_cap(vm_id vm, fraction cpu_cap) {
+    MISTRAL_CHECK(vm.valid() && vm.index() < vms_.size());
+    MISTRAL_CHECK_MSG(vms_[vm.index()].has_value(), "set_cap on dormant " << vm);
+    MISTRAL_CHECK(cpu_cap > 0.0 && cpu_cap <= 1.0);
+    vms_[vm.index()]->cpu_cap = round_cap(cpu_cap);
+}
+
+void configuration::set_host_power(host_id host, bool on) {
+    MISTRAL_CHECK(host.valid() && host.index() < hosts_on_.size());
+    hosts_on_[host.index()] = on;
+}
+
+std::size_t configuration::hash() const {
+    std::size_t seed = vms_.size();
+    for (const auto& p : vms_) {
+        if (p) {
+            hash_combine(seed, static_cast<std::size_t>(p->host.value) + 1);
+            hash_combine(seed, static_cast<std::size_t>(std::llround(p->cpu_cap * 1000.0)));
+        } else {
+            hash_combine(seed, 0);
+        }
+    }
+    for (bool on : hosts_on_) hash_combine(seed, on ? 2 : 1);
+    return seed;
+}
+
+std::string configuration::describe(const cluster_model& model) const {
+    std::ostringstream os;
+    for (std::size_t h = 0; h < hosts_on_.size(); ++h) {
+        const host_id host{static_cast<std::int32_t>(h)};
+        os << model.hosts()[h].name << (hosts_on_[h] ? "[on]" : "[off]") << ":";
+        bool first = true;
+        for (std::size_t i = 0; i < vms_.size(); ++i) {
+            if (vms_[i] && vms_[i]->host == host) {
+                const auto& desc = model.vm(vm_id{static_cast<std::int32_t>(i)});
+                const auto& app = model.app(desc.app);
+                os << (first ? " " : ",") << app.name() << "/"
+                   << app.tiers()[desc.tier].name << desc.replica_index << "@"
+                   << static_cast<int>(std::round(vms_[i]->cpu_cap * 100.0)) << "%";
+                first = false;
+            }
+        }
+        if (first) os << " -";
+        os << (h + 1 < hosts_on_.size() ? "  " : "");
+    }
+    return os.str();
+}
+
+bool structurally_valid(const cluster_model& model, const configuration& config,
+                        std::string* why) {
+    auto fail = [&](const std::string& msg) {
+        if (why) *why = msg;
+        return false;
+    };
+    MISTRAL_CHECK(config.vm_count() == model.vm_count());
+    MISTRAL_CHECK(config.host_count() == model.host_count());
+
+    for (const auto& desc : model.vms()) {
+        const auto& p = config.placement(desc.vm);
+        if (!p) continue;
+        if (!config.host_on(p->host)) {
+            return fail("VM on powered-off host");
+        }
+        const auto& tier = model.tier_spec_of(desc.vm);
+        if (p->cpu_cap < tier.min_cpu_cap - 1e-9 || p->cpu_cap > tier.max_cpu_cap + 1e-9) {
+            return fail("cap outside tier window");
+        }
+    }
+    for (std::size_t h = 0; h < model.host_count(); ++h) {
+        const host_id host{static_cast<std::int32_t>(h)};
+        const auto hosted = config.vms_on(host);
+        if (static_cast<int>(hosted.size()) > model.limits().max_vms_per_host) {
+            return fail("too many VMs on " + model.hosts()[h].name);
+        }
+        const double available = model.hosts()[h].memory_mb - model.limits().dom0_memory_mb;
+        if (config.memory_sum(model, host) > available + 1e-9) {
+            return fail("memory overcommitted on " + model.hosts()[h].name);
+        }
+    }
+    for (std::size_t a = 0; a < model.app_count(); ++a) {
+        const app_id app{static_cast<std::int32_t>(a)};
+        for (std::size_t t = 0; t < model.app(app).tier_count(); ++t) {
+            int deployed = 0;
+            for (vm_id vm : model.tier_vms(app, t)) {
+                deployed += config.deployed(vm) ? 1 : 0;
+            }
+            const auto& tier = model.app(app).tiers()[t];
+            if (deployed < tier.min_replicas) {
+                return fail(model.app(app).name() + "/" + tier.name +
+                            " below minimum replication");
+            }
+        }
+    }
+    return true;
+}
+
+bool is_candidate(const cluster_model& model, const configuration& config,
+                  std::string* why) {
+    if (!structurally_valid(model, config, why)) return false;
+    for (std::size_t h = 0; h < model.host_count(); ++h) {
+        const host_id host{static_cast<std::int32_t>(h)};
+        if (config.cap_sum(host) > model.limits().host_cpu_cap + 1e-9) {
+            if (why) *why = "CPU overbooked on " + model.hosts()[h].name;
+            return false;
+        }
+    }
+    return true;
+}
+
+double cap_distance(const cluster_model& model, const configuration& a,
+                    const configuration& b, const configuration& ideal) {
+    // Weight each VM by its relative cap in the ideal configuration; dormant
+    // VMs get a small floor weight so add/remove differences still register.
+    double weight_sum = 0.0;
+    std::vector<double> weights(model.vm_count(), 0.05);
+    for (const auto& desc : model.vms()) {
+        const auto& p = ideal.placement(desc.vm);
+        if (p) weights[desc.vm.index()] = p->cpu_cap;
+        weight_sum += weights[desc.vm.index()];
+    }
+    double sum = 0.0;
+    for (const auto& desc : model.vms()) {
+        const auto& pa = a.placement(desc.vm);
+        const auto& pb = b.placement(desc.vm);
+        const double ca = pa ? pa->cpu_cap : 0.0;
+        const double cb = pb ? pb->cpu_cap : 0.0;
+        sum += weights[desc.vm.index()] / weight_sum * (ca - cb) * (ca - cb);
+    }
+    return std::sqrt(sum);
+}
+
+double placement_distance(const cluster_model& model, const configuration& a,
+                          const configuration& b) {
+    if (model.vm_count() == 0) return 0.0;
+    std::size_t same = 0;
+    for (const auto& desc : model.vms()) {
+        const auto& pa = a.placement(desc.vm);
+        const auto& pb = b.placement(desc.vm);
+        const bool identical = (!pa && !pb) || (pa && pb && pa->host == pb->host);
+        same += identical ? 1 : 0;
+    }
+    return 1.0 - static_cast<double>(same) / static_cast<double>(model.vm_count());
+}
+
+}  // namespace mistral::cluster

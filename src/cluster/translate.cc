@@ -1,0 +1,57 @@
+#include "cluster/translate.h"
+
+#include "common/check.h"
+
+namespace mistral::cluster {
+
+std::vector<lqn::app_deployment> to_lqn(const cluster_model& model,
+                                        const configuration& config,
+                                        const std::vector<req_per_sec>& rates) {
+    MISTRAL_CHECK_MSG(rates.size() == model.app_count(),
+                      "expected " << model.app_count() << " rates, got " << rates.size());
+    std::vector<lqn::app_deployment> out;
+    out.reserve(model.app_count());
+    for (std::size_t a = 0; a < model.app_count(); ++a) {
+        const app_id app{static_cast<std::int32_t>(a)};
+        lqn::app_deployment dep;
+        dep.spec = &model.app(app);
+        dep.rate = rates[a];
+        dep.tiers.resize(dep.spec->tier_count());
+        for (std::size_t t = 0; t < dep.spec->tier_count(); ++t) {
+            for (vm_id vm : model.tier_vms(app, t)) {
+                const auto& p = config.placement(vm);
+                if (!p) continue;
+                dep.tiers[t].replicas.push_back(
+                    {.host = p->host.index(), .cpu_cap = p->cpu_cap});
+            }
+            MISTRAL_CHECK_MSG(!dep.tiers[t].replicas.empty(),
+                              dep.spec->name() << " tier " << t
+                                               << " has no deployed replicas");
+        }
+        out.push_back(std::move(dep));
+    }
+    return out;
+}
+
+watts predicted_power(const cluster_model& model, const configuration& config,
+                      std::span<const fraction> host_utilization) {
+    MISTRAL_CHECK(host_utilization.size() == model.host_count());
+    watts total = 0.0;
+    for (std::size_t h = 0; h < model.host_count(); ++h) {
+        const host_id host{static_cast<std::int32_t>(h)};
+        if (!config.host_on(host)) continue;
+        total += model.hosts()[h].power.power(host_utilization[h]);
+    }
+    return total;
+}
+
+prediction predict(const cluster_model& model, const configuration& config,
+                   const std::vector<req_per_sec>& rates,
+                   const lqn::model_options& options) {
+    prediction out;
+    out.perf = lqn::solve(to_lqn(model, config, rates), model.host_count(), options);
+    out.power = predicted_power(model, config, out.perf.host_utilization);
+    return out;
+}
+
+}  // namespace mistral::cluster

@@ -1,0 +1,42 @@
+// Bridges configurations to the predictor substrates.
+//
+// The Performance Manager and Power Consolidation Manager of Fig. 2 both
+// consume (configuration, workload) pairs; this translation layer builds the
+// LQN deployment view for the solver and turns its host utilizations into a
+// cluster power prediction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cluster/configuration.h"
+#include "cluster/model.h"
+#include "lqn/solver.h"
+
+namespace mistral::cluster {
+
+// The LQN view of `config` with one entry per application; `rates` is the
+// per-application workload vector W. Requires a structurally valid
+// configuration (every tier deployed somewhere).
+std::vector<lqn::app_deployment> to_lqn(const cluster_model& model,
+                                        const configuration& config,
+                                        const std::vector<req_per_sec>& rates);
+
+// Steady-state cluster power: each powered-on host draws its power model's
+// value at the given utilization; powered-off hosts draw nothing
+// (Section III-B: "the total power usage of the system is simply the sum of
+// physical machines' power usages").
+watts predicted_power(const cluster_model& model, const configuration& config,
+                      std::span<const fraction> host_utilization);
+
+struct prediction {
+    lqn::solve_result perf;
+    watts power = 0.0;
+};
+
+// Solve + power in one call (what UtilityEst needs).
+prediction predict(const cluster_model& model, const configuration& config,
+                   const std::vector<req_per_sec>& rates,
+                   const lqn::model_options& options = {});
+
+}  // namespace mistral::cluster

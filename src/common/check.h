@@ -1,0 +1,44 @@
+// Invariant checking that is always on.
+//
+// The controllers make economic decisions from model outputs; a silently
+// out-of-range utilization or a VM placed on a powered-off host corrupts
+// every downstream number, so precondition violations throw rather than
+// being compiled away in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mistral {
+
+class invariant_error : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& message) {
+    std::ostringstream os;
+    os << "invariant failed: " << expr << " at " << file << ':' << line;
+    if (!message.empty()) os << " — " << message;
+    throw invariant_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace mistral
+
+#define MISTRAL_CHECK(expr)                                                        \
+    do {                                                                           \
+        if (!(expr)) ::mistral::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+    } while (false)
+
+#define MISTRAL_CHECK_MSG(expr, msg)                                               \
+    do {                                                                           \
+        if (!(expr)) {                                                             \
+            std::ostringstream os_;                                                \
+            os_ << msg;                                                            \
+            ::mistral::detail::check_failed(#expr, __FILE__, __LINE__, os_.str()); \
+        }                                                                          \
+    } while (false)

@@ -1,0 +1,53 @@
+// Strong identifier types for the entities Mistral manages.
+//
+// Hosts, VMs, applications, and tiers are all indexed by small integers in
+// the simulator and in configurations; wrapping them in distinct types makes
+// it impossible to pass a host index where a VM index is expected.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace mistral {
+
+// A type-tagged integer id. `Tag` is a phantom type; `prefix()` on the tag
+// supplies the letter used when printing (h0, vm3, app1, t2).
+template <class Tag>
+struct id {
+    std::int32_t value = -1;
+
+    constexpr id() = default;
+    constexpr explicit id(std::int32_t v) : value(v) {}
+
+    [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+    [[nodiscard]] constexpr std::size_t index() const { return static_cast<std::size_t>(value); }
+
+    friend constexpr auto operator<=>(id, id) = default;
+};
+
+template <class Tag>
+std::ostream& operator<<(std::ostream& os, id<Tag> x) {
+    return os << Tag::prefix() << x.value;
+}
+
+struct host_tag { static constexpr const char* prefix() { return "h"; } };
+struct vm_tag   { static constexpr const char* prefix() { return "vm"; } };
+struct app_tag  { static constexpr const char* prefix() { return "app"; } };
+struct tier_tag { static constexpr const char* prefix() { return "t"; } };
+
+using host_id = id<host_tag>;
+using vm_id = id<vm_tag>;
+using app_id = id<app_tag>;
+using tier_id = id<tier_tag>;
+
+}  // namespace mistral
+
+template <class Tag>
+struct std::hash<mistral::id<Tag>> {
+    std::size_t operator()(mistral::id<Tag> x) const noexcept {
+        return std::hash<std::int32_t>{}(x.value);
+    }
+};

@@ -1,0 +1,49 @@
+#include "common/lookup_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mistral {
+
+void lookup_table::insert(double key, double value) {
+    auto it = std::lower_bound(points_.begin(), points_.end(), key,
+                               [](const auto& p, double k) { return p.first < k; });
+    if (it != points_.end() && it->first == key) {
+        it->second = value;
+    } else {
+        points_.insert(it, {key, value});
+    }
+}
+
+std::size_t lookup_table::nearest_index(double key) const {
+    MISTRAL_CHECK(!points_.empty());
+    auto it = std::lower_bound(points_.begin(), points_.end(), key,
+                               [](const auto& p, double k) { return p.first < k; });
+    if (it == points_.begin()) return 0;
+    if (it == points_.end()) return points_.size() - 1;
+    const auto hi = static_cast<std::size_t>(it - points_.begin());
+    const auto lo = hi - 1;
+    return (key - points_[lo].first) <= (points_[hi].first - key) ? lo : hi;
+}
+
+double lookup_table::nearest(double key) const { return points_[nearest_index(key)].second; }
+
+double lookup_table::nearest_key(double key) const { return points_[nearest_index(key)].first; }
+
+double lookup_table::interpolate(double key) const {
+    MISTRAL_CHECK(!points_.empty());
+    if (key <= points_.front().first) return points_.front().second;
+    if (key >= points_.back().first) return points_.back().second;
+    auto it = std::lower_bound(points_.begin(), points_.end(), key,
+                               [](const auto& p, double k) { return p.first < k; });
+    const auto& hi = *it;
+    const auto& lo = *(it - 1);
+    const double span = hi.first - lo.first;
+    if (span <= 0.0) return lo.second;
+    const double frac = (key - lo.first) / span;
+    return lo.second * (1.0 - frac) + hi.second * frac;
+}
+
+}  // namespace mistral

@@ -1,0 +1,48 @@
+// One-dimensional keyed lookup tables with interpolation.
+//
+// The paper's Cost Manager stores offline-measured adaptation costs "in a
+// cost table indexed by the workload" and, at runtime, "looks up the cost
+// table entry with the closest workload" (Section III-C). `lookup_table`
+// implements exactly that access pattern, plus linear interpolation for the
+// model-calibration paths where smoothness matters.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mistral {
+
+class lookup_table {
+public:
+    lookup_table() = default;
+
+    // Inserts or replaces the value at `key`. Keys are kept sorted.
+    void insert(double key, double value);
+
+    [[nodiscard]] bool empty() const { return points_.empty(); }
+    [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+    // Value at the key closest to `key` (the paper's runtime lookup rule).
+    // Requires a non-empty table.
+    [[nodiscard]] double nearest(double key) const;
+
+    // Piecewise-linear interpolation, clamped to the table's key range.
+    // Requires a non-empty table.
+    [[nodiscard]] double interpolate(double key) const;
+
+    // The key in the table closest to `key`. Requires a non-empty table.
+    [[nodiscard]] double nearest_key(double key) const;
+
+    [[nodiscard]] const std::vector<std::pair<double, double>>& points() const {
+        return points_;
+    }
+
+private:
+    // Sorted by key.
+    std::vector<std::pair<double, double>> points_;
+
+    [[nodiscard]] std::size_t nearest_index(double key) const;
+};
+
+}  // namespace mistral

@@ -1,0 +1,93 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mistral {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t rng::next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double rng::uniform() {
+    // 53 high bits → uniform double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) {
+    MISTRAL_CHECK(lo <= hi);
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t rng::uniform_index(std::uint64_t n) {
+    MISTRAL_CHECK(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = n * (~0ULL / n);
+    std::uint64_t draw;
+    do {
+        draw = next_u64();
+    } while (draw >= limit);
+    return draw % n;
+}
+
+double rng::normal() {
+    if (have_spare_normal_) {
+        have_spare_normal_ = false;
+        return spare_normal_;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_normal_ = v * factor;
+    have_spare_normal_ = true;
+    return u * factor;
+}
+
+double rng::normal(double mean, double stddev) {
+    MISTRAL_CHECK(stddev >= 0.0);
+    return mean + stddev * normal();
+}
+
+rng rng::fork() {
+    rng child(0);
+    // Re-seed from two draws so the child stream is decorrelated.
+    std::uint64_t s = next_u64() ^ rotl(next_u64(), 33);
+    for (auto& word : child.state_) word = splitmix64(s);
+    return child;
+}
+
+}  // namespace mistral

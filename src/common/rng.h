@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the reproduction (trace noise, random VM
+// placements in the offline cost campaign, measurement noise in the testbed
+// simulator) draws from an explicitly seeded xoshiro256** stream so that
+// tests and benches replay bit-identically. Streams can be forked so that
+// adding a consumer does not perturb unrelated draws.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mistral {
+
+class rng {
+public:
+    // Seeds the four 64-bit words of state from a single seed via splitmix64.
+    explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    // Next raw 64-bit draw (xoshiro256**).
+    std::uint64_t next_u64();
+
+    // Uniform in [0, 1).
+    double uniform();
+
+    // Uniform in [lo, hi).
+    double uniform(double lo, double hi);
+
+    // Uniform integer in [0, n). Requires n > 0.
+    std::uint64_t uniform_index(std::uint64_t n);
+
+    // Standard normal via Marsaglia polar method.
+    double normal();
+
+    // Normal with given mean and standard deviation.
+    double normal(double mean, double stddev);
+
+    // An independent generator derived from this one's stream; advancing the
+    // child never affects the parent and vice versa.
+    rng fork();
+
+    // Fisher–Yates shuffle of a random-access container.
+    template <class Container>
+    void shuffle(Container& c) {
+        for (std::size_t i = c.size(); i > 1; --i) {
+            const auto j = uniform_index(i);
+            using std::swap;
+            swap(c[i - 1], c[j]);
+        }
+    }
+
+private:
+    std::array<std::uint64_t, 4> state_{};
+    bool have_spare_normal_ = false;
+    double spare_normal_ = 0.0;
+};
+
+}  // namespace mistral

@@ -1,0 +1,112 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace mistral {
+
+double mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double sum = 0.0;
+    for (double x : xs) sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+    if (xs.size() < 2) return 0.0;
+    const double m = mean(xs);
+    double sum = 0.0;
+    for (double x : xs) sum += (x - m) * (x - m);
+    return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_of(std::span<const double> xs) {
+    MISTRAL_CHECK(!xs.empty());
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+    MISTRAL_CHECK(!xs.empty());
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+    MISTRAL_CHECK(!xs.empty());
+    MISTRAL_CHECK(p >= 0.0 && p <= 100.0);
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted.front();
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+    MISTRAL_CHECK(a.size() == b.size());
+    if (a.empty()) return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+double mape_percent(std::span<const double> truth, std::span<const double> model,
+                    double eps) {
+    MISTRAL_CHECK(truth.size() == model.size());
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        if (std::abs(truth[i]) < eps) continue;
+        sum += std::abs((model[i] - truth[i]) / truth[i]);
+        ++n;
+    }
+    return n ? 100.0 * sum / static_cast<double>(n) : 0.0;
+}
+
+linear_fit_result linear_fit(std::span<const double> xs, std::span<const double> ys) {
+    MISTRAL_CHECK(xs.size() == ys.size());
+    MISTRAL_CHECK(xs.size() >= 2);
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        syy += (ys[i] - my) * (ys[i] - my);
+    }
+    linear_fit_result out;
+    out.slope = sxx > 0.0 ? sxy / sxx : 0.0;
+    out.intercept = my - out.slope * mx;
+    out.r_squared = (sxx > 0.0 && syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+    return out;
+}
+
+void running_stats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double running_stats::variance() const {
+    return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double running_stats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace mistral

@@ -1,0 +1,91 @@
+// Descriptive statistics and small fitting utilities.
+//
+// Used for model calibration (least-squares fit of the power-model exponent),
+// accuracy reporting (MAPE/RMSE between model and testbed), and the summary
+// rows printed by the bench harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mistral {
+
+// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+// Population variance and standard deviation; 0 for fewer than two samples.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double percentile(std::span<const double> xs, double p);
+
+// Root-mean-square error between two equally sized series.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+// Mean absolute percentage error of `model` against `truth`, in percent.
+// Entries where |truth| < eps are skipped to avoid division blow-ups.
+double mape_percent(std::span<const double> truth, std::span<const double> model,
+                    double eps = 1e-9);
+
+// Least-squares straight line y = slope * x + intercept.
+struct linear_fit_result {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;
+};
+linear_fit_result linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+// Minimizes a unimodal function on [lo, hi] by golden-section search.
+// `tolerance` is the final bracket width. Returns the argmin.
+template <class F>
+double golden_section_minimize(F&& f, double lo, double hi, double tolerance = 1e-6) {
+    constexpr double inv_phi = 0.6180339887498949;
+    double a = lo, b = hi;
+    double c = b - (b - a) * inv_phi;
+    double d = a + (b - a) * inv_phi;
+    double fc = f(c), fd = f(d);
+    while (b - a > tolerance) {
+        if (fc < fd) {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * inv_phi;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * inv_phi;
+            fd = f(d);
+        }
+    }
+    return 0.5 * (a + b);
+}
+
+// Online accumulator for mean/variance/min/max (Welford's algorithm).
+class running_stats {
+public:
+    void add(double x);
+
+    [[nodiscard]] std::size_t count() const { return n_; }
+    [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const { return min_; }
+    [[nodiscard]] double max() const { return max_; }
+    [[nodiscard]] double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+}  // namespace mistral

@@ -1,0 +1,53 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mistral {
+
+table_printer::table_printer(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    MISTRAL_CHECK(!headers_.empty());
+}
+
+void table_printer::add_row(std::vector<std::string> cells) {
+    MISTRAL_CHECK_MSG(cells.size() == headers_.size(),
+                      "row has " << cells.size() << " cells, expected " << headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string table_printer::fmt(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void table_printer::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto print_line = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+               << cells[c];
+        }
+        os << '\n';
+    };
+    print_line(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        if (c) rule += "  ";
+        rule += std::string(widths[c], '-');
+    }
+    os << rule << '\n';
+    for (const auto& row : rows_) print_line(row);
+}
+
+}  // namespace mistral

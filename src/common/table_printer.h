@@ -1,0 +1,32 @@
+// Aligned console tables for bench output.
+//
+// The bench harnesses reproduce the paper's tables (e.g. Table I) as plain
+// text; this printer right-aligns numeric cells and left-aligns text so rows
+// stay readable at a glance.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mistral {
+
+class table_printer {
+public:
+    // Column headers define the column count; later rows must match it.
+    explicit table_printer(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    // Convenience: formats doubles with the given precision.
+    static std::string fmt(double value, int precision = 1);
+
+    void print(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mistral

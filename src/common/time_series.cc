@@ -1,0 +1,109 @@
+#include "common/time_series.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+
+namespace mistral {
+
+std::vector<double> time_series::values() const {
+    std::vector<double> out;
+    out.reserve(samples_.size());
+    for (const auto& s : samples_) out.push_back(s.value);
+    return out;
+}
+
+std::vector<double> time_series::times() const {
+    std::vector<double> out;
+    out.reserve(samples_.size());
+    for (const auto& s : samples_) out.push_back(s.time);
+    return out;
+}
+
+std::optional<double> time_series::value_at(double time) const {
+    std::optional<double> out;
+    for (const auto& s : samples_) {
+        if (s.time <= time) out = s.value;
+        else break;
+    }
+    return out;
+}
+
+double time_series::integrate() const {
+    double total = 0.0;
+    for (std::size_t i = 1; i < samples_.size(); ++i) {
+        const double dt = samples_[i].time - samples_[i - 1].time;
+        total += 0.5 * (samples_[i].value + samples_[i - 1].value) * dt;
+    }
+    return total;
+}
+
+time_series& series_bundle::series(const std::string& name) {
+    for (auto& s : series_) {
+        if (s.name() == name) return s;
+    }
+    series_.emplace_back(name);
+    return series_.back();
+}
+
+const time_series* series_bundle::find(const std::string& name) const {
+    for (const auto& s : series_) {
+        if (s.name() == name) return &s;
+    }
+    return nullptr;
+}
+
+void series_bundle::print(std::ostream& os, int width, int precision) const {
+    // Collect the union of timestamps, then the value of each series at each.
+    std::map<double, std::vector<std::optional<double>>> rows;
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+        for (const auto& s : series_[i].samples()) {
+            auto& row = rows[s.time];
+            row.resize(series_.size());
+            row[i] = s.value;
+        }
+    }
+    os << std::setw(width) << "time";
+    for (const auto& s : series_) os << std::setw(width) << s.name();
+    os << '\n';
+    const auto old_flags = os.flags();
+    const auto old_precision = os.precision();
+    os << std::fixed << std::setprecision(precision);
+    for (const auto& [t, row] : rows) {
+        os << std::setw(width) << t;
+        for (std::size_t i = 0; i < series_.size(); ++i) {
+            if (i < row.size() && row[i].has_value()) {
+                os << std::setw(width) << *row[i];
+            } else {
+                os << std::setw(width) << "-";
+            }
+        }
+        os << '\n';
+    }
+    os.flags(old_flags);
+    os.precision(old_precision);
+}
+
+void series_bundle::print_csv(std::ostream& os) const {
+    std::map<double, std::vector<std::optional<double>>> rows;
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+        for (const auto& s : series_[i].samples()) {
+            auto& row = rows[s.time];
+            row.resize(series_.size());
+            row[i] = s.value;
+        }
+    }
+    os << "time";
+    for (const auto& s : series_) os << ',' << s.name();
+    os << '\n';
+    for (const auto& [t, row] : rows) {
+        os << t;
+        for (std::size_t i = 0; i < series_.size(); ++i) {
+            os << ',';
+            if (i < row.size() && row[i].has_value()) os << *row[i];
+        }
+        os << '\n';
+    }
+}
+
+}  // namespace mistral

@@ -1,0 +1,72 @@
+// Timestamped metric recording for experiments.
+//
+// Every bench regenerating a paper figure records (time, value) samples into
+// named series and dumps them as aligned columns (one row per timestamp) so
+// the output can be eyeballed or piped into a plotting tool.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mistral {
+
+struct time_point_sample {
+    double time = 0.0;
+    double value = 0.0;
+};
+
+class time_series {
+public:
+    time_series() = default;
+    explicit time_series(std::string name) : name_(std::move(name)) {}
+
+    void add(double time, double value) { samples_.push_back({time, value}); }
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] const std::vector<time_point_sample>& samples() const { return samples_; }
+    [[nodiscard]] bool empty() const { return samples_.empty(); }
+    [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+    // Values only, in insertion order.
+    [[nodiscard]] std::vector<double> values() const;
+    // Timestamps only, in insertion order.
+    [[nodiscard]] std::vector<double> times() const;
+
+    // Value at the latest sample with sample.time <= time, if any.
+    [[nodiscard]] std::optional<double> value_at(double time) const;
+
+    // Trapezoidal integral of value over time (e.g. watts → joules).
+    [[nodiscard]] double integrate() const;
+
+private:
+    std::string name_;
+    std::vector<time_point_sample> samples_;
+};
+
+// A bundle of series sharing (approximately) the same time base. Series
+// references returned by series() remain valid as the bundle grows (deque
+// storage), so callers may cache them.
+class series_bundle {
+public:
+    // Returns the series with `name`, creating it if absent.
+    time_series& series(const std::string& name);
+    [[nodiscard]] const time_series* find(const std::string& name) const;
+
+    [[nodiscard]] const std::deque<time_series>& all() const { return series_; }
+
+    // Writes a column-aligned table: time column, then one column per series.
+    // Rows are the union of all timestamps; missing values print as "-".
+    void print(std::ostream& os, int width = 12, int precision = 2) const;
+
+    // Same content, comma-separated (for machine consumption).
+    void print_csv(std::ostream& os) const;
+
+private:
+    std::deque<time_series> series_;
+};
+
+}  // namespace mistral

@@ -1,0 +1,23 @@
+// Unit aliases and shared numeric constants.
+//
+// All times in the library are in seconds unless a name says otherwise; all
+// power in watts; all money in dollars. Plain double aliases (rather than
+// full dimensional types) keep the arithmetic in the utility equations
+// readable while the names document intent at API boundaries.
+#pragma once
+
+namespace mistral {
+
+using seconds = double;      // durations and simulation timestamps
+using watts = double;        // instantaneous power draw
+using dollars = double;      // utility is accounted in dollars
+using req_per_sec = double;  // request arrival rate (the paper's workload unit)
+using fraction = double;     // value in [0, 1] (CPU caps, utilizations)
+
+// The paper's monitoring interval M: 2 minutes (Section V-A).
+inline constexpr seconds default_monitoring_interval = 120.0;
+
+// Cost per watt consumed over one monitoring interval: $0.01 (Section V-A).
+inline constexpr dollars default_power_cost_per_watt_interval = 0.01;
+
+}  // namespace mistral

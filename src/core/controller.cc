@@ -1,0 +1,89 @@
+#include "core/controller.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mistral::core {
+
+mistral_controller::mistral_controller(const cluster::cluster_model& model,
+                                       cost::cost_table costs,
+                                       controller_options options,
+                                       std::unique_ptr<search_meter> meter)
+    : model_(&model),
+      options_(options),
+      search_(model, utility_model(options.utility), std::move(costs),
+              options.search),
+      meter_(meter ? std::move(meter) : std::make_unique<model_clock_meter>()),
+      monitor_(model.app_count(), options.band_width) {
+    MISTRAL_CHECK(options_.min_control_window > 0.0);
+    MISTRAL_CHECK(options_.utility_history >= 1);
+    predictors_.reserve(model.app_count());
+    for (std::size_t a = 0; a < model.app_count(); ++a) {
+        predict::arma_options arma = options_.arma;
+        predictors_.emplace_back(arma);
+    }
+}
+
+dollars mistral_controller::pessimistic_expected_utility(seconds cw) const {
+    if (utility_history_.empty()) {
+        // No achievement history yet: assume a neutral budget so the first
+        // searches run unconstrained.
+        return 0.0;
+    }
+    const dollars lowest =
+        *std::min_element(utility_history_.begin(), utility_history_.end());
+    // History entries are per monitoring interval; scale to the window.
+    return lowest * cw / options_.utility.monitoring_interval;
+}
+
+controller_decision mistral_controller::step(seconds now,
+                                             const std::vector<req_per_sec>& rates,
+                                             const cluster::configuration& current,
+                                             dollars last_interval_utility) {
+    MISTRAL_CHECK(rates.size() == model_->app_count());
+    controller_decision decision;
+
+    if (!first_step_) {
+        utility_history_.push_back(last_interval_utility);
+        if (static_cast<int>(utility_history_.size()) > options_.utility_history) {
+            utility_history_.erase(utility_history_.begin());
+        }
+    }
+
+    const auto event = monitor_.observe(now, rates);
+    for (std::size_t i = 0; i < event.exceeded.size(); ++i) {
+        predictors_[event.exceeded[i]].observe(event.completed_intervals[i]);
+    }
+
+    const bool trigger = first_step_ || event.any_exceeded;
+    first_step_ = false;
+    if (!trigger) return decision;
+
+    // Control window: the most conservative (shortest) of the predictions
+    // for the applications that just moved, floored at one interval.
+    seconds cw = options_.min_control_window;
+    if (!event.exceeded.empty()) {
+        seconds shortest = predictors_[event.exceeded.front()].current_estimate();
+        for (std::size_t i = 1; i < event.exceeded.size(); ++i) {
+            shortest =
+                std::min(shortest, predictors_[event.exceeded[i]].current_estimate());
+        }
+        cw = std::max(cw, shortest);
+    }
+    cw = std::min(cw, options_.max_control_window);
+
+    const dollars uh = pessimistic_expected_utility(cw);
+    auto result = search_.find(current, rates, cw, uh, *meter_);
+
+    decision.invoked = true;
+    decision.actions = std::move(result.actions);
+    decision.control_window = cw;
+    decision.expected_utility = result.expected_utility;
+    decision.ideal_utility = result.ideal_utility;
+    decision.stats = result.stats;
+    monitor_.recenter(now, rates);
+    return decision;
+}
+
+}  // namespace mistral::core

@@ -1,0 +1,142 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+#include "apps/rubis.h"
+#include "common/check.h"
+#include "workload/generators.h"
+
+namespace mistral::core {
+
+scenario make_rubis_scenario(scenario_options options) {
+    MISTRAL_CHECK(options.host_count >= 1);
+    MISTRAL_CHECK(options.app_count >= 1);
+
+    std::vector<apps::application_spec> specs;
+    for (std::size_t a = 0; a < options.app_count; ++a) {
+        specs.push_back(apps::rubis_browsing("RUBiS-" + std::to_string(a + 1)));
+    }
+    cluster::cluster_model model(cluster::uniform_hosts(options.host_count),
+                                 std::move(specs));
+
+    if (options.traces.empty()) {
+        const auto all = wl::paper_workloads(options.seed);
+        for (std::size_t a = 0; a < options.app_count; ++a) {
+            options.traces.push_back(all[a % all.size()]);
+        }
+    }
+    MISTRAL_CHECK(options.traces.size() == options.app_count);
+
+    // Initial placement: app a's minimum replica set at 40 % caps on the
+    // host pair {2a, 2a+1} (mod host count) — also a valid Perf-Cost pool
+    // layout. All hosts start powered on; the strategies that care shut the
+    // spare ones down.
+    cluster::configuration initial(model.vm_count(), model.host_count());
+    for (std::size_t h = 0; h < model.host_count(); ++h) {
+        initial.set_host_power(host_id{static_cast<std::int32_t>(h)}, true);
+    }
+    const std::size_t hosts_per_app =
+        std::max<std::size_t>(1, model.host_count() / options.app_count);
+    for (std::size_t a = 0; a < options.app_count; ++a) {
+        const app_id app{static_cast<std::int32_t>(a)};
+        std::size_t k = 0;
+        for (std::size_t t = 0; t < model.app(app).tier_count(); ++t) {
+            const auto& tier = model.app(app).tiers()[t];
+            for (int rep = 0; rep < tier.min_replicas; ++rep) {
+                const std::size_t h =
+                    (a * hosts_per_app + (k++ % hosts_per_app)) % model.host_count();
+                initial.deploy(model.tier_vms(app, t)[static_cast<std::size_t>(rep)],
+                               host_id{static_cast<std::int32_t>(h)}, 0.4);
+            }
+        }
+    }
+    std::string why;
+    MISTRAL_CHECK_MSG(is_candidate(model, initial, &why),
+                      "scenario initial configuration invalid: " << why);
+
+    scenario out{std::move(model), std::move(initial), options.traces, options};
+    return out;
+}
+
+run_result run_scenario(const scenario& scn, strategy& strat) {
+    const auto& model = scn.model;
+    const seconds interval = scn.options.monitoring_interval;
+    MISTRAL_CHECK(interval > 0.0);
+    MISTRAL_CHECK(scn.traces.size() == model.app_count());
+
+    sim::testbed tb(model, scn.initial, scn.options.testbed);
+    const utility_model util{scn.options.utility};
+
+    run_result out;
+    out.strategy_name = strat.name();
+    out.violation_fraction.assign(model.app_count(), 0.0);
+
+    const seconds start = scn.traces.front().start_time();
+    seconds end = scn.traces.front().end_time();
+    for (const auto& tr : scn.traces) end = std::min(end, tr.end_time());
+
+    running_stats power_stats;
+    dollars cumulative = 0.0;
+    dollars last_utility = 0.0;
+    std::size_t intervals = 0;
+
+    for (seconds t = start; t + interval <= end + 1e-9; t += interval) {
+        std::vector<req_per_sec> rates;
+        rates.reserve(model.app_count());
+        for (const auto& tr : scn.traces) rates.push_back(tr.mean_rate(t, t + interval));
+
+        // While a previous sequence is still executing, the controller holds
+        // off — re-planning against a configuration that is mid-transition
+        // would race the in-flight actions.
+        strategy::outcome decision;
+        if (!tb.busy()) decision = strat.decide(t, rates, tb.config(), last_utility);
+        if (decision.invoked) {
+            ++out.invocations;
+            out.search_duration.add(decision.decision_delay);
+            out.total_search_cost += decision.decision_power_cost;
+        }
+        if (!decision.actions.empty()) {
+            tb.submit(decision.actions, decision.decision_delay);
+            out.total_actions += decision.actions.size();
+        }
+
+        const auto obs = tb.advance(interval, rates);
+
+        std::vector<seconds> targets(model.app_count());
+        for (std::size_t a = 0; a < model.app_count(); ++a) {
+            targets[a] = model.app(app_id{static_cast<std::int32_t>(a)})
+                             .target_response_time(rates[a]);
+            if (obs.response_time[a] > targets[a]) out.violation_fraction[a] += 1.0;
+        }
+        const dollars u = util.interval_utility(rates, obs.response_time, targets,
+                                                obs.power) -
+                          decision.decision_power_cost;
+        cumulative += u;
+        last_utility = u;
+        power_stats.add(obs.power);
+        ++intervals;
+
+        const double tm = obs.time;
+        for (std::size_t a = 0; a < model.app_count(); ++a) {
+            out.series.series("rt_" + model.app(app_id{static_cast<std::int32_t>(a)})
+                                          .name())
+                .add(tm, obs.response_time[a] * 1000.0);  // ms, like the figures
+        }
+        out.series.series("power").add(tm, obs.power);
+        out.series.series("utility").add(tm, u);
+        out.series.series("cum_utility").add(tm, cumulative);
+        out.series.series("hosts").add(tm, static_cast<double>(
+                                                tb.config().active_host_count()));
+        out.series.series("actions").add(tm, static_cast<double>(decision.actions.size()));
+        out.series.series("search_ms").add(tm, decision.decision_delay * 1000.0);
+    }
+
+    out.cumulative_utility = cumulative;
+    out.mean_power = power_stats.mean();
+    if (intervals > 0) {
+        for (auto& v : out.violation_fraction) v /= static_cast<double>(intervals);
+    }
+    return out;
+}
+
+}  // namespace mistral::core

@@ -1,0 +1,49 @@
+// Transition planning: from one configuration to another.
+//
+// The Perf-Pwr and Pwr-Cost baseline strategies (Section V-C) pick a *target*
+// configuration first and then simply execute whatever actions realize it —
+// unlike Mistral, whose A* search plans the action sequence and the target
+// jointly. This planner produces that action sequence: power-ons first, then
+// releases (cap decreases, replica removals), then placement moves with
+// slot-aware deferral, then cap increases, then power-offs of emptied hosts.
+//
+// Replicas of a tier are interchangeable, so the plan reconciles per-tier
+// *placement multisets* rather than VM identities, keeping VMs that already
+// sit on a wanted host in place.
+#pragma once
+
+#include <vector>
+
+#include "cluster/action.h"
+#include "cluster/configuration.h"
+#include "cluster/model.h"
+
+namespace mistral::core {
+
+// Plans a sequence of actions transforming `from` toward `to`. Every prefix
+// of the returned sequence is applicable in order starting at `from`
+// (intermediate CPU overbooking allowed). Moves that cannot be realized
+// without violating slot/memory constraints are dropped, so the reached
+// configuration can differ from `to` in degraded cases; it is always
+// structurally valid.
+std::vector<cluster::action> plan_transition(const cluster::cluster_model& model,
+                                             const cluster::configuration& from,
+                                             const cluster::configuration& to);
+
+// Applies a planned sequence, returning the final configuration (helper for
+// tests and strategies that need to know where a plan actually lands).
+cluster::configuration apply_plan(const cluster::cluster_model& model,
+                                  cluster::configuration config,
+                                  const std::vector<cluster::action>& plan);
+
+// Removes zero-net-effect subsequences from a plan: whenever some prefix of
+// the plan revisits an earlier configuration, the actions in between are
+// spliced out (an A* path can legitimately contain such detours when a
+// revisit carried a better accrued value than the first visit — they are
+// correct under Eq. 3's accounting but pure waste to execute). The result
+// reaches the same final configuration with every prefix still applicable.
+std::vector<cluster::action> compress_plan(const cluster::cluster_model& model,
+                                           const cluster::configuration& from,
+                                           std::vector<cluster::action> plan);
+
+}  // namespace mistral::core

@@ -1,0 +1,478 @@
+#include "core/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "cluster/translate.h"
+#include "common/check.h"
+#include "core/planner.h"
+
+namespace mistral::core {
+
+namespace {
+
+using cluster::action;
+using cluster::configuration;
+
+// Cached steady-state evaluation of one configuration.
+struct steady_eval {
+    double rate = 0.0;  // $/s accrual (perf + power)
+    std::vector<seconds> response_times;
+    watts power = 0.0;
+    bool candidate = false;
+};
+
+struct vertex {
+    configuration config;
+    int parent = -1;
+    std::optional<action> via;   // edge from parent (nullopt for the root)
+    dollars accrued = 0.0;       // Σ d(a)·transient-rate along the path
+    seconds duration = 0.0;      // Σ d(a)
+    int depth = 0;               // actions on the path
+    double utility = 0.0;        // Algorithm 1's vertex utility (avg rate)
+    bool terminal = false;       // reached via the "null" edge
+};
+
+// VM the action touches; invalid id for host power actions.
+vm_id touched_vm(const action& a) {
+    return std::visit(
+        [](const auto& x) -> vm_id {
+            using T = std::decay_t<decltype(x)>;
+            if constexpr (std::is_same_v<T, cluster::power_on> ||
+                          std::is_same_v<T, cluster::power_off>) {
+                return vm_id{};
+            } else {
+                return x.vm;
+            }
+        },
+        a);
+}
+
+// Hosts whose applications feel the action's transient.
+std::vector<host_id> affected_hosts(const configuration& config, const action& a) {
+    std::vector<host_id> out;
+    std::visit(
+        [&](const auto& x) {
+            using T = std::decay_t<decltype(x)>;
+            if constexpr (std::is_same_v<T, cluster::migrate>) {
+                out = {config.placement(x.vm)->host, x.to};
+            } else if constexpr (std::is_same_v<T, cluster::add_replica>) {
+                out = {x.to};
+            } else if constexpr (std::is_same_v<T, cluster::remove_replica> ||
+                                 std::is_same_v<T, cluster::increase_cpu> ||
+                                 std::is_same_v<T, cluster::decrease_cpu>) {
+                out = {config.placement(x.vm)->host};
+            }
+            // Power cycling affects no running application (Section V-B).
+        },
+        a);
+    return out;
+}
+
+}  // namespace
+
+adaptation_search::adaptation_search(const cluster::cluster_model& model,
+                                     utility_model utility, cost::cost_table costs,
+                                     search_options options)
+    : model_(&model),
+      utility_(utility),
+      costs_(std::move(costs)),
+      options_(std::move(options)),
+      perf_pwr_(model, utility,
+                {.lqn = options_.lqn, .app_hosts = options_.app_hosts}) {
+    MISTRAL_CHECK(options_.prune_keep_fraction > 0.0 &&
+                  options_.prune_keep_fraction <= 1.0);
+    MISTRAL_CHECK(options_.delay_threshold_fraction > 0.0);
+    MISTRAL_CHECK(options_.max_expansions >= 1);
+    if (!options_.app_hosts.empty()) {
+        MISTRAL_CHECK(options_.app_hosts.size() == model.app_count());
+        for (const auto& row : options_.app_hosts) {
+            MISTRAL_CHECK(row.size() == model.host_count());
+        }
+    }
+    if (!options_.host_scope.empty()) {
+        MISTRAL_CHECK(options_.host_scope.size() == model.host_count());
+    }
+}
+
+search_result adaptation_search::find(const configuration& current,
+                                      const std::vector<req_per_sec>& rates,
+                                      seconds cw, dollars expected_utility,
+                                      search_meter& meter) const {
+    const auto& model = *model_;
+    MISTRAL_CHECK(rates.size() == model.app_count());
+    MISTRAL_CHECK(cw > 0.0);
+    meter.begin();
+
+    std::vector<seconds> targets(model.app_count());
+    for (std::size_t a = 0; a < model.app_count(); ++a) {
+        targets[a] = utility_.planning_target(
+            model.app(app_id{static_cast<std::int32_t>(a)})
+                .target_response_time(rates[a]));
+    }
+
+    // $/s drawn by the search itself, in utility units.
+    const double search_cost_rate =
+        -utility_.power_rate(meter.search_power());  // ≥ 0
+
+    search_result stay;
+    stay.target = current;
+
+    const auto ideal = perf_pwr_.optimize(rates, &current);
+    stay.ideal_utility = ideal.feasible ? ideal.utility_rate * cw : 0.0;
+    if (!ideal.feasible || ideal.ideal == current) {
+        stay.stats.duration = meter.elapsed();
+        stay.stats.search_power_cost = stay.stats.duration * search_cost_rate;
+        return stay;
+    }
+    const double ideal_rate = ideal.utility_rate;
+
+    std::unordered_map<configuration, steady_eval> eval_cache;
+    auto eval = [&](const configuration& c) -> const steady_eval& {
+        auto it = eval_cache.find(c);
+        if (it == eval_cache.end()) {
+            steady_eval e;
+            const auto pred = cluster::predict(model, c, rates, options_.lqn);
+            e.power = pred.power;
+            e.response_times.reserve(model.app_count());
+            for (const auto& app : pred.perf.apps) {
+                e.response_times.push_back(app.mean_response_time);
+            }
+            e.rate = utility_.steady_rate(rates, e.response_times, targets, e.power);
+            e.candidate = is_candidate(model, c);
+            it = eval_cache.emplace(c, std::move(e)).first;
+        }
+        return it->second;
+    };
+
+    // Transient accrual rate while `a` executes in configuration `c`.
+    auto transient_rate = [&](const configuration& c, const steady_eval& ce,
+                              const action& a,
+                              const cost::cost_entry& entry) -> double {
+        const vm_id vm = touched_vm(a);
+        const auto touched = affected_hosts(c, a);
+        double rate = utility_.power_rate(std::max(0.0, ce.power + entry.delta_power));
+        for (std::size_t s = 0; s < model.app_count(); ++s) {
+            seconds rt = ce.response_times[s];
+            if (vm.valid() && model.vm(vm).app.index() == s) {
+                rt += entry.delta_rt_target;
+            } else if (!touched.empty()) {
+                // Co-located applications: any VM on an affected host.
+                bool colocated = false;
+                for (const auto& desc : model.vms()) {
+                    if (desc.app.index() != s) continue;
+                    const auto& p = c.placement(desc.vm);
+                    if (p && std::find(touched.begin(), touched.end(), p->host) !=
+                                 touched.end()) {
+                        colocated = true;
+                        break;
+                    }
+                }
+                if (colocated) rt += entry.delta_rt_colocated;
+            }
+            rate += utility_.perf_rate(rates[s], rt, targets[s]);
+        }
+        return rate;
+    };
+
+    auto allowed = [&](const configuration& c, const action& a) -> bool {
+        if (!options_.app_hosts.empty()) {
+            const bool pool_ok = std::visit(
+                [&](const auto& x) -> bool {
+                    using T = std::decay_t<decltype(x)>;
+                    if constexpr (std::is_same_v<T, cluster::migrate> ||
+                                  std::is_same_v<T, cluster::add_replica>) {
+                        const auto app = model.vm(x.vm).app;
+                        return options_.app_hosts[app.index()][x.to.index()];
+                    } else {
+                        return true;
+                    }
+                },
+                a);
+            if (!pool_ok) return false;
+        }
+        if (!options_.host_scope.empty()) {
+            const auto& scope = options_.host_scope;
+            const bool scope_ok = std::visit(
+                [&](const auto& x) -> bool {
+                    using T = std::decay_t<decltype(x)>;
+                    if constexpr (std::is_same_v<T, cluster::migrate>) {
+                        return scope[c.placement(x.vm)->host.index()] &&
+                               scope[x.to.index()];
+                    } else if constexpr (std::is_same_v<T, cluster::add_replica>) {
+                        return scope[x.to.index()];
+                    } else if constexpr (std::is_same_v<T, cluster::remove_replica> ||
+                                         std::is_same_v<T, cluster::increase_cpu> ||
+                                         std::is_same_v<T, cluster::decrease_cpu>) {
+                        return scope[c.placement(x.vm)->host.index()];
+                    } else if constexpr (std::is_same_v<T, cluster::power_on>) {
+                        return scope[x.host.index()];
+                    } else {
+                        return scope[x.host.index()];
+                    }
+                },
+                a);
+            if (!scope_ok) return false;
+        }
+        return true;
+    };
+
+    std::vector<vertex> vertices;
+    // Max-heap of (utility, vertex index); stale entries skipped on pop.
+    using heap_entry = std::pair<double, std::size_t>;
+    std::priority_queue<heap_entry> open;
+    // Best utility recorded per configuration (non-terminal vertices).
+    std::unordered_map<configuration, double> best_seen;
+
+    vertex root;
+    root.config = current;
+    root.utility = ideal_rate;  // average-rate bound: nothing beats the ideal
+    vertices.push_back(root);
+    open.push({root.utility, 0});
+    best_seen.emplace(current, root.utility);
+
+    search_stats stats;
+    dollars uh = expected_utility;
+    const double uh_rate = cw > 0.0 ? expected_utility / cw : 0.0;
+    const seconds delay_threshold = options_.delay_threshold_fraction * cw;
+    const double current_rate = eval(current).rate;
+    dollars ut = 0.0, upwr_t = 0.0;
+    seconds last_elapsed = meter.elapsed();
+    bool prune_mode = false;
+
+    int best_terminal = -1;
+
+    // Plan valuation: the *average utility rate* over the plan's own
+    // evaluation horizon H = max(CW, D + M), where D is the plan's total
+    // duration and M one monitoring interval. The horizon floor D + M keeps
+    // rescues sensible when the predicted stability interval has collapsed
+    // (during a ramp, CW shrinks to its minimum, yet a rescue plan's benefit
+    // genuinely persists at least until the controller can next revisit —
+    // one interval past completion). Averaging over H rather than summing
+    // makes horizon-stretching unprofitable: padding a plan with harmless
+    // actions dilutes its average instead of annexing extra accounted time,
+    // so Eq. 3's ordering over same-length plans is preserved while plans of
+    // different lengths compare fairly. Since every instantaneous accrual
+    // rate is bounded by the ideal rate, an average never exceeds it and the
+    // ideal-rate cost-to-go stays admissible.
+    const seconds post_window = utility_.params().monitoring_interval;
+    auto horizon = [&](seconds duration) -> seconds {
+        return std::max(cw, duration + post_window);
+    };
+    // Average rate of: the accrued transient dollars, then `rate` until H.
+    auto average_rate = [&](dollars accrued, seconds duration, double rate) {
+        const seconds h = horizon(duration);
+        return (accrued + (h - duration) * rate) / h;
+    };
+
+    // Builds the child vertex reached by firing `a` from vertex `v` (index
+    // `parent_idx`). The 1e-9·D term breaks value ties toward shorter plans.
+    auto make_child = [&](const vertex& v, std::size_t parent_idx,
+                          const action& a) -> vertex {
+        const auto& pe = eval(v.config);
+        const auto entry = costs_.lookup(model, a, rates);
+        vertex c;
+        c.via = a;
+        c.parent = static_cast<int>(parent_idx);
+        c.config = apply(model, v.config, a);
+        // Transient accrual is clamped at the ideal rate so that time spent
+        // mid-adaptation can never appear *better* than the best legal
+        // steady state (which would invite lingering in intermediate
+        // configurations and break the heuristic's bound).
+        const double during =
+            std::min(transient_rate(v.config, pe, a, entry), ideal_rate);
+        c.accrued = v.accrued + entry.duration * during -
+                    options_.per_action_overhead;
+        c.duration = v.duration + entry.duration;
+        c.depth = v.depth + 1;
+        const double rate =
+            is_candidate(model, c.config) ? eval(c.config).rate : ideal_rate;
+        c.utility = average_rate(c.accrued, c.duration, rate) - 1e-9 * c.duration;
+        return c;
+    };
+
+    // Records a vertex if it improves on anything previously seen for its
+    // configuration; returns its index or -1 when dominated.
+    auto record_vertex = [&](vertex&& vc) -> int {
+        auto [it, inserted] = best_seen.emplace(vc.config, vc.utility);
+        if (!inserted) {
+            if (vc.utility <= it->second + 1e-12) return -1;
+            it->second = vc.utility;
+        }
+        vertices.push_back(std::move(vc));
+        open.push({vertices.back().utility, vertices.size() - 1});
+        return static_cast<int>(vertices.size()) - 1;
+    };
+
+    // Adds the "null"-edge terminal for a candidate vertex.
+    auto add_terminal = [&](std::size_t idx) {
+        const vertex& v = vertices[idx];
+        const auto& pe = eval(v.config);
+        if (!pe.candidate) return;
+        vertex term = v;
+        term.parent = static_cast<int>(idx);
+        term.via.reset();
+        term.terminal = true;
+        term.utility = average_rate(v.accrued, v.duration, pe.rate);
+        if (best_terminal < 0 ||
+            term.utility >
+                vertices[static_cast<std::size_t>(best_terminal)].utility) {
+            vertices.push_back(std::move(term));
+            best_terminal = static_cast<int>(vertices.size()) - 1;
+            open.push({vertices.back().utility, vertices.size() - 1});
+        }
+    };
+
+    auto finish = [&](int terminal_index) -> search_result {
+        stats.duration = meter.elapsed();
+        stats.search_power_cost = stats.duration * search_cost_rate;
+        if (terminal_index < 0) {
+            search_result out = stay;
+            out.stats = stats;
+            return out;
+        }
+        search_result out;
+        out.ideal_utility = stay.ideal_utility;
+        out.stats = stats;
+        const auto& term = vertices[static_cast<std::size_t>(terminal_index)];
+        // Vertices carry average rates; report dollars over the window.
+        out.expected_utility = term.utility * cw;
+        out.target = term.config;
+        // Walk the parent chain; the terminal's own edge is the null action.
+        std::vector<action> path;
+        for (int i = term.parent; i >= 0; i = vertices[static_cast<std::size_t>(i)].parent) {
+            const auto& v = vertices[static_cast<std::size_t>(i)];
+            if (v.via) path.push_back(*v.via);
+        }
+        std::reverse(path.begin(), path.end());
+        // Splice out zero-net-effect detours: an A* path can carry them
+        // legitimately (a revisit with better accrued value), but executing
+        // them buys nothing.
+        out.actions = compress_plan(model, current, std::move(path));
+        return out;
+    };
+
+    // Seed the graph with the planner's route to the ideal configuration so
+    // a full reconfiguration — and every partial prefix of it — is a known
+    // option from the start; the A* then explores cheaper deviations around
+    // it. Without seeding the loose ideal bound makes best-first exploration
+    // effectively breadth-first, and deep consolidations are never reached
+    // within the self-aware search budget.
+    auto menu_allows = [&](const action& a) -> bool {
+        switch (kind_of(a)) {
+            case cluster::action_kind::increase_cpu:
+            case cluster::action_kind::decrease_cpu:
+                return options_.menu.cpu_tuning;
+            case cluster::action_kind::add_replica:
+            case cluster::action_kind::remove_replica:
+                return options_.menu.replication;
+            case cluster::action_kind::migrate:
+                return options_.menu.migration;
+            case cluster::action_kind::power_on:
+            case cluster::action_kind::power_off:
+                return options_.menu.host_power;
+        }
+        return false;
+    };
+    {
+        // The seeded route is exempt from max_plan_actions: it comes from
+        // the deterministic planner, which cannot pad, and truncating a
+        // full-cluster rescue mid-route would leave only useless prefixes.
+        std::size_t at = 0;
+        int seeded = 0;
+        for (const auto& a : plan_transition(model, current, ideal.ideal)) {
+            const vertex v = vertices[at];  // copy; vertices reallocates
+            if (++seeded > 64 || !menu_allows(a) ||
+                !applicable(model, v.config, a) || !allowed(v.config, a)) {
+                break;
+            }
+            meter.on_expansion();
+            const int idx = record_vertex(make_child(v, at, a));
+            if (idx < 0) break;
+            add_terminal(static_cast<std::size_t>(idx));
+            at = static_cast<std::size_t>(idx);
+            ++stats.generated;
+        }
+    }
+
+    while (!open.empty() && stats.expansions < options_.max_expansions) {
+        const auto [u, idx] = open.top();
+        open.pop();
+        const vertex v = vertices[idx];  // copy: vertices may reallocate below
+        if (!v.terminal) {
+            const auto it = best_seen.find(v.config);
+            if (it != best_seen.end() && u < it->second - 1e-12) continue;  // stale
+        }
+        if (v.terminal) {
+            return finish(static_cast<int>(idx));
+        }
+
+        ++stats.expansions;
+        const seconds now_elapsed = meter.elapsed();
+        const seconds t = now_elapsed - last_elapsed;
+        last_elapsed = now_elapsed;
+        ut += t * current_rate;
+        upwr_t += t * search_cost_rate;
+        uh -= t * uh_rate;
+        if (options_.self_aware && !prune_mode &&
+            ((ut + upwr_t) >= uh || now_elapsed >= delay_threshold)) {
+            prune_mode = true;
+        }
+        if (options_.self_aware &&
+            now_elapsed >= options_.stop_factor * delay_threshold &&
+            best_terminal >= 0) {
+            return finish(best_terminal);
+        }
+
+        // Terminal ("null") child from candidate configurations.
+        add_terminal(idx);
+
+        // Action children. The meter charges per child *evaluated* — child
+        // construction (cost lookup + utility estimation) is where a real
+        // controller burns its time and power, so search durations scale
+        // with the branching factor, i.e. with cluster size (Table I).
+        if (static_cast<std::size_t>(v.depth) >= options_.max_plan_actions) continue;
+        std::vector<vertex> children;
+        for (const auto& a : enumerate_actions(model, v.config, options_.menu)) {
+            if (!allowed(v.config, a)) continue;
+            meter.on_expansion();
+            children.push_back(make_child(v, idx, a));
+        }
+        stats.generated += children.size();
+
+        if (prune_mode && !children.empty()) {
+            stats.pruned = true;
+            // Keep the children closest to the ideal configuration.
+            std::vector<std::pair<double, std::size_t>> scored;
+            scored.reserve(children.size());
+            for (std::size_t i = 0; i < children.size(); ++i) {
+                const double d =
+                    cap_distance(model, children[i].config, ideal.ideal, ideal.ideal) +
+                    placement_distance(model, children[i].config, ideal.ideal);
+                scored.push_back({d, i});
+            }
+            std::sort(scored.begin(), scored.end());
+            const std::size_t keep = std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       std::ceil(options_.prune_keep_fraction *
+                                 static_cast<double>(children.size()))));
+            std::vector<vertex> kept;
+            kept.reserve(keep);
+            for (std::size_t i = 0; i < keep; ++i) {
+                kept.push_back(std::move(children[scored[i].second]));
+            }
+            children = std::move(kept);
+        }
+
+        for (auto& c : children) {
+            record_vertex(std::move(c));
+        }
+    }
+    // Expansion budget exhausted: settle for the best terminal found so far.
+    return finish(best_terminal);
+}
+
+}  // namespace mistral::core

@@ -1,0 +1,120 @@
+// The optimal-adaptation search (Section IV-B, Algorithm 1).
+//
+// The search graph's vertices are configurations and its edges adaptation
+// actions; Mistral looks for the action sequence maximizing Eq. 3 over the
+// predicted stability interval CW. Two variants share this implementation:
+//
+//  * Naive A*: the cost-to-go heuristic for any vertex is the *ideal
+//    utility* from the Perf-Pwr optimizer — the best steady accrual rate any
+//    configuration could achieve, which over-estimates the achievable
+//    utility (costs only subtract), making it an admissible heuristic for
+//    the maximization and the returned sequence optimal.
+//
+//  * Self-Aware A*: additionally meters its own elapsed time and power, and
+//    once the accumulated search cost reaches the expected utility UH — or
+//    the elapsed time exceeds the delay threshold T̄ (5 % of the control
+//    window) — it restricts each expansion to the top fraction of children
+//    closest to the ideal configuration under the weighted Euclidean
+//    cap-distance plus placement-distance metric.
+//
+// Vertices carry the accrued transient utility Σ d(a_k)·(U_RT + U_pwr rates
+// during a_k) predicted from the cost tables; candidate configurations are
+// valued by their own steady rate over the remaining window, intermediates
+// by the ideal bound. A "null" edge from a candidate marks it terminal;
+// popping a terminal vertex ends the search (its utility dominates every
+// bound still open).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/action.h"
+#include "cluster/configuration.h"
+#include "cluster/model.h"
+#include "core/perf_pwr.h"
+#include "core/search_meter.h"
+#include "core/utility.h"
+#include "cost/table.h"
+
+namespace mistral::core {
+
+struct search_options {
+    bool self_aware = true;
+    // Fraction of children kept when pruning kicks in (paper: top 5 %).
+    double prune_keep_fraction = 0.05;
+    // Delay threshold T̄ as a fraction of the control window (paper: 5 %).
+    double delay_threshold_fraction = 0.05;
+    // Hard stop: past stop_factor · T̄ the search returns the best candidate
+    // found so far ("it may be better to make a suboptimal decision quickly
+    // than invest time and energy searching", Section I). The ideal-utility
+    // heuristic is loose — no reachable candidate attains it once any action
+    // has a cost — so without this the A* degenerates to exhaustion.
+    double stop_factor = 2.0;
+    // Hard safety cap on expansions; the naive variant hits this on large
+    // clusters (the exponential blow-up Table I reports).
+    std::size_t max_expansions = 4000;
+    // Fixed $ overhead charged per planned action: the management plane's
+    // actuation cost (API calls, scheduler churn, operator risk). Without it,
+    // near-zero-cost actions (CPU-cap steps) make arbitrarily long plans
+    // value-ties, and the search wanders.
+    dollars per_action_overhead = 0.01;
+    // Hard bound on a single decision's action count. Real reconfigurations
+    // in this problem size need at most a dozen actions; the bound is a
+    // backstop against accrual-exploiting walks.
+    std::size_t max_plan_actions = 16;
+    cluster::action_menu menu{};
+    lqn::model_options lqn{};
+    // Optional per-app host restriction: app_hosts[a][h] == false forbids
+    // placing app a's VMs on host h (used by the Perf-Cost baseline's fixed
+    // pools). Empty = unrestricted.
+    std::vector<std::vector<bool>> app_hosts;
+    // Optional host scope for hierarchy levels: when non-empty, the search
+    // only touches VMs currently on in-scope hosts, only moves them to
+    // in-scope hosts, and only power-cycles in-scope hosts (Section II-C's
+    // first-level controllers manage "a small number of machines").
+    std::vector<bool> host_scope;
+};
+
+struct search_stats {
+    seconds duration = 0.0;          // meter-elapsed search time
+    std::size_t expansions = 0;      // vertices expanded
+    std::size_t generated = 0;       // children generated
+    bool pruned = false;             // self-aware pruning engaged
+    dollars search_power_cost = 0.0; // $ cost of the search's own power draw
+};
+
+struct search_result {
+    // Empty means "stay in the current configuration".
+    std::vector<cluster::action> actions;
+    cluster::configuration target;
+    dollars expected_utility = 0.0;  // Eq. 3 value over the control window
+    dollars ideal_utility = 0.0;     // U° · CW (the heuristic's bound)
+    search_stats stats;
+};
+
+class adaptation_search {
+public:
+    adaptation_search(const cluster::cluster_model& model, utility_model utility,
+                      cost::cost_table costs, search_options options = {});
+
+    [[nodiscard]] const search_options& options() const { return options_; }
+
+    // Finds the best action sequence from `current` for workload `rates`
+    // over the control window `cw`. `expected_utility` is the self-aware
+    // budget UH ($ over the window; pass the lowest recently achieved
+    // utility, scaled to the window). The meter is begun, charged per
+    // expansion, and read for the self-cost accounting.
+    [[nodiscard]] search_result find(const cluster::configuration& current,
+                                     const std::vector<req_per_sec>& rates,
+                                     seconds cw, dollars expected_utility,
+                                     search_meter& meter) const;
+
+private:
+    const cluster::cluster_model* model_;
+    utility_model utility_;
+    cost::cost_table costs_;
+    search_options options_;
+    perf_pwr_optimizer perf_pwr_;
+};
+
+}  // namespace mistral::core

@@ -1,0 +1,62 @@
+#include "core/utility.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mistral::core {
+
+utility_model::utility_model(utility_params params) : params_(params) {
+    MISTRAL_CHECK(params_.monitoring_interval > 0.0);
+    MISTRAL_CHECK(params_.max_rate > 0.0);
+    MISTRAL_CHECK(params_.reward_hi >= params_.reward_lo);
+    MISTRAL_CHECK(params_.penalty_hi >= params_.penalty_lo);
+    MISTRAL_CHECK(params_.penalty_hi <= 0.0);
+    MISTRAL_CHECK(params_.power_weight >= 0.0);
+}
+
+dollars utility_model::reward(req_per_sec rate) const {
+    const double x = std::clamp(rate / params_.max_rate, 0.0, 1.0);
+    return params_.reward_lo + (params_.reward_hi - params_.reward_lo) * x;
+}
+
+dollars utility_model::penalty(req_per_sec rate) const {
+    const double x = std::clamp(rate / params_.max_rate, 0.0, 1.0);
+    return params_.penalty_lo + (params_.penalty_hi - params_.penalty_lo) * x;
+}
+
+double utility_model::perf_rate(req_per_sec rate, seconds response_time,
+                                seconds target) const {
+    const dollars per_interval =
+        response_time <= target ? reward(rate) : penalty(rate);
+    return per_interval / params_.monitoring_interval;
+}
+
+double utility_model::power_rate(watts power) const {
+    MISTRAL_CHECK(power >= 0.0);
+    return -params_.power_weight * power * params_.power_cost_per_watt_interval /
+           params_.monitoring_interval;
+}
+
+double utility_model::steady_rate(std::span<const req_per_sec> rates,
+                                  std::span<const seconds> response_times,
+                                  std::span<const seconds> targets,
+                                  watts power) const {
+    MISTRAL_CHECK(rates.size() == response_times.size());
+    MISTRAL_CHECK(rates.size() == targets.size());
+    double rate = power_rate(power);
+    for (std::size_t s = 0; s < rates.size(); ++s) {
+        rate += perf_rate(rates[s], response_times[s], targets[s]);
+    }
+    return rate;
+}
+
+dollars utility_model::interval_utility(std::span<const req_per_sec> rates,
+                                        std::span<const seconds> response_times,
+                                        std::span<const seconds> targets,
+                                        watts mean_power) const {
+    return steady_rate(rates, response_times, targets, mean_power) *
+           params_.monitoring_interval;
+}
+
+}  // namespace mistral::core

@@ -1,0 +1,83 @@
+// The utility model (Section II-B, Equations 1–3, Fig. 3).
+//
+// All controller decisions reduce to dollars: each application accrues a
+// reward R(w) per monitoring interval while it meets its target response
+// time and a (negative) penalty P(w) while it misses it (Eq. 1); the cluster
+// accrues −pwr·PC_Wh for its power draw (Eq. 2); and an adaptation sequence
+// is scored by Eq. 3 — transient accrual at the perturbed rates during each
+// action plus steady accrual in the final configuration for the remainder of
+// the stability interval.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+
+namespace mistral::core {
+
+struct utility_params {
+    seconds monitoring_interval = default_monitoring_interval;
+    // $ per watt consumed over one monitoring interval (Section V-A: $0.01).
+    dollars power_cost_per_watt_interval = default_power_cost_per_watt_interval;
+    // Fig. 3: reward grows and |penalty| shrinks linearly with request rate,
+    // reflecting the increasingly "best-effort" nature of heavy load. Values
+    // are $ per monitoring interval. The defaults are sized like the paper's:
+    // "rewards were chosen so as to yield a 20% net profit over the power
+    // costs incurred in the default configuration, and then scaled according
+    // to the workload".
+    dollars reward_lo = 0.4;     // reward at rate 0
+    dollars reward_hi = 5.0;     // reward at max_rate
+    dollars penalty_lo = -3.5;   // penalty at rate 0
+    dollars penalty_hi = -0.3;   // penalty at max_rate
+    req_per_sec max_rate = 100.0;
+    // Scales the power term; baselines that ignore power set it to 0.
+    double power_weight = 1.0;
+    // Safety margin applied to response-time targets on the *prediction*
+    // side: controllers plan against rt_margin · TRT so that model error and
+    // measurement noise do not flip a just-meeting configuration into a
+    // penalty. Measured utility (interval_utility) always uses the real
+    // target — this only shapes what the optimizer aims for.
+    double rt_margin = 0.85;
+};
+
+class utility_model {
+public:
+    explicit utility_model(utility_params params = {});
+
+    [[nodiscard]] const utility_params& params() const { return params_; }
+
+    // R(w) and P(w), $ per monitoring interval (Fig. 3, clamped at max_rate).
+    [[nodiscard]] dollars reward(req_per_sec rate) const;
+    [[nodiscard]] dollars penalty(req_per_sec rate) const;
+
+    // Eq. 1 as an accrual *rate* in $/s: (R or P)(w) / M.
+    [[nodiscard]] double perf_rate(req_per_sec rate, seconds response_time,
+                                   seconds target) const;
+
+    // The tightened target the predictors plan against (rt_margin · TRT).
+    [[nodiscard]] seconds planning_target(seconds target) const {
+        return params_.rt_margin * target;
+    }
+
+    // Eq. 2 as an accrual rate in $/s: −pwr · PC / M (≤ 0).
+    [[nodiscard]] double power_rate(watts power) const;
+
+    // Combined steady accrual rate for a system state: Σ_s perf + power.
+    [[nodiscard]] double steady_rate(std::span<const req_per_sec> rates,
+                                     std::span<const seconds> response_times,
+                                     std::span<const seconds> targets,
+                                     watts power) const;
+
+    // Eq. 1 + Eq. 2 evaluated over one whole monitoring interval, in $ — the
+    // "measured utility" the experiment harness accumulates (Fig. 9).
+    [[nodiscard]] dollars interval_utility(std::span<const req_per_sec> rates,
+                                           std::span<const seconds> response_times,
+                                           std::span<const seconds> targets,
+                                           watts mean_power) const;
+
+private:
+    utility_params params_;
+};
+
+}  // namespace mistral::core

@@ -1,0 +1,88 @@
+#include "cost/table_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mistral::cost {
+
+cluster::action_kind parse_action_kind(const std::string& name) {
+    using cluster::action_kind;
+    for (const auto kind :
+         {action_kind::increase_cpu, action_kind::decrease_cpu,
+          action_kind::add_replica, action_kind::remove_replica,
+          action_kind::migrate, action_kind::power_on, action_kind::power_off}) {
+        if (name == cluster::to_string(kind)) return kind;
+    }
+    MISTRAL_CHECK_MSG(false, "unknown action kind '" << name << "'");
+    return action_kind::migrate;  // unreachable
+}
+
+void write_cost_table_csv(std::ostream& out, const cost_table& table) {
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
+    out << "kind,tier,workload,duration,delta_rt_target,delta_rt_colocated,"
+           "delta_power\n";
+    table.for_each_sample([&](cluster::action_kind kind, std::size_t tier,
+                              req_per_sec workload, const cost_entry& e) {
+        out << cluster::to_string(kind) << ',' << tier << ',' << workload << ','
+            << e.duration << ',' << e.delta_rt_target << ','
+            << e.delta_rt_colocated << ',' << e.delta_power << '\n';
+    });
+}
+
+void save_cost_table_csv(const std::string& path, const cost_table& table) {
+    std::ofstream out(path);
+    MISTRAL_CHECK_MSG(out.good(), "cannot write cost table " << path);
+    write_cost_table_csv(out, table);
+}
+
+cost_table read_cost_table_csv(std::istream& in) {
+    cost_table table;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (const auto hash = line.find('#'); hash != std::string::npos) {
+            line.erase(hash);
+        }
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        if (line.rfind("kind,", 0) == 0) continue;  // header
+
+        std::istringstream row(line);
+        std::string field;
+        std::vector<std::string> fields;
+        while (std::getline(row, field, ',')) fields.push_back(field);
+        MISTRAL_CHECK_MSG(fields.size() == 7,
+                          "cost table line " << line_no << ": expected 7 fields, got "
+                                             << fields.size() << " in: " << line);
+        try {
+            const auto kind = parse_action_kind(fields[0]);
+            const auto tier = static_cast<std::size_t>(std::stoul(fields[1]));
+            const req_per_sec workload = std::stod(fields[2]);
+            cost_entry e;
+            e.duration = std::stod(fields[3]);
+            e.delta_rt_target = std::stod(fields[4]);
+            e.delta_rt_colocated = std::stod(fields[5]);
+            e.delta_power = std::stod(fields[6]);
+            table.add_measurement(kind, tier, workload, e);
+        } catch (const invariant_error&) {
+            throw;
+        } catch (const std::exception&) {
+            MISTRAL_CHECK_MSG(false, "cost table line " << line_no
+                                                        << ": non-numeric field in: "
+                                                        << line);
+        }
+    }
+    return table;
+}
+
+cost_table load_cost_table_csv(const std::string& path) {
+    std::ifstream in(path);
+    MISTRAL_CHECK_MSG(in.good(), "cannot open cost table " << path);
+    return read_cost_table_csv(in);
+}
+
+}  // namespace mistral::cost

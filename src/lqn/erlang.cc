@@ -1,0 +1,50 @@
+#include "lqn/erlang.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mistral::lqn {
+
+double erlang_c(double offered_load, int servers) {
+    MISTRAL_CHECK(servers >= 1);
+    MISTRAL_CHECK(offered_load >= 0.0);
+    const double a = offered_load;
+    const double m = static_cast<double>(servers);
+    if (a >= m) return 1.0;
+    // inv_b accumulates 1/B(k, a) via the Erlang-B recurrence
+    // B(k, a) = a·B(k−1, a) / (k + a·B(k−1, a)); B(0, a) = 1.
+    double b = 1.0;
+    for (int k = 1; k <= servers; ++k) {
+        b = a * b / (static_cast<double>(k) + a * b);
+    }
+    const double rho = a / m;
+    return b / (1.0 - rho + rho * b);
+}
+
+double mm_m_wait(double arrival_rate, double holding_time, int servers) {
+    MISTRAL_CHECK(arrival_rate >= 0.0);
+    MISTRAL_CHECK(holding_time >= 0.0);
+    MISTRAL_CHECK(servers >= 1);
+    if (arrival_rate == 0.0 || holding_time == 0.0) return 0.0;
+    const double a = arrival_rate * holding_time;
+    const double m = static_cast<double>(servers);
+    // Stability cutoff: past 98 % thread occupancy, extend linearly with a
+    // moderate slope instead of following the Erlang-C pole. A closed client
+    // population bounds real queues the same way — only finitely many
+    // requests can ever be waiting — and a finite, monotone overload branch
+    // keeps the optimizer's utility gradients informative.
+    constexpr double rho_max = 0.98;
+    constexpr double overload_slope = 50.0;  // holding-times of extra wait per unit ρ
+    const double rho = a / m;
+    if (rho <= rho_max) {
+        const double c = erlang_c(a, servers);
+        return c * holding_time / (m - a);
+    }
+    const double a_clamped = rho_max * m;
+    const double c = erlang_c(a_clamped, servers);
+    const double wait_at_clamp = c * holding_time / (m - a_clamped);
+    return wait_at_clamp + overload_slope * (rho - rho_max) * holding_time;
+}
+
+}  // namespace mistral::lqn

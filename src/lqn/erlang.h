@@ -1,0 +1,23 @@
+// Erlang-C waiting for finite-thread software stations.
+//
+// A tier replica serves requests with a pool of `m` worker threads; when all
+// threads are busy (holding a request while it computes or waits on a
+// downstream tier), new arrivals queue FCFS. M/M/m waiting time captures
+// that thread-pool contention.
+#pragma once
+
+namespace mistral::lqn {
+
+// Erlang-C probability that an arrival must wait, for an M/M/m system with
+// offered load a = lambda * holding_time (in erlangs) and m servers.
+// Computed with the standard numerically stable recurrence. Requires m >= 1.
+// For a >= m (unstable), returns 1.
+double erlang_c(double offered_load, int servers);
+
+// Mean queueing delay W_q for M/M/m. `holding_time` is the mean service
+// (thread-holding) time. For offered loads at or beyond m, applies a linear
+// overload extension (see solver notes) rather than returning infinity so
+// optimizer gradients stay finite.
+double mm_m_wait(double arrival_rate, double holding_time, int servers);
+
+}  // namespace mistral::lqn

@@ -1,0 +1,33 @@
+#include "lqn/model.h"
+
+#include "common/check.h"
+
+namespace mistral::lqn {
+
+void validate(const std::vector<app_deployment>& apps, std::size_t host_count) {
+    for (const auto& app : apps) {
+        MISTRAL_CHECK_MSG(app.spec != nullptr, "app_deployment without a spec");
+        MISTRAL_CHECK_MSG(app.rate >= 0.0, app.spec->name() << ": negative rate");
+        MISTRAL_CHECK_MSG(app.tiers.size() == app.spec->tier_count(),
+                          app.spec->name() << ": tier count mismatch");
+        for (std::size_t t = 0; t < app.tiers.size(); ++t) {
+            const auto& tier = app.tiers[t];
+            const auto& spec = app.spec->tiers()[t];
+            MISTRAL_CHECK_MSG(!tier.replicas.empty(),
+                              app.spec->name() << "/" << spec.name << ": no replicas");
+            MISTRAL_CHECK_MSG(
+                static_cast<int>(tier.replicas.size()) <= spec.max_replicas,
+                app.spec->name() << "/" << spec.name << ": too many replicas");
+            for (const auto& r : tier.replicas) {
+                MISTRAL_CHECK_MSG(r.host < host_count,
+                                  app.spec->name() << "/" << spec.name
+                                                   << ": bad host index " << r.host);
+                MISTRAL_CHECK_MSG(r.cpu_cap > 0.0 && r.cpu_cap <= 1.0,
+                                  app.spec->name() << "/" << spec.name
+                                                   << ": cap out of range " << r.cpu_cap);
+            }
+        }
+    }
+}
+
+}  // namespace mistral::lqn

@@ -1,0 +1,79 @@
+// Layered queueing network model inputs.
+//
+// Section III-A: "tier servers are modeled as FCFS queues, while hardware
+// resources are modeled as processor sharing (PS) queues. Interactions
+// between tiers triggered by an incoming transaction are modeled as
+// synchronous calls in the queuing network and our models also account for
+// the resource sharing overhead imposed by Xen."
+//
+// The model view is deliberately independent of the controller's
+// `configuration` type: it describes *where replicas run and with what CPU
+// cap*, which is all the solver needs. The core library translates
+// configurations into this view.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/application.h"
+#include "common/units.h"
+
+namespace mistral::lqn {
+
+struct replica_placement {
+    std::size_t host = 0;     // index of the physical host
+    fraction cpu_cap = 0.4;   // Xen credit-scheduler cap (fraction of a CPU)
+};
+
+struct tier_deployment {
+    std::vector<replica_placement> replicas;  // at least one
+};
+
+struct app_deployment {
+    const apps::application_spec* spec = nullptr;  // not owned
+    req_per_sec rate = 0.0;                        // offered workload
+    std::vector<tier_deployment> tiers;            // one per spec tier
+};
+
+struct model_options {
+    // Multiplier on every CPU demand accounting for Xen's virtualization
+    // overhead (hypercalls, page-table work) per [5] in the paper.
+    double xen_overhead = 0.08;
+    // Fraction of each VM's CPU work mirrored in Dom-0 (network/disk I/O is
+    // proxied through the driver domain).
+    double dom0_overhead = 0.06;
+    // Constant Dom-0 background utilization per powered-on host.
+    fraction dom0_baseline = 0.02;
+    // One-way network hop added per synchronous inter-tier call.
+    seconds network_hop = 0.002;
+    // Absolute ceiling on any single visit's response time. A saturated
+    // station's open-model queue would grow without bound; real deployments
+    // bound it through the finite client population and timeouts. Keeps
+    // end-to-end predictions finite and monotone under deep overload.
+    seconds max_visit_response = 30.0;
+    // Closed-population saturation correction. The paper's client emulators
+    // hold a fixed session count N ≈ rate × (think + nominal service); when
+    // a tier's capacity X_max falls below the offered rate, the closed
+    // system settles at R ≈ N / X_max − think (the asymptotic bound of a
+    // closed queueing network), not at the open model's runaway queue. Set
+    // client_think_time <= 0 to disable.
+    seconds client_think_time = 7.6;
+    seconds nominal_cycle_service = 0.4;
+    // CPU caps are *reservations*: the credit scheduler guarantees each VM
+    // its cap, and the host keeps 1 − reserved_cap_fraction for Dom-0. When
+    // the caps booked on a host exceed reserved_cap_fraction, every hosted
+    // replica is slowed proportionally (Dom-0 and the VMs contend for the
+    // over-promised shares) — so configurations that overbook a host are
+    // predicted pessimistically even when current demand happens to be low.
+    double reserved_cap_fraction = 0.8;
+    // Fixed-point iteration controls.
+    int max_iterations = 50;
+    double tolerance = 1e-7;
+};
+
+// Validates structural consistency (replica counts within spec limits, caps
+// within spec windows, host indices < host_count). Throws invariant_error on
+// violations.
+void validate(const std::vector<app_deployment>& apps, std::size_t host_count);
+
+}  // namespace mistral::lqn

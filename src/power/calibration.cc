@@ -1,0 +1,70 @@
+#include "power/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace mistral::pwr {
+
+calibration_result calibrate(std::span<const meter_sample> samples, double r_lo,
+                             double r_hi) {
+    MISTRAL_CHECK(samples.size() >= 3);
+    MISTRAL_CHECK(r_lo > 0.0 && r_hi > r_lo);
+
+    // For a fixed exponent r, the model is linear in (idle, busy):
+    //   pwr = idle · (1 − g) + busy · g  with  g = 2ρ − ρ^r,
+    // so the inner fit is ordinary least squares on g; the outer search over
+    // r is one-dimensional and unimodal in practice.
+    struct linear_fit {
+        double idle = 0.0;
+        double busy = 0.0;
+        double sq_error = 0.0;
+    };
+    auto fit_for = [&](double r) {
+        double s_gg = 0.0, s_g = 0.0, s_y = 0.0, s_gy = 0.0;
+        const double n = static_cast<double>(samples.size());
+        for (const auto& s : samples) {
+            const double u = std::clamp(s.utilization, 0.0, 1.0);
+            const double g = 2.0 * u - std::pow(u, r);
+            s_gg += g * g;
+            s_g += g;
+            s_y += s.power;
+            s_gy += g * s.power;
+        }
+        // Solve [n, s_g; s_g, s_gg] · [idle, busy−idle] = [s_y, s_gy].
+        const double det = n * s_gg - s_g * s_g;
+        linear_fit fit;
+        if (std::abs(det) < 1e-12) {
+            // Degenerate (all samples at one utilization): cannot separate
+            // idle from busy.
+            fit.idle = s_y / n;
+            fit.busy = fit.idle;
+        } else {
+            const double span = (n * s_gy - s_g * s_y) / det;
+            fit.idle = (s_y - span * s_g) / n;
+            fit.busy = fit.idle + span;
+        }
+        host_power_model m{fit.idle, fit.busy, r};
+        for (const auto& s : samples) {
+            const double d = m.power(s.utilization) - s.power;
+            fit.sq_error += d * d;
+        }
+        return fit;
+    };
+
+    const double best_r = golden_section_minimize(
+        [&](double r) { return fit_for(r).sq_error; }, r_lo, r_hi, 1e-5);
+    const auto fit = fit_for(best_r);
+    MISTRAL_CHECK_MSG(fit.busy > fit.idle,
+                      "samples must span idle to busy utilizations");
+
+    calibration_result out;
+    out.model = host_power_model{fit.idle, fit.busy, best_r};
+    out.rms_error = std::sqrt(fit.sq_error / static_cast<double>(samples.size()));
+    return out;
+}
+
+}  // namespace mistral::pwr

@@ -1,0 +1,33 @@
+// Offline power-model calibration.
+//
+// Section III-B: "A tuning parameter r is used to minimize the square error
+// and is obtained at a model calibration phase. We use offline experiments to
+// calibrate the non-linear model to fit into actual power consumption
+// observed using a power meter." Given (utilization, watts) samples from a
+// meter, `calibrate` recovers idle/busy endpoints and the exponent r.
+#pragma once
+
+#include <span>
+
+#include "power/model.h"
+
+namespace mistral::pwr {
+
+struct meter_sample {
+    fraction utilization = 0.0;
+    watts power = 0.0;
+};
+
+struct calibration_result {
+    host_power_model model;
+    double rms_error = 0.0;  // residual RMS error against the samples
+};
+
+// Fits r by golden-section search over [r_lo, r_hi] minimizing squared error,
+// with idle/busy taken from the samples' utilization extremes (the samples
+// should include near-idle and near-busy points, as an offline campaign
+// naturally does). Requires at least 3 samples.
+calibration_result calibrate(std::span<const meter_sample> samples,
+                             double r_lo = 0.5, double r_hi = 4.0);
+
+}  // namespace mistral::pwr

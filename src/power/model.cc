@@ -1,0 +1,16 @@
+#include "power/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mistral::pwr {
+
+watts host_power_model::power(fraction rho) const {
+    const double u = std::clamp(rho, 0.0, 1.0);
+    // 2ρ − ρ^r: super-linear at low utilization, saturating near ρ = 1 for
+    // r ≈ 1..2 (the curve passes through 0 at ρ=0 and 1 at ρ=1).
+    const double shape = 2.0 * u - std::pow(u, r);
+    return idle + (busy - idle) * shape;
+}
+
+}  // namespace mistral::pwr

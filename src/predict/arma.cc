@@ -1,0 +1,72 @@
+#include "predict/arma.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mistral::predict {
+
+stability_predictor::stability_predictor(arma_options options)
+    : options_(options), estimate_(options.initial_estimate) {
+    MISTRAL_CHECK(options_.history >= 1);
+    MISTRAL_CHECK(options_.gamma >= 0.0 && options_.gamma <= 1.0);
+    MISTRAL_CHECK(options_.initial_estimate > 0.0);
+}
+
+seconds stability_predictor::observe(seconds measured) {
+    MISTRAL_CHECK(measured >= 0.0);
+    all_estimates_.push_back(estimate_);
+    all_measured_.push_back(measured);
+
+    // Smoothed error ε_j from the prediction that was in force.
+    const double current_error = std::abs(estimate_ - measured);
+    double hist_error = 0.0;
+    if (!recent_errors_.empty()) {
+        for (double e : recent_errors_) hist_error += e;
+        hist_error /= static_cast<double>(recent_errors_.size());
+    }
+    const double epsilon = recent_errors_.empty()
+                               ? current_error
+                               : (1.0 - options_.gamma) * current_error +
+                                     options_.gamma * hist_error;
+
+    // β = 1 − ε_j / max over the last k+1 errors (including ε_j itself).
+    double max_error = epsilon;
+    for (double e : recent_errors_) max_error = std::max(max_error, e);
+    beta_ = max_error > 0.0 ? 1.0 - epsilon / max_error : 0.0;
+
+    recent_errors_.push_back(epsilon);
+    if (recent_errors_.size() > static_cast<std::size_t>(options_.history)) {
+        recent_errors_.pop_front();
+    }
+
+    // Next estimate: blend of the current measurement and the mean of the k
+    // *previous* measurements (not including this one).
+    double hist_measured = measured;  // fallback when no history exists yet
+    if (!recent_measured_.empty()) {
+        hist_measured = 0.0;
+        for (double m : recent_measured_) hist_measured += m;
+        hist_measured /= static_cast<double>(recent_measured_.size());
+    }
+    estimate_ = (1.0 - beta_) * measured + beta_ * hist_measured;
+
+    recent_measured_.push_back(measured);
+    if (recent_measured_.size() > static_cast<std::size_t>(options_.history)) {
+        recent_measured_.pop_front();
+    }
+    return estimate_;
+}
+
+double stability_predictor::mape_percent() const {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t j = 1; j < all_measured_.size(); ++j) {
+        if (all_measured_[j] <= 0.0) continue;
+        sum += std::abs(all_estimates_[j] - all_measured_[j]) / all_measured_[j];
+        ++n;
+    }
+    return n ? 100.0 * sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace mistral::predict

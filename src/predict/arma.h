@@ -1,0 +1,64 @@
+// Adaptive ARMA stability-interval predictor.
+//
+// Section III-D: the next stability interval is predicted as
+//
+//     CW^e_{j+1} = (1 − β)·CW^m_j + β·(1/k)·Σ_{i=1..k} CW^m_{j−i}
+//
+// where β adapts via the error filter
+//
+//     ε_j = (1 − γ)·|CW^e_j − CW^m_j| + γ·(1/k)·Σ_{i=1..k} ε_{j−i}
+//     β   = 1 − ε_j / max_{i=0..k} ε_{j−i}
+//
+// with history window k = 3 and γ = 0.5 in the paper's experiments. The
+// filter leans on the current measurement when recent predictions tracked
+// well and shifts toward history when they did not.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/units.h"
+
+namespace mistral::predict {
+
+struct arma_options {
+    int history = 3;         // k: measurements/errors remembered
+    double gamma = 0.5;      // weight of historical error vs current error
+    seconds initial_estimate = 600.0;  // estimate used before any data
+};
+
+class stability_predictor {
+public:
+    explicit stability_predictor(arma_options options = {});
+
+    // Records a measured stability interval CW^m_j and returns the estimate
+    // CW^e_{j+1} for the next control window.
+    seconds observe(seconds measured);
+
+    // The current prediction for the upcoming stability interval.
+    [[nodiscard]] seconds current_estimate() const { return estimate_; }
+
+    // β chosen at the last observe() (0 until two observations exist).
+    [[nodiscard]] double last_beta() const { return beta_; }
+
+    // Full estimate/measurement history (aligned: estimate[j] was the
+    // prediction in force when measurement[j] arrived), for accuracy plots
+    // like Fig. 6.
+    [[nodiscard]] const std::vector<seconds>& measurements() const { return all_measured_; }
+    [[nodiscard]] const std::vector<seconds>& estimates() const { return all_estimates_; }
+
+    // Mean absolute percentage error of the predictions so far (skips the
+    // first observation, which had no informed estimate).
+    [[nodiscard]] double mape_percent() const;
+
+private:
+    arma_options options_;
+    seconds estimate_;
+    double beta_ = 0.0;
+    std::deque<seconds> recent_measured_;  // last k measurements
+    std::deque<double> recent_errors_;     // last k smoothed errors
+    std::vector<seconds> all_measured_;
+    std::vector<seconds> all_estimates_;
+};
+
+}  // namespace mistral::predict

@@ -1,0 +1,46 @@
+// Offline adaptation-cost measurement campaign.
+//
+// Reproduces the paper's Section III-C protocol against the testbed
+// simulator: "For each adaptation action a, we set up a target application s
+// along with a background application s' such that all replicas from both
+// applications are allocated equal CPU capacity (40% in our experiments).
+// Then, we run multiple experiments, each with a random placement of all VMs
+// across all the physical hosts. ... after a warm-up period of 1 minute,
+// measure response times of two applications and the total power usage ...
+// Then, we execute the adaptation action a, and measure the duration of the
+// action, the response time of each application during adaptation, and the
+// power usage ... These deltas along with the action duration are averaged
+// across all random configurations, and their values are encoded in a cost
+// table indexed by the workload."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/application.h"
+#include "cost/table.h"
+#include "sim/testbed.h"
+
+namespace mistral::sim {
+
+struct campaign_options {
+    // Workload grid (req/s of both target and background application). The
+    // default matches Fig. 7's 100–800 concurrent sessions at ~8 s/session.
+    std::vector<req_per_sec> workloads = {12.5, 25.0, 37.5, 50.0,
+                                          62.5, 75.0, 87.5, 100.0};
+    int trials = 4;                 // random placements per grid point
+    std::uint64_t seed = 7;
+    seconds warmup = 60.0;          // paper: 1 minute
+    seconds steady_window = 60.0;   // pre-adaptation measurement window
+    seconds probe_step = 1.0;       // measurement granularity during adaptation
+    fraction equal_cap = 0.4;       // paper: all replicas at 40 %
+    std::size_t host_count = 4;
+    testbed_options testbed{};      // ground-truth generation parameters
+};
+
+// Runs the campaign for applications shaped like `spec` and returns the
+// measured cost table (every action kind × tier the spec admits).
+cost::cost_table run_cost_campaign(const apps::application_spec& spec,
+                                   const campaign_options& options = {});
+
+}  // namespace mistral::sim

@@ -1,0 +1,34 @@
+#include "sim/perturb.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mistral::sim {
+
+apps::application_spec perturb_spec(const apps::application_spec& spec, double skew,
+                                    rng& r) {
+    MISTRAL_CHECK(skew >= 0.0 && skew < 1.0);
+    std::vector<apps::transaction_type> txs = spec.transactions();
+    for (auto& tx : txs) {
+        for (auto& d : tx.demand) {
+            d *= r.uniform(1.0 - skew, 1.0 + skew);
+        }
+    }
+    std::vector<apps::tier_spec> tiers = spec.tiers();
+    return apps::application_spec(spec.name(), std::move(tiers), std::move(txs),
+                                  spec.target_response_time(0.0));
+}
+
+pwr::host_power_model perturb_power(const pwr::host_power_model& model, double skew,
+                                    rng& r) {
+    MISTRAL_CHECK(skew >= 0.0 && skew < 1.0);
+    pwr::host_power_model out = model;
+    out.idle *= r.uniform(1.0 - skew, 1.0 + skew);
+    out.busy *= r.uniform(1.0 - skew, 1.0 + skew);
+    out.busy = std::max(out.busy, out.idle + 1.0);
+    out.r = std::clamp(out.r + r.uniform(-4.0 * skew, 4.0 * skew), 0.5, 4.0);
+    return out;
+}
+
+}  // namespace mistral::sim

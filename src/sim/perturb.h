@@ -1,0 +1,27 @@
+// Deterministic perturbation of ground-truth models.
+//
+// The testbed simulator must not share the controller's exact models —
+// otherwise the model-accuracy experiments (Fig. 5) would trivially measure
+// zero error and the controller would never face model risk. These helpers
+// derive the testbed's "real" behaviour by skewing the nominal application
+// demands and power-model parameters with seed-deterministic factors, so the
+// controller's offline-fit models are close (a few percent) but not exact.
+#pragma once
+
+#include "apps/application.h"
+#include "common/rng.h"
+#include "power/model.h"
+
+namespace mistral::sim {
+
+// Copies `spec` with every per-visit CPU demand multiplied by an independent
+// factor drawn uniformly from [1 − skew, 1 + skew].
+apps::application_spec perturb_spec(const apps::application_spec& spec, double skew,
+                                    rng& r);
+
+// Copies `model` with idle/busy scaled by factors in [1 − skew, 1 + skew]
+// and the exponent r jittered by ±4·skew.
+pwr::host_power_model perturb_power(const pwr::host_power_model& model, double skew,
+                                    rng& r);
+
+}  // namespace mistral::sim

@@ -1,0 +1,164 @@
+#include "sim/testbed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "sim/perturb.h"
+
+namespace mistral::sim {
+
+testbed::testbed(const cluster::cluster_model& model, cluster::configuration initial,
+                 testbed_options options)
+    : nominal_(&model),
+      true_model_(build_true_model(model, options)),
+      config_(std::move(initial)),
+      options_(options),
+      noise_(options.seed ^ 0xfeedULL) {
+    std::string why;
+    MISTRAL_CHECK_MSG(structurally_valid(model, config_, &why),
+                      "initial configuration invalid: " << why);
+}
+
+cluster::cluster_model testbed::build_true_model(const cluster::cluster_model& nominal,
+                                                 const testbed_options& options) {
+    rng r(options.seed);
+    std::vector<apps::application_spec> true_apps;
+    true_apps.reserve(nominal.app_count());
+    for (const auto& spec : nominal.applications()) {
+        true_apps.push_back(perturb_spec(spec, options.demand_skew, r));
+    }
+    std::vector<cluster::host_spec> true_hosts = nominal.hosts();
+    for (auto& h : true_hosts) {
+        h.power = perturb_power(h.power, options.power_skew, r);
+    }
+    return cluster::cluster_model(std::move(true_hosts), std::move(true_apps),
+                                  nominal.limits());
+}
+
+void testbed::submit(const std::vector<cluster::action>& actions,
+                     seconds initial_delay) {
+    MISTRAL_CHECK(initial_delay >= 0.0);
+    // Validate the whole sequence against the configuration it will see.
+    cluster::configuration probe = config_;
+    if (in_flight_ && in_flight_->act) {
+        probe = cluster::apply(*nominal_, probe, *in_flight_->act);
+    }
+    for (const auto& queued : queue_) {
+        if (queued.act) probe = cluster::apply(*nominal_, probe, *queued.act);
+    }
+    if (initial_delay > 0.0) queue_.push_back({std::nullopt, initial_delay});
+    for (const auto& a : actions) {
+        probe = cluster::apply(*nominal_, probe, a);
+        queue_.push_back({a, 0.0});
+    }
+}
+
+std::size_t testbed::pending_actions() const {
+    return queue_.size() + (in_flight_ ? 1 : 0);
+}
+
+const cluster::prediction& testbed::steady_state(
+    const std::vector<req_per_sec>& rates) const {
+    if (!steady_rates_ || *steady_rates_ != rates) {
+        steady_ = cluster::predict(true_model_, config_, rates, options_.true_lqn);
+        steady_rates_ = rates;
+    }
+    return steady_;
+}
+
+cluster::prediction testbed::ground_truth(const cluster::configuration& config,
+                                          const std::vector<req_per_sec>& rates) const {
+    return cluster::predict(true_model_, config, rates, options_.true_lqn);
+}
+
+action_transient testbed::transient_of(const cluster::action& a,
+                                       const std::vector<req_per_sec>& rates) const {
+    return ground_truth_transient(true_model_, config_, a, rates, options_.transients);
+}
+
+observation testbed::advance(seconds dt, const std::vector<req_per_sec>& rates) {
+    MISTRAL_CHECK(dt > 0.0);
+    MISTRAL_CHECK(rates.size() == nominal_->app_count());
+
+    observation out;
+    out.window = dt;
+    out.rates = rates;
+    out.response_time.assign(nominal_->app_count(), 0.0);
+    out.app_cpu_usage.assign(nominal_->app_count(), 0.0);
+
+    std::vector<double> rt_integral(nominal_->app_count(), 0.0);
+    double power_integral = 0.0;
+    double adapting = 0.0;
+    seconds remaining_window = dt;
+
+    while (remaining_window > 1e-12) {
+        // Start the next queued item if the pipeline is free.
+        if (!in_flight_ && !queue_.empty()) {
+            const auto item = queue_.front();
+            queue_.pop_front();
+            in_flight lane;
+            lane.act = item.act;
+            if (item.act) {
+                lane.transient = ground_truth_transient(true_model_, config_, *item.act,
+                                                        rates, options_.transients);
+                lane.remaining = lane.transient.duration;
+            } else {
+                lane.transient.delta_rt.assign(nominal_->app_count(), 0.0);
+                lane.remaining = item.wait;
+            }
+            in_flight_ = std::move(lane);
+        }
+        const seconds step = in_flight_
+                                 ? std::min(remaining_window, in_flight_->remaining)
+                                 : remaining_window;
+        const auto& steady = steady_state(rates);
+        for (std::size_t a = 0; a < nominal_->app_count(); ++a) {
+            double rt = steady.perf.apps[a].mean_response_time;
+            if (in_flight_) rt += in_flight_->transient.delta_rt[a];
+            rt_integral[a] += rt * step;
+        }
+        double power = steady.power;
+        if (in_flight_) {
+            power += in_flight_->transient.delta_power;
+            if (in_flight_->act) adapting += step;  // waits are not adaptation
+        }
+        power_integral += power * step;
+
+        remaining_window -= step;
+        if (in_flight_) {
+            in_flight_->remaining -= step;
+            if (in_flight_->remaining <= 1e-12) {
+                if (in_flight_->act) {
+                    config_ = cluster::apply(*nominal_, config_, *in_flight_->act);
+                    out.completed.push_back(*in_flight_->act);
+                    invalidate_steady();
+                }
+                in_flight_.reset();
+            }
+        }
+    }
+    now_ += dt;
+    out.time = now_;
+    out.adapting_fraction = adapting / dt;
+
+    // Metered values: window means plus measurement noise.
+    for (std::size_t a = 0; a < nominal_->app_count(); ++a) {
+        const double mean_rt = rt_integral[a] / dt;
+        out.response_time[a] =
+            std::max(0.0, mean_rt * (1.0 + noise_.normal(0.0, options_.rt_noise)));
+    }
+    out.power = std::max(
+        0.0, power_integral / dt * (1.0 + noise_.normal(0.0, options_.power_noise)));
+
+    const auto& steady = steady_state(rates);
+    out.host_utilization = steady.perf.host_utilization;
+    for (std::size_t a = 0; a < nominal_->app_count(); ++a) {
+        for (const auto& tier : steady.perf.apps[a].tiers) {
+            out.app_cpu_usage[a] += tier.cpu_usage;
+        }
+    }
+    return out;
+}
+
+}  // namespace mistral::sim

@@ -1,0 +1,115 @@
+#include "sim/transients.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mistral::sim {
+
+namespace {
+
+double tier_factor(const std::array<double, 3>& factors, std::size_t tier) {
+    return factors[std::min(tier, factors.size() - 1)];
+}
+
+// Applications with a VM on any of `hosts` (excluding `target_app`).
+std::vector<std::size_t> colocated_apps(const cluster::cluster_model& model,
+                                        const cluster::configuration& config,
+                                        const std::vector<host_id>& hosts,
+                                        app_id target_app) {
+    std::vector<std::size_t> out;
+    for (std::size_t a = 0; a < model.app_count(); ++a) {
+        const app_id app{static_cast<std::int32_t>(a)};
+        if (app == target_app) continue;
+        bool hit = false;
+        for (const auto& desc : model.vms()) {
+            if (desc.app != app) continue;
+            const auto& p = config.placement(desc.vm);
+            if (!p) continue;
+            if (std::find(hosts.begin(), hosts.end(), p->host) != hosts.end()) {
+                hit = true;
+                break;
+            }
+        }
+        if (hit) out.push_back(a);
+    }
+    return out;
+}
+
+}  // namespace
+
+action_transient ground_truth_transient(const cluster::cluster_model& model,
+                                        const cluster::configuration& config,
+                                        const cluster::action& a,
+                                        const std::vector<req_per_sec>& rates,
+                                        const transient_model& tm) {
+    MISTRAL_CHECK(rates.size() == model.app_count());
+    action_transient out;
+    out.delta_rt.assign(model.app_count(), 0.0);
+
+    const auto kind = cluster::kind_of(a);
+    switch (kind) {
+        case cluster::action_kind::power_on: {
+            out.duration = tm.boot_duration;
+            out.delta_power = tm.boot_power;  // host is off in `config`
+            return out;
+        }
+        case cluster::action_kind::power_off: {
+            const auto host = std::get<cluster::power_off>(a).host;
+            out.duration = tm.shutdown_duration;
+            // `config` still accounts the host's idle draw; the actual draw
+            // during shutdown is tm.shutdown_power.
+            const watts idle = model.hosts()[host.index()].power.idle;
+            out.delta_power = tm.shutdown_power - idle;
+            return out;
+        }
+        case cluster::action_kind::increase_cpu:
+        case cluster::action_kind::decrease_cpu: {
+            const vm_id vm = kind == cluster::action_kind::increase_cpu
+                                 ? std::get<cluster::increase_cpu>(a).vm
+                                 : std::get<cluster::decrease_cpu>(a).vm;
+            const auto& desc = model.vm(vm);
+            out.duration = tm.cpu_tune_duration;
+            out.delta_rt[desc.app.index()] = tm.cpu_tune_rt_blip;
+            return out;
+        }
+        default:
+            break;
+    }
+
+    // Migration-class actions (migrate / add_replica / remove_replica).
+    vm_id vm;
+    std::vector<host_id> affected;
+    double scale = 1.0;
+    if (kind == cluster::action_kind::migrate) {
+        const auto& m = std::get<cluster::migrate>(a);
+        vm = m.vm;
+        affected = {config.placement(m.vm)->host, m.to};
+    } else if (kind == cluster::action_kind::add_replica) {
+        const auto& m = std::get<cluster::add_replica>(a);
+        vm = m.vm;
+        affected = {m.to};  // source is the out-of-band cold-store host
+        scale = tm.add_factor;
+    } else {
+        const auto& m = std::get<cluster::remove_replica>(a);
+        vm = m.vm;
+        affected = {config.placement(m.vm)->host};
+        scale = tm.remove_factor;
+    }
+    const auto& desc = model.vm(vm);
+    const req_per_sec rate = rates[desc.app.index()];
+
+    out.duration = scale * tier_factor(tm.tier_duration_factor, desc.tier) *
+                   (tm.migration_base + tm.migration_per_rate * rate);
+    const seconds target_rt =
+        scale * tier_factor(tm.tier_rt_factor, desc.tier) * tm.rt_per_rate * rate;
+    out.delta_rt[desc.app.index()] = target_rt;
+    for (std::size_t a_idx : colocated_apps(model, config, affected, desc.app)) {
+        out.delta_rt[a_idx] = tm.colocated_fraction * target_rt;
+    }
+    out.delta_power = scale * (tm.power_frac_base + tm.power_frac_slope * rate / 100.0) *
+                      tm.nominal_affected_power;
+    return out;
+}
+
+}  // namespace mistral::sim

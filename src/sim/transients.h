@@ -1,0 +1,67 @@
+// Ground-truth transient behaviour of adaptation actions.
+//
+// The real testbed's Fig. 1/Fig. 7 measurements show that a live migration's
+// duration, response-time impact, and power draw all grow with the workload
+// the migrated application is serving (dirty pages are re-transferred faster
+// than they can be flushed under load). The testbed simulator reproduces
+// those relationships with the affine models below; the offline cost
+// campaign *measures* them through the same experiment protocol as the paper
+// and stores what it sees in the controller's cost tables.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "cluster/action.h"
+#include "common/units.h"
+
+namespace mistral::sim {
+
+struct transient_model {
+    // Migration duration: base + per_rate × (app req/s), scaled per tier.
+    seconds migration_base = 8.0;
+    seconds migration_per_rate = 0.55;
+    // Target-app ΔRT per req/s for a database-tier migration; shallower tiers
+    // are scaled by tier_rt_factor (index clamped to the array).
+    double rt_per_rate = 0.0070;
+    std::array<double, 3> tier_rt_factor = {0.5, 0.7, 1.0};
+    std::array<double, 3> tier_duration_factor = {0.9, 1.0, 1.1};
+    // Co-located applications see this fraction of the target's ΔRT.
+    double colocated_fraction = 0.4;
+    // Extra power while migrating, as a fraction (growing with load) of the
+    // nominal draw of the affected host pair.
+    double power_frac_base = 0.08;
+    double power_frac_slope = 0.09;  // additional fraction at 100 req/s
+    watts nominal_affected_power = 150.0;
+    // Replica add/remove relative to a same-tier migration.
+    double add_factor = 1.2;
+    double remove_factor = 0.8;
+    // CPU cap changes: one scheduler call.
+    seconds cpu_tune_duration = 1.0;
+    seconds cpu_tune_rt_blip = 0.005;
+    // Host power cycling (Section V-B). Powers are the *draw during the
+    // transition*: a booting host pulls 80 W before it serves anything; a
+    // host being shut down drops to ~20 W (below idle).
+    seconds boot_duration = 90.0;
+    watts boot_power = 80.0;
+    seconds shutdown_duration = 30.0;
+    watts shutdown_power = 20.0;
+};
+
+// The transient effect of executing `a` from `config` under `rates`.
+struct action_transient {
+    seconds duration = 0.0;
+    std::vector<seconds> delta_rt;  // per application, while the action runs
+    watts delta_power = 0.0;        // relative to the steady power of `config`
+};
+
+// Computes ground truth for one action. `idle_power` is the idle draw of the
+// host being power-cycled (needed because the shutdown draw is *below* the
+// steady draw the configuration otherwise accounts for).
+action_transient ground_truth_transient(const cluster::cluster_model& model,
+                                        const cluster::configuration& config,
+                                        const cluster::action& a,
+                                        const std::vector<req_per_sec>& rates,
+                                        const transient_model& tm);
+
+}  // namespace mistral::sim

@@ -1,0 +1,160 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mistral::wl {
+
+namespace {
+
+constexpr double pi = 3.14159265358979323846;
+
+// An asymmetric bump: fast rise (time constant `rise`), slower exponential
+// decay (`fall`). `x` is seconds since the bump's onset.
+double crowd_bump(double x, double rise, double fall) {
+    if (x < 0.0) return 0.0;
+    if (x < rise) return 0.5 - 0.5 * std::cos(pi * x / rise);  // smooth ramp to 1
+    return std::exp(-(x - rise) / fall);
+}
+
+std::vector<trace_sample> sample_shape(const generator_options& opts,
+                                       const std::function<double(seconds)>& shape,
+                                       rng& noise_rng) {
+    MISTRAL_CHECK(opts.period > 0.0);
+    MISTRAL_CHECK(opts.duration > 0.0);
+    // Web traffic is bursty on multiple timescales: minute-to-minute jitter
+    // rides on slowly wandering activity levels. An AR(1) noise component
+    // (persistence ~0.95 per minute) reproduces that: calm stretches stay
+    // calm and busy stretches stay busy, which is what makes stability
+    // intervals *predictable* (Fig. 6) rather than memoryless.
+    constexpr double persistence = 0.95;
+    const double innovation =
+        opts.noise * std::sqrt(1.0 - persistence * persistence);
+    double slow = 0.0;
+    std::vector<trace_sample> out;
+    for (seconds t = 0.0; t <= opts.duration + 1e-9; t += opts.period) {
+        double v = shape(t);
+        if (opts.noise > 0.0) {
+            slow = persistence * slow + noise_rng.normal(0.0, innovation);
+            const double fast = noise_rng.normal(0.0, 0.3 * opts.noise);
+            v *= 1.0 + slow + fast;
+        }
+        out.push_back({opts.start + t, std::max(0.0, v)});
+    }
+    return out;
+}
+
+}  // namespace
+
+trace world_cup_trace(const generator_options& opts, int variant) {
+    rng r(opts.seed + 0x57c0ULL * static_cast<std::uint64_t>(variant + 1));
+    // Flash-crowd onsets as fractions of the trace duration. The first
+    // crowd lands near 30% of the way in (≈16:52 for the paper window) and
+    // later crowds cluster in the evening; variants shift them a little.
+    const double shift = 0.02 * variant;
+    const std::vector<double> onsets = {0.28 + shift, 0.52 + shift, 0.72 + shift};
+    const std::vector<double> amplitudes = {0.85, 0.6, 1.0};
+    const double rise = 0.03 * opts.duration;   // sharp ramp
+    const double fall = 0.08 * opts.duration;   // slower decay
+    auto shape = [&](seconds t) {
+        const double x = t / opts.duration;
+        // Baseline grows through the day (the site busied toward evening).
+        double v = 0.15 + 0.25 * x + 0.05 * std::sin(2.0 * pi * 3.0 * x);
+        for (std::size_t i = 0; i < onsets.size(); ++i) {
+            v += amplitudes[i] * crowd_bump(t - onsets[i] * opts.duration, rise, fall);
+        }
+        return v;
+    };
+    rng noise_rng = r.fork();
+    return trace("worldcup-" + std::to_string(variant),
+                 sample_shape(opts, shape, noise_rng));
+}
+
+trace hp_trace(const generator_options& opts, int variant) {
+    rng r(opts.seed + 0x4870ULL * static_cast<std::uint64_t>(variant + 1));
+    const double phase = 0.1 * variant;
+    auto shape = [&](seconds t) {
+        const double x = t / opts.duration;
+        // One smooth afternoon hump plus gentle secondary ripple.
+        const double hump = std::sin(pi * std::clamp(x * 0.9 + 0.05 + phase, 0.0, 1.0));
+        return 0.3 + 0.6 * hump + 0.06 * std::sin(2.0 * pi * 5.0 * (x + phase));
+    };
+    rng noise_rng = r.fork();
+    return trace("hp-" + std::to_string(variant), sample_shape(opts, shape, noise_rng));
+}
+
+trace constant_trace(const std::string& name, req_per_sec rate,
+                     const generator_options& opts) {
+    MISTRAL_CHECK(rate >= 0.0);
+    rng r(opts.seed);
+    auto shape = [&](seconds) { return rate; };
+    rng noise_rng = r.fork();
+    return trace(name, sample_shape(opts, shape, noise_rng));
+}
+
+trace step_trace(const std::string& name, req_per_sec low, req_per_sec high,
+                 seconds step_at, const generator_options& opts) {
+    rng r(opts.seed);
+    auto shape = [&](seconds t) { return t < step_at ? low : high; };
+    rng noise_rng = r.fork();
+    return trace(name, sample_shape(opts, shape, noise_rng));
+}
+
+trace flash_crowd_trace(const std::string& name, req_per_sec baseline,
+                        req_per_sec peak, seconds crowd_at, seconds ramp,
+                        seconds hold, const generator_options& opts) {
+    MISTRAL_CHECK(peak >= baseline);
+    MISTRAL_CHECK(ramp > 0.0);
+    rng r(opts.seed);
+    auto shape = [&](seconds t) {
+        const double x = t - crowd_at;
+        double level = 0.0;
+        if (x >= 0.0 && x < ramp) {
+            level = x / ramp;
+        } else if (x >= ramp && x < ramp + hold) {
+            level = 1.0;
+        } else if (x >= ramp + hold) {
+            level = std::exp(-(x - ramp - hold) / ramp);
+        }
+        return baseline + (peak - baseline) * level;
+    };
+    rng noise_rng = r.fork();
+    return trace(name, sample_shape(opts, shape, noise_rng));
+}
+
+trace random_walk_trace(const std::string& name, req_per_sec lo, req_per_sec hi,
+                        double volatility, const generator_options& opts) {
+    MISTRAL_CHECK(hi > lo);
+    MISTRAL_CHECK(volatility >= 0.0);
+    rng r(opts.seed);
+    const double range = hi - lo;
+    double level = 0.5;  // normalized position within [lo, hi]
+    auto shape = [&](seconds) {
+        // Mean-reverting step toward the middle plus noise.
+        level += 0.1 * (0.5 - level) + r.normal(0.0, volatility);
+        level = std::clamp(level, 0.0, 1.0);
+        return lo + range * level;
+    };
+    // The walk itself is the randomness; no extra multiplicative noise.
+    generator_options quiet = opts;
+    quiet.noise = 0.0;
+    rng noise_rng = r.fork();
+    return trace(name, sample_shape(quiet, shape, noise_rng));
+}
+
+std::vector<trace> paper_workloads(std::uint64_t seed) {
+    generator_options opts;
+    opts.seed = seed;
+    std::vector<trace> out;
+    out.push_back(world_cup_trace(opts, 0).scaled_to_range(0.0, 100.0).renamed("RUBiS-1"));
+    out.push_back(world_cup_trace(opts, 1).scaled_to_range(0.0, 100.0).renamed("RUBiS-2"));
+    out.push_back(hp_trace(opts, 0).scaled_to_range(0.0, 100.0).renamed("RUBiS-3"));
+    out.push_back(hp_trace(opts, 1).scaled_to_range(0.0, 100.0).renamed("RUBiS-4"));
+    return out;
+}
+
+}  // namespace mistral::wl

@@ -1,0 +1,63 @@
+// Synthetic trace generators.
+//
+// The paper drives its four RUBiS applications with a day of the 1998 World
+// Cup web trace (for RUBiS-1/2) and a day of an HP customer web-server trace
+// (for RUBiS-3/4), both scaled and shifted into 0–100 req/s (Section V-A,
+// Fig. 4). Those proprietary/archival traces are not shipped here; instead
+// these generators reproduce their documented *shape* — the World Cup trace's
+// evening flash crowds over a diurnal baseline, and the HP trace's smooth
+// low-variance diurnal hump — which is what the evaluation's stability
+// structure depends on. Additional shapes (step, single flash crowd, random
+// walk, constant) support the tests and ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "workload/trace.h"
+
+namespace mistral::wl {
+
+struct generator_options {
+    seconds start = 15.0 * 3600.0;     // 15:00, the paper's experiment start
+    seconds duration = 6.5 * 3600.0;   // through 21:30
+    seconds period = 60.0;             // one sample per minute
+    std::uint64_t seed = 1;
+    double noise = 0.03;               // multiplicative noise std-dev
+};
+
+// World-Cup-shaped trace: diurnal baseline plus sharp evening flash crowds.
+// `variant` shifts the crowd times and mixes the bump amplitudes so multiple
+// applications driven by "the same trace" still decorrelate slightly.
+trace world_cup_trace(const generator_options& opts, int variant = 0);
+
+// HP-customer-shaped trace: smooth single-hump diurnal pattern, low variance.
+trace hp_trace(const generator_options& opts, int variant = 0);
+
+// Constant rate (plus noise if opts.noise > 0).
+trace constant_trace(const std::string& name, req_per_sec rate,
+                     const generator_options& opts);
+
+// Holds `low` until `step_at` seconds after start, then `high`.
+trace step_trace(const std::string& name, req_per_sec low, req_per_sec high,
+                 seconds step_at, const generator_options& opts);
+
+// Baseline rate with one flash crowd: ramp up over `ramp`, hold `hold`,
+// decay back. `crowd_at` is seconds after start.
+trace flash_crowd_trace(const std::string& name, req_per_sec baseline,
+                        req_per_sec peak, seconds crowd_at, seconds ramp,
+                        seconds hold, const generator_options& opts);
+
+// Mean-reverting random walk within [lo, hi]; `volatility` is the per-step
+// std-dev as a fraction of the range.
+trace random_walk_trace(const std::string& name, req_per_sec lo, req_per_sec hi,
+                        double volatility, const generator_options& opts);
+
+// The four application workloads of Fig. 4: RUBiS-1/2 from the World-Cup
+// shape and RUBiS-3/4 from the HP shape, all scaled to 0–100 req/s over
+// 15:00–21:30.
+std::vector<trace> paper_workloads(std::uint64_t seed = 1);
+
+}  // namespace mistral::wl

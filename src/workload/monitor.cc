@@ -1,0 +1,56 @@
+#include "workload/monitor.h"
+
+#include "common/check.h"
+
+namespace mistral::wl {
+
+workload_monitor::workload_monitor(std::size_t app_count, req_per_sec band_width)
+    : width_(band_width),
+      bands_(app_count),
+      band_set_at_(app_count, 0.0),
+      history_(app_count) {
+    MISTRAL_CHECK(app_count > 0);
+    MISTRAL_CHECK(band_width >= 0.0);
+}
+
+monitor_event workload_monitor::observe(seconds time,
+                                        const std::vector<req_per_sec>& rates) {
+    MISTRAL_CHECK_MSG(rates.size() == bands_.size(),
+                      "expected " << bands_.size() << " rates, got " << rates.size());
+    monitor_event event;
+    if (!initialized_) {
+        recenter(time, rates);
+        initialized_ = true;
+        return event;
+    }
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        if (!bands_[i].contains(rates[i])) {
+            event.any_exceeded = true;
+            event.exceeded.push_back(i);
+            const seconds interval = time - band_set_at_[i];
+            event.completed_intervals.push_back(interval);
+            history_[i].push_back(interval);
+        }
+    }
+    return event;
+}
+
+void workload_monitor::recenter(seconds time, const std::vector<req_per_sec>& rates) {
+    MISTRAL_CHECK(rates.size() == bands_.size());
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        bands_[i] = band{rates[i], width_};
+        band_set_at_[i] = time;
+    }
+}
+
+const band& workload_monitor::band_of(std::size_t app) const {
+    MISTRAL_CHECK(app < bands_.size());
+    return bands_[app];
+}
+
+const std::vector<seconds>& workload_monitor::measured_intervals(std::size_t app) const {
+    MISTRAL_CHECK(app < history_.size());
+    return history_[app];
+}
+
+}  // namespace mistral::wl

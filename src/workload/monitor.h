@@ -1,0 +1,67 @@
+// Workload bands and stability-interval measurement.
+//
+// Section II-B / III-D: the stability interval for an application at time t
+// is how long its workload stays within ±b/2 of the level measured at t. The
+// monitor maintains one band per application, reports band exits (which are
+// what trigger a Mistral controller), and records the measured stability
+// intervals that feed the ARMA predictor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+
+namespace mistral::wl {
+
+struct band {
+    req_per_sec center = 0.0;
+    req_per_sec width = 0.0;  // total width b; the band is center ± width/2
+
+    [[nodiscard]] bool contains(req_per_sec rate) const {
+        return rate >= center - width / 2.0 && rate <= center + width / 2.0;
+    }
+};
+
+// What one call to workload_monitor::observe found.
+struct monitor_event {
+    bool any_exceeded = false;             // at least one application left its band
+    std::vector<std::size_t> exceeded;     // indices of applications out of band
+    // Measured stability intervals that *completed* at this observation, one
+    // entry per exceeded application (same order as `exceeded`).
+    std::vector<seconds> completed_intervals;
+};
+
+class workload_monitor {
+public:
+    // `band_width`: the width b applied to every application's band. A width
+    // of zero makes any rate change an exit, which is how the paper's
+    // first-level controller is configured.
+    workload_monitor(std::size_t app_count, req_per_sec band_width);
+
+    // Feeds one monitoring-interval measurement (one rate per application,
+    // taken at `time`). On the first call, bands are centered on the
+    // measurement and nothing is exceeded.
+    monitor_event observe(seconds time, const std::vector<req_per_sec>& rates);
+
+    // Re-centers every application's band on `rates` at `time` (done after
+    // the controller has adapted to the new workload level).
+    void recenter(seconds time, const std::vector<req_per_sec>& rates);
+
+    [[nodiscard]] const band& band_of(std::size_t app) const;
+
+    // All stability intervals measured so far for `app`, oldest first.
+    [[nodiscard]] const std::vector<seconds>& measured_intervals(std::size_t app) const;
+
+    [[nodiscard]] std::size_t app_count() const { return bands_.size(); }
+    [[nodiscard]] req_per_sec band_width() const { return width_; }
+
+private:
+    req_per_sec width_;
+    bool initialized_ = false;
+    std::vector<band> bands_;
+    std::vector<seconds> band_set_at_;                 // when each band was centered
+    std::vector<std::vector<seconds>> history_;        // per-app measured intervals
+};
+
+}  // namespace mistral::wl

@@ -1,0 +1,24 @@
+#include "workload/session_map.h"
+
+#include "common/check.h"
+
+namespace mistral::wl {
+
+session_map::session_map(seconds think_time, seconds service_time)
+    : cycle_(think_time + service_time) {
+    MISTRAL_CHECK(think_time >= 0.0);
+    MISTRAL_CHECK(service_time >= 0.0);
+    MISTRAL_CHECK(cycle_ > 0.0);
+}
+
+double session_map::sessions_for_rate(req_per_sec rate) const {
+    MISTRAL_CHECK(rate >= 0.0);
+    return rate * cycle_;
+}
+
+req_per_sec session_map::rate_for_sessions(double sessions) const {
+    MISTRAL_CHECK(sessions >= 0.0);
+    return sessions / cycle_;
+}
+
+}  // namespace mistral::wl

@@ -1,0 +1,31 @@
+// Mapping between request rates and concurrent user sessions.
+//
+// The paper's client emulators control load via the number of concurrent
+// simulated sessions and "create a mapping from the desired request rates to
+// the number of simulated concurrent sessions" (Section V-A); its cost tables
+// (Fig. 7) are indexed by session count while the controller's workload unit
+// is req/s. Little's law links the two: sessions = rate × (think time + mean
+// response time).
+#pragma once
+
+#include "common/units.h"
+
+namespace mistral::wl {
+
+class session_map {
+public:
+    // `think_time`: mean client think time between requests; `service_time`:
+    // nominal mean response time included in the session cycle. The defaults
+    // make 100 req/s correspond to the paper's ~800-session heavy load.
+    explicit session_map(seconds think_time = 7.6, seconds service_time = 0.4);
+
+    [[nodiscard]] double sessions_for_rate(req_per_sec rate) const;
+    [[nodiscard]] req_per_sec rate_for_sessions(double sessions) const;
+
+    [[nodiscard]] seconds cycle_time() const { return cycle_; }
+
+private:
+    seconds cycle_;  // think + service
+};
+
+}  // namespace mistral::wl

@@ -1,0 +1,138 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mistral::wl {
+
+trace::trace(std::string name, std::vector<trace_sample> samples)
+    : name_(std::move(name)), samples_(std::move(samples)) {
+    MISTRAL_CHECK_MSG(
+        std::is_sorted(samples_.begin(), samples_.end(),
+                       [](const auto& a, const auto& b) { return a.time < b.time; }),
+        "trace '" << name_ << "' samples must be time-sorted");
+    for (const auto& s : samples_) {
+        MISTRAL_CHECK_MSG(s.rate >= 0.0, "negative rate in trace '" << name_ << "'");
+    }
+}
+
+seconds trace::start_time() const {
+    MISTRAL_CHECK(!samples_.empty());
+    return samples_.front().time;
+}
+
+seconds trace::end_time() const {
+    MISTRAL_CHECK(!samples_.empty());
+    return samples_.back().time;
+}
+
+req_per_sec trace::rate_at(seconds time) const {
+    MISTRAL_CHECK(!samples_.empty());
+    if (time <= samples_.front().time) return samples_.front().rate;
+    auto it = std::upper_bound(samples_.begin(), samples_.end(), time,
+                               [](seconds t, const auto& s) { return t < s.time; });
+    return (it - 1)->rate;
+}
+
+req_per_sec trace::mean_rate(seconds t0, seconds t1) const {
+    MISTRAL_CHECK(!samples_.empty());
+    MISTRAL_CHECK(t1 >= t0);
+    if (t1 == t0) return rate_at(t0);
+    double area = 0.0;
+    seconds cursor = t0;
+    while (cursor < t1) {
+        // Next sample strictly after cursor bounds the constant segment.
+        auto it = std::upper_bound(samples_.begin(), samples_.end(), cursor,
+                                   [](seconds t, const auto& s) { return t < s.time; });
+        const seconds segment_end = (it == samples_.end()) ? t1 : std::min(t1, it->time);
+        area += rate_at(cursor) * (segment_end - cursor);
+        cursor = segment_end;
+    }
+    return area / (t1 - t0);
+}
+
+req_per_sec trace::peak_rate() const {
+    MISTRAL_CHECK(!samples_.empty());
+    return std::max_element(samples_.begin(), samples_.end(),
+                            [](const auto& a, const auto& b) { return a.rate < b.rate; })
+        ->rate;
+}
+
+req_per_sec trace::min_rate() const {
+    MISTRAL_CHECK(!samples_.empty());
+    return std::min_element(samples_.begin(), samples_.end(),
+                            [](const auto& a, const auto& b) { return a.rate < b.rate; })
+        ->rate;
+}
+
+trace trace::scaled_to_range(req_per_sec lo, req_per_sec hi) const {
+    MISTRAL_CHECK(!samples_.empty());
+    MISTRAL_CHECK(lo >= 0.0 && hi >= lo);
+    const req_per_sec src_lo = min_rate();
+    const req_per_sec src_hi = peak_rate();
+    const double span = src_hi - src_lo;
+    std::vector<trace_sample> out(samples_);
+    for (auto& s : out) {
+        const double frac = span > 0.0 ? (s.rate - src_lo) / span : 0.0;
+        s.rate = lo + frac * (hi - lo);
+    }
+    return trace(name_, std::move(out));
+}
+
+trace trace::shifted_to_start(seconds new_start) const {
+    MISTRAL_CHECK(!samples_.empty());
+    const seconds delta = new_start - samples_.front().time;
+    std::vector<trace_sample> out(samples_);
+    for (auto& s : out) s.time += delta;
+    return trace(name_, std::move(out));
+}
+
+trace trace::resampled(seconds dt) const {
+    MISTRAL_CHECK(!samples_.empty());
+    MISTRAL_CHECK(dt > 0.0);
+    std::vector<trace_sample> out;
+    for (seconds t = start_time(); t <= end_time() + 1e-9; t += dt) {
+        out.push_back({t, rate_at(t)});
+    }
+    return trace(name_, std::move(out));
+}
+
+trace trace::smoothed(std::size_t window) const {
+    MISTRAL_CHECK(window >= 1);
+    if (window == 1 || samples_.size() <= 1) return *this;
+    std::vector<trace_sample> out(samples_);
+    const auto n = samples_.size();
+    const auto half = window / 2;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t lo = i >= half ? i - half : 0;
+        const std::size_t hi = std::min(n - 1, i + (window - 1 - half));
+        double sum = 0.0;
+        for (std::size_t j = lo; j <= hi; ++j) sum += samples_[j].rate;
+        out[i].rate = sum / static_cast<double>(hi - lo + 1);
+    }
+    return trace(name_, std::move(out));
+}
+
+trace trace::with_additive_noise(req_per_sec sigma, std::uint64_t seed,
+                                 double persistence) const {
+    MISTRAL_CHECK(sigma >= 0.0);
+    MISTRAL_CHECK(persistence >= 0.0 && persistence < 1.0);
+    rng r(seed);
+    const double innovation = sigma * std::sqrt(1.0 - persistence * persistence);
+    double level = 0.0;
+    std::vector<trace_sample> out(samples_);
+    for (auto& s : out) {
+        level = persistence * level + r.normal(0.0, innovation);
+        s.rate = std::max(0.0, s.rate + level);
+    }
+    return trace(name_, std::move(out));
+}
+
+trace trace::renamed(std::string new_name) const {
+    return trace(std::move(new_name), samples_);
+}
+
+}  // namespace mistral::wl

@@ -1,0 +1,79 @@
+// Request-rate traces.
+//
+// A trace is a step function of request rate over time: the rate between two
+// samples is the value of the earlier sample, matching how the paper's client
+// emulators hold a session count constant between adjustments. Traces support
+// the scale-and-shift pipeline of Section V-A ("we scale both the World Cup
+// request rates of 150 to 1200 req/sec and the HP traffic of 2 to 4.5 req/sec
+// to our desired range of 0 to 100 req/sec").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace mistral::wl {
+
+struct trace_sample {
+    seconds time = 0.0;
+    req_per_sec rate = 0.0;
+};
+
+class trace {
+public:
+    trace() = default;
+    trace(std::string name, std::vector<trace_sample> samples);
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] const std::vector<trace_sample>& samples() const { return samples_; }
+    [[nodiscard]] bool empty() const { return samples_.empty(); }
+    [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+    // Start/end timestamps. Require a non-empty trace.
+    [[nodiscard]] seconds start_time() const;
+    [[nodiscard]] seconds end_time() const;
+
+    // Rate at `time` (step interpolation; clamped to the trace's range).
+    // Requires a non-empty trace.
+    [[nodiscard]] req_per_sec rate_at(seconds time) const;
+
+    // Mean rate over [t0, t1] under step interpolation.
+    [[nodiscard]] req_per_sec mean_rate(seconds t0, seconds t1) const;
+
+    [[nodiscard]] req_per_sec peak_rate() const;
+    [[nodiscard]] req_per_sec min_rate() const;
+
+    // Affine-rescales rates so the trace's [min, max] maps onto [lo, hi].
+    // A constant trace maps to lo. This is the paper's "scale and shift".
+    [[nodiscard]] trace scaled_to_range(req_per_sec lo, req_per_sec hi) const;
+
+    // Shifts all timestamps so the trace starts at `new_start`.
+    [[nodiscard]] trace shifted_to_start(seconds new_start) const;
+
+    // Re-samples onto a uniform grid of period `dt` (step semantics).
+    [[nodiscard]] trace resampled(seconds dt) const;
+
+    // Moving-average smoothing over a window of `window` samples (odd sizes
+    // center the window; even sizes lag by half a sample).
+    [[nodiscard]] trace smoothed(std::size_t window) const;
+
+    // Adds AR(1)-persistent *absolute* jitter of stationary std-dev `sigma`
+    // req/s (persistence per sample). Real request streams fluctuate by a
+    // few req/s regardless of level — it is this absolute jitter that
+    // drives workload-band exits at low rates. Rates stay non-negative.
+    [[nodiscard]] trace with_additive_noise(req_per_sec sigma,
+                                            std::uint64_t seed,
+                                            double persistence = 0.9) const;
+
+    // Renamed copy (transform helpers keep the source name otherwise).
+    [[nodiscard]] trace renamed(std::string new_name) const;
+
+private:
+    std::string name_;
+    std::vector<trace_sample> samples_;  // sorted by time
+};
+
+}  // namespace mistral::wl

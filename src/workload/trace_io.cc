@@ -1,0 +1,80 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mistral::wl {
+
+trace read_trace_csv(std::istream& in, const std::string& name) {
+    std::vector<trace_sample> samples;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip comments and whitespace-only lines.
+        if (const auto hash = line.find('#'); hash != std::string::npos) {
+            line.erase(hash);
+        }
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+        std::istringstream row(line);
+        std::string time_field, rate_field;
+        const bool ok = static_cast<bool>(std::getline(row, time_field, ',')) &&
+                        static_cast<bool>(std::getline(row, rate_field));
+        MISTRAL_CHECK_MSG(ok, "trace '" << name << "' line " << line_no
+                                        << ": expected `time,rate`, got: " << line);
+        // A header line ("time,rate") is tolerated once at the top.
+        if (samples.empty()) {
+            try {
+                (void)std::stod(time_field);
+            } catch (const std::exception&) {
+                continue;  // header
+            }
+        }
+        try {
+            const seconds t = std::stod(time_field);
+            const req_per_sec r = std::stod(rate_field);
+            samples.push_back({t, r});
+        } catch (const std::exception&) {
+            MISTRAL_CHECK_MSG(false, "trace '" << name << "' line " << line_no
+                                               << ": non-numeric field in: " << line);
+        }
+    }
+    MISTRAL_CHECK_MSG(!samples.empty(), "trace '" << name << "' has no samples");
+    return trace(name, std::move(samples));
+}
+
+trace load_trace_csv(const std::string& path) {
+    std::ifstream in(path);
+    MISTRAL_CHECK_MSG(in.good(), "cannot open trace file " << path);
+    // Name the trace after the file, without directories or extension.
+    std::string name = path;
+    if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+        name.erase(0, slash + 1);
+    }
+    if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
+        name.erase(dot);
+    }
+    return read_trace_csv(in, name);
+}
+
+void write_trace_csv(std::ostream& out, const trace& t) {
+    // Full round-trip precision: default stream precision truncates rates.
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
+    out << "time,rate\n";
+    for (const auto& s : t.samples()) {
+        out << s.time << ',' << s.rate << '\n';
+    }
+}
+
+void save_trace_csv(const std::string& path, const trace& t) {
+    std::ofstream out(path);
+    MISTRAL_CHECK_MSG(out.good(), "cannot write trace file " << path);
+    write_trace_csv(out, t);
+}
+
+}  // namespace mistral::wl

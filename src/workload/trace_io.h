@@ -1,0 +1,30 @@
+// Trace file I/O.
+//
+// The paper drives its evaluation from archival web traces (1998 World Cup,
+// HP customer logs). Users with access to such traces can load them here —
+// a two-column CSV of `time_seconds,request_rate` — and push them through
+// the same scale-and-shift pipeline the synthetic generators use. Writers
+// round-trip any trace, so generated workloads can also be exported for
+// external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace mistral::wl {
+
+// Parses a `time,rate` CSV (optional header line; '#' comments and blank
+// lines ignored). Samples must be time-sorted, rates non-negative. Throws
+// invariant_error with line context on malformed input.
+trace read_trace_csv(std::istream& in, const std::string& name);
+
+// File convenience; throws if the file cannot be opened.
+trace load_trace_csv(const std::string& path);
+
+// Writes `time,rate` rows with a header.
+void write_trace_csv(std::ostream& out, const trace& t);
+void save_trace_csv(const std::string& path, const trace& t);
+
+}  // namespace mistral::wl

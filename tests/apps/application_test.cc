@@ -1,0 +1,100 @@
+#include "apps/application.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/rubis.h"
+#include "common/check.h"
+
+namespace mistral::apps {
+namespace {
+
+TEST(ApplicationSpec, RejectsMixNotSummingToOne) {
+    std::vector<tier_spec> tiers = {{.name = "web"}};
+    std::vector<transaction_type> txs = {
+        {.name = "a", .mix = 0.5, .visits = {1.0}, .demand = {0.001}}};
+    EXPECT_THROW(application_spec("x", tiers, txs, 0.4), invariant_error);
+}
+
+TEST(ApplicationSpec, RejectsVisitDemandSizeMismatch) {
+    std::vector<tier_spec> tiers = {{.name = "web"}, {.name = "db"}};
+    std::vector<transaction_type> txs = {
+        {.name = "a", .mix = 1.0, .visits = {1.0}, .demand = {0.001, 0.002}}};
+    EXPECT_THROW(application_spec("x", tiers, txs, 0.4), invariant_error);
+}
+
+TEST(ApplicationSpec, RejectsBadTierBounds) {
+    std::vector<tier_spec> tiers = {
+        {.name = "web", .min_replicas = 2, .max_replicas = 1}};
+    std::vector<transaction_type> txs = {
+        {.name = "a", .mix = 1.0, .visits = {1.0}, .demand = {0.001}}};
+    EXPECT_THROW(application_spec("x", tiers, txs, 0.4), invariant_error);
+}
+
+TEST(ApplicationSpec, MeanTierDemandWeighsMixAndVisits) {
+    std::vector<tier_spec> tiers = {{.name = "web"}, {.name = "db", .max_replicas = 2}};
+    std::vector<transaction_type> txs = {
+        {.name = "light", .mix = 0.75, .visits = {1.0, 1.0}, .demand = {0.002, 0.004}},
+        {.name = "heavy", .mix = 0.25, .visits = {1.0, 3.0}, .demand = {0.002, 0.004}},
+    };
+    application_spec app("x", tiers, txs, 0.4);
+    EXPECT_NEAR(app.mean_tier_demand(0), 0.002, 1e-12);
+    // db: 0.75·1·0.004 + 0.25·3·0.004 = 0.006
+    EXPECT_NEAR(app.mean_tier_demand(1), 0.006, 1e-12);
+    EXPECT_NEAR(app.mean_tier_visits(1), 1.5, 1e-12);
+}
+
+TEST(Rubis, HasPaperStructure) {
+    const auto app = rubis_browsing("RUBiS-1");
+    EXPECT_EQ(app.name(), "RUBiS-1");
+    ASSERT_EQ(app.tier_count(), 3u);
+    EXPECT_EQ(app.tiers()[0].name, "web");
+    EXPECT_EQ(app.tiers()[1].name, "app");
+    EXPECT_EQ(app.tiers()[2].name, "db");
+    // Browsing-only mix: 9 read-only transaction types.
+    EXPECT_EQ(app.transactions().size(), 9u);
+    // Replication limits: single Apache, up to two Tomcat/MySQL replicas.
+    EXPECT_EQ(app.tiers()[0].max_replicas, 1);
+    EXPECT_EQ(app.tiers()[1].max_replicas, 2);
+    EXPECT_EQ(app.tiers()[2].max_replicas, 2);
+}
+
+TEST(Rubis, TargetResponseTimeIs400ms) {
+    const auto app = rubis_browsing("r");
+    EXPECT_DOUBLE_EQ(app.target_response_time(0.0), 0.4);
+    EXPECT_DOUBLE_EQ(app.target_response_time(100.0), 0.4);
+}
+
+TEST(Rubis, VmFootprintAndCapWindowMatchPaper) {
+    const auto app = rubis_browsing("r");
+    for (const auto& tier : app.tiers()) {
+        EXPECT_DOUBLE_EQ(tier.memory_mb, 200.0);
+        EXPECT_DOUBLE_EQ(tier.min_cpu_cap, 0.2);
+        EXPECT_DOUBLE_EQ(tier.max_cpu_cap, 0.8);
+    }
+}
+
+TEST(Rubis, EveryTransactionPassesThroughTheWebTier) {
+    const auto app = rubis_browsing("r");
+    for (const auto& tx : app.transactions()) {
+        EXPECT_GT(tx.visits[0], 0.0) << tx.name;
+    }
+}
+
+TEST(Rubis, DemandScaleSupportsPaperPeakRates) {
+    // At 100 req/s the db tier must be servable by two replicas at 80 % caps:
+    // total demand < 1.6 CPU.
+    const auto app = rubis_browsing("r");
+    EXPECT_LT(100.0 * app.mean_tier_demand(2), 1.6);
+    // And a single replica at 40 % handles the 50 req/s default comfortably
+    // enough to be near (not wildly under) the target.
+    EXPECT_LT(50.0 * app.mean_tier_demand(2), 0.4);
+}
+
+TEST(TwoTierDemo, IsValidAndSmaller) {
+    const auto app = two_tier_demo("demo");
+    EXPECT_EQ(app.tier_count(), 2u);
+    EXPECT_EQ(app.transactions().size(), 2u);
+}
+
+}  // namespace
+}  // namespace mistral::apps

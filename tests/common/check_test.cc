@@ -1,0 +1,48 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace mistral {
+namespace {
+
+TEST(Check, PassingConditionDoesNotThrow) {
+    EXPECT_NO_THROW(MISTRAL_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingConditionThrowsInvariantError) {
+    EXPECT_THROW(MISTRAL_CHECK(false), invariant_error);
+}
+
+TEST(Check, MessageIncludesExpressionAndLocation) {
+    try {
+        MISTRAL_CHECK(2 < 1);
+        FAIL() << "expected throw";
+    } catch (const invariant_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("2 < 1"), std::string::npos);
+        EXPECT_NE(what.find("check_test.cc"), std::string::npos);
+    }
+}
+
+TEST(Check, CheckMsgCarriesFormattedDetail) {
+    try {
+        MISTRAL_CHECK_MSG(false, "value was " << 42);
+        FAIL() << "expected throw";
+    } catch (const invariant_error& e) {
+        EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+    }
+}
+
+TEST(Check, IsAlwaysOnEvenInRelease) {
+    // The whole point: violations must not compile away.
+    bool threw = false;
+    try {
+        MISTRAL_CHECK(false);
+    } catch (const invariant_error&) {
+        threw = true;
+    }
+    EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace mistral

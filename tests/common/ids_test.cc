@@ -1,0 +1,51 @@
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace mistral {
+namespace {
+
+TEST(Ids, DefaultConstructedIsInvalid) {
+    host_id h;
+    EXPECT_FALSE(h.valid());
+    EXPECT_EQ(h.value, -1);
+}
+
+TEST(Ids, ExplicitValueIsValid) {
+    vm_id vm{3};
+    EXPECT_TRUE(vm.valid());
+    EXPECT_EQ(vm.index(), 3u);
+}
+
+TEST(Ids, ComparesByValue) {
+    EXPECT_EQ(app_id{2}, app_id{2});
+    EXPECT_NE(app_id{2}, app_id{3});
+    EXPECT_LT(app_id{1}, app_id{2});
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+    static_assert(!std::is_same_v<host_id, vm_id>);
+    static_assert(!std::is_same_v<app_id, tier_id>);
+}
+
+TEST(Ids, StreamsWithPrefix) {
+    std::ostringstream os;
+    os << host_id{0} << " " << vm_id{12} << " " << app_id{1} << " " << tier_id{2};
+    EXPECT_EQ(os.str(), "h0 vm12 app1 t2");
+}
+
+TEST(Ids, Hashable) {
+    std::unordered_set<vm_id> set;
+    set.insert(vm_id{1});
+    set.insert(vm_id{2});
+    set.insert(vm_id{1});
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_TRUE(set.contains(vm_id{2}));
+    EXPECT_FALSE(set.contains(vm_id{3}));
+}
+
+}  // namespace
+}  // namespace mistral

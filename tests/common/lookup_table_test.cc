@@ -1,0 +1,85 @@
+#include "common/lookup_table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace mistral {
+namespace {
+
+lookup_table make_table() {
+    lookup_table t;
+    t.insert(10.0, 100.0);
+    t.insert(20.0, 200.0);
+    t.insert(40.0, 150.0);
+    return t;
+}
+
+TEST(LookupTable, EmptyReportsEmpty) {
+    lookup_table t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_THROW(t.nearest(1.0), invariant_error);
+    EXPECT_THROW(t.interpolate(1.0), invariant_error);
+}
+
+TEST(LookupTable, InsertKeepsKeysSorted) {
+    const auto t = make_table();
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_DOUBLE_EQ(t.points()[0].first, 10.0);
+    EXPECT_DOUBLE_EQ(t.points()[1].first, 20.0);
+    EXPECT_DOUBLE_EQ(t.points()[2].first, 40.0);
+}
+
+TEST(LookupTable, InsertReplacesExistingKey) {
+    auto t = make_table();
+    t.insert(20.0, 999.0);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_DOUBLE_EQ(t.nearest(20.0), 999.0);
+}
+
+TEST(LookupTable, NearestPicksClosestKey) {
+    const auto t = make_table();
+    EXPECT_DOUBLE_EQ(t.nearest(12.0), 100.0);   // closer to 10
+    EXPECT_DOUBLE_EQ(t.nearest(18.0), 200.0);   // closer to 20
+    EXPECT_DOUBLE_EQ(t.nearest(31.0), 150.0);   // closer to 40
+}
+
+TEST(LookupTable, NearestAtExactKey) {
+    const auto t = make_table();
+    EXPECT_DOUBLE_EQ(t.nearest(20.0), 200.0);
+}
+
+TEST(LookupTable, NearestBeyondEndsClamps) {
+    const auto t = make_table();
+    EXPECT_DOUBLE_EQ(t.nearest(-100.0), 100.0);
+    EXPECT_DOUBLE_EQ(t.nearest(1000.0), 150.0);
+}
+
+TEST(LookupTable, NearestKeyReturnsKeyNotValue) {
+    const auto t = make_table();
+    EXPECT_DOUBLE_EQ(t.nearest_key(12.0), 10.0);
+    EXPECT_DOUBLE_EQ(t.nearest_key(33.0), 40.0);
+}
+
+TEST(LookupTable, InterpolateMidpoint) {
+    const auto t = make_table();
+    EXPECT_DOUBLE_EQ(t.interpolate(15.0), 150.0);
+    EXPECT_DOUBLE_EQ(t.interpolate(30.0), 175.0);
+}
+
+TEST(LookupTable, InterpolateClampsOutsideRange) {
+    const auto t = make_table();
+    EXPECT_DOUBLE_EQ(t.interpolate(0.0), 100.0);
+    EXPECT_DOUBLE_EQ(t.interpolate(99.0), 150.0);
+}
+
+TEST(LookupTable, SinglePointTableIsConstant) {
+    lookup_table t;
+    t.insert(5.0, 7.0);
+    EXPECT_DOUBLE_EQ(t.nearest(-1.0), 7.0);
+    EXPECT_DOUBLE_EQ(t.interpolate(100.0), 7.0);
+}
+
+}  // namespace
+}  // namespace mistral

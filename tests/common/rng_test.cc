@@ -1,0 +1,146 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace mistral {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    rng a(7), b(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = r.uniform();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    rng r(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = r.uniform(-5.0, 2.5);
+        EXPECT_GE(x, -5.0);
+        EXPECT_LT(x, 2.5);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+    rng r(5);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+    rng r(6);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) ++counts[r.uniform_index(10)];
+    for (int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+    }
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+    rng r(1);
+    EXPECT_THROW(r.uniform_index(0), invariant_error);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+    rng r(8);
+    const int n = 200000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsScales) {
+    rng r(9);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, NegativeStddevRejected) {
+    rng r(1);
+    EXPECT_THROW(r.normal(0.0, -1.0), invariant_error);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+    rng parent(11);
+    rng child = parent.fork();
+    // Advancing the child must not change the parent's future draws.
+    rng parent_copy(11);
+    (void)parent_copy.fork();
+    for (int i = 0; i < 1000; ++i) (void)child.next_u64();
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(parent.next_u64(), parent_copy.next_u64());
+    }
+}
+
+TEST(Rng, ForkedStreamDiffersFromParent) {
+    rng parent(12);
+    rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (parent.next_u64() == child.next_u64()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+    rng r(13);
+    std::vector<int> v(50);
+    std::iota(v.begin(), v.end(), 0);
+    auto shuffled = v;
+    r.shuffle(shuffled);
+    EXPECT_FALSE(std::is_sorted(shuffled.begin(), shuffled.end()));
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleIsUniformish) {
+    // Position of element 0 after shuffling [0,1,2,3] should be ~uniform.
+    std::vector<int> counts(4, 0);
+    rng r(14);
+    for (int trial = 0; trial < 40000; ++trial) {
+        std::vector<int> v = {0, 1, 2, 3};
+        r.shuffle(v);
+        for (int i = 0; i < 4; ++i) {
+            if (v[static_cast<std::size_t>(i)] == 0) ++counts[static_cast<std::size_t>(i)];
+        }
+    }
+    for (int c : counts) EXPECT_NEAR(c / 40000.0, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace mistral

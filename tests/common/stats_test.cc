@@ -1,0 +1,140 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mistral {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, VarianceAndStddev) {
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+    EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+    const std::vector<double> xs = {42.0};
+    EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, MinMax) {
+    const std::vector<double> xs = {3.0, -1.0, 7.0, 2.0};
+    EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+    EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+    EXPECT_THROW(min_of({}), invariant_error);
+}
+
+TEST(Stats, PercentileEndpointsAndMedian) {
+    const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+    const std::vector<double> xs = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Stats, PercentileRejectsOutOfRange) {
+    const std::vector<double> xs = {1.0};
+    EXPECT_THROW(percentile(xs, -1.0), invariant_error);
+    EXPECT_THROW(percentile(xs, 101.0), invariant_error);
+}
+
+TEST(Stats, RmseOfIdenticalSeriesIsZero) {
+    const std::vector<double> a = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+}
+
+TEST(Stats, RmseOfKnownOffset) {
+    const std::vector<double> a = {0.0, 0.0};
+    const std::vector<double> b = {3.0, 4.0};
+    EXPECT_DOUBLE_EQ(rmse(a, b), std::sqrt(12.5));
+}
+
+TEST(Stats, RmseRejectsMismatchedSizes) {
+    const std::vector<double> a = {1.0};
+    const std::vector<double> b = {1.0, 2.0};
+    EXPECT_THROW(rmse(a, b), invariant_error);
+}
+
+TEST(Stats, MapeOfKnownError) {
+    const std::vector<double> truth = {100.0, 200.0};
+    const std::vector<double> model = {110.0, 180.0};
+    EXPECT_NEAR(mape_percent(truth, model), 10.0, 1e-9);
+}
+
+TEST(Stats, MapeSkipsNearZeroTruth) {
+    const std::vector<double> truth = {0.0, 100.0};
+    const std::vector<double> model = {5.0, 105.0};
+    EXPECT_NEAR(mape_percent(truth, model), 5.0, 1e-9);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20; ++i) {
+        xs.push_back(i);
+        ys.push_back(3.0 * i - 7.0);
+    }
+    const auto fit = linear_fit(xs, ys);
+    EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+    EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(Stats, LinearFitFlatData) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0};
+    const std::vector<double> ys = {5.0, 5.0, 5.0};
+    const auto fit = linear_fit(xs, ys);
+    EXPECT_NEAR(fit.slope, 0.0, 1e-9);
+    EXPECT_NEAR(fit.intercept, 5.0, 1e-9);
+}
+
+TEST(Stats, GoldenSectionFindsParabolaMinimum) {
+    const double x = golden_section_minimize(
+        [](double v) { return (v - 1.7) * (v - 1.7) + 3.0; }, -10.0, 10.0, 1e-9);
+    EXPECT_NEAR(x, 1.7, 1e-6);
+}
+
+TEST(Stats, GoldenSectionHandlesBoundaryMinimum) {
+    const double x =
+        golden_section_minimize([](double v) { return v; }, 2.0, 5.0, 1e-9);
+    EXPECT_NEAR(x, 2.0, 1e-6);
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    running_stats rs;
+    for (double x : xs) rs.add(x);
+    EXPECT_EQ(rs.count(), xs.size());
+    EXPECT_DOUBLE_EQ(rs.mean(), mean(xs));
+    EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+    EXPECT_NEAR(rs.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+    running_stats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace mistral

@@ -1,0 +1,52 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mistral {
+namespace {
+
+TEST(TablePrinter, PrintsHeaderRuleAndRows) {
+    table_printer t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    // 4 lines: header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, RejectsMismatchedRowWidth) {
+    table_printer t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), invariant_error);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+    EXPECT_THROW(table_printer({}), invariant_error);
+}
+
+TEST(TablePrinter, FmtFormatsPrecision) {
+    EXPECT_EQ(table_printer::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(table_printer::fmt(2.0, 0), "2");
+    EXPECT_EQ(table_printer::fmt(-1.5, 1), "-1.5");
+}
+
+TEST(TablePrinter, ColumnsWidenToFitContent) {
+    table_printer t({"x"});
+    t.add_row({"longer-cell"});
+    std::ostringstream os;
+    t.print(os);
+    // The rule under the header must span the widest cell.
+    EXPECT_NE(os.str().find("-----------"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mistral

@@ -1,0 +1,99 @@
+#include "common/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mistral {
+namespace {
+
+TEST(TimeSeries, RecordsSamplesInOrder) {
+    time_series s("rt");
+    s.add(0.0, 1.0);
+    s.add(1.0, 2.0);
+    EXPECT_EQ(s.name(), "rt");
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.samples()[1].value, 2.0);
+}
+
+TEST(TimeSeries, ValuesAndTimesExtract) {
+    time_series s("x");
+    s.add(0.0, 5.0);
+    s.add(2.0, 7.0);
+    EXPECT_EQ(s.values(), (std::vector<double>{5.0, 7.0}));
+    EXPECT_EQ(s.times(), (std::vector<double>{0.0, 2.0}));
+}
+
+TEST(TimeSeries, ValueAtStepSemantics) {
+    time_series s("x");
+    s.add(10.0, 1.0);
+    s.add(20.0, 2.0);
+    EXPECT_FALSE(s.value_at(5.0).has_value());
+    EXPECT_DOUBLE_EQ(*s.value_at(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(*s.value_at(15.0), 1.0);
+    EXPECT_DOUBLE_EQ(*s.value_at(25.0), 2.0);
+}
+
+TEST(TimeSeries, IntegrateTrapezoid) {
+    time_series s("p");
+    s.add(0.0, 0.0);
+    s.add(2.0, 2.0);   // area 2
+    s.add(4.0, 2.0);   // area 4
+    EXPECT_DOUBLE_EQ(s.integrate(), 6.0);
+}
+
+TEST(TimeSeries, IntegrateOfSingletonIsZero) {
+    time_series s("p");
+    s.add(1.0, 100.0);
+    EXPECT_DOUBLE_EQ(s.integrate(), 0.0);
+}
+
+TEST(SeriesBundle, SeriesCreatesOnDemandAndFinds) {
+    series_bundle b;
+    b.series("a").add(0.0, 1.0);
+    b.series("b").add(0.0, 2.0);
+    b.series("a").add(1.0, 3.0);
+    EXPECT_EQ(b.all().size(), 2u);
+    ASSERT_NE(b.find("a"), nullptr);
+    EXPECT_EQ(b.find("a")->size(), 2u);
+    EXPECT_EQ(b.find("missing"), nullptr);
+}
+
+TEST(SeriesBundle, PrintAlignsUnionOfTimestamps) {
+    series_bundle b;
+    b.series("a").add(0.0, 1.0);
+    b.series("b").add(1.0, 2.0);
+    std::ostringstream os;
+    b.print(os, 8, 1);
+    const std::string out = os.str();
+    // Header plus two rows (t=0 and t=1), with '-' for missing cells.
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("b"), std::string::npos);
+    EXPECT_NE(out.find("-"), std::string::npos);
+    EXPECT_NE(out.find("1.0"), std::string::npos);
+    EXPECT_NE(out.find("2.0"), std::string::npos);
+}
+
+TEST(SeriesBundle, SeriesReferencesSurviveGrowth) {
+    // The documented guarantee: references from series() stay valid while
+    // more series are created (callers cache them across bundle growth).
+    series_bundle b;
+    auto& first = b.series("first");
+    for (int i = 0; i < 50; ++i) b.series("extra" + std::to_string(i));
+    first.add(0.0, 42.0);
+    ASSERT_NE(b.find("first"), nullptr);
+    EXPECT_EQ(b.find("first")->size(), 1u);
+    EXPECT_DOUBLE_EQ(b.find("first")->samples()[0].value, 42.0);
+}
+
+TEST(SeriesBundle, CsvHasHeaderAndRows) {
+    series_bundle b;
+    b.series("x").add(0.0, 1.5);
+    b.series("y").add(0.0, 2.5);
+    std::ostringstream os;
+    b.print_csv(os);
+    EXPECT_EQ(os.str(), "time,x,y\n0,1.5,2.5\n");
+}
+
+}  // namespace
+}  // namespace mistral

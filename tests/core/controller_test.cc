@@ -1,0 +1,131 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/rubis.h"
+
+namespace mistral::core {
+namespace {
+
+struct fixture : ::testing::Test {
+    cluster::cluster_model model = [] {
+        std::vector<apps::application_spec> specs;
+        specs.push_back(apps::rubis_browsing("R0"));
+        specs.push_back(apps::rubis_browsing("R1"));
+        return cluster::cluster_model(cluster::uniform_hosts(4), std::move(specs));
+    }();
+
+    cluster::configuration base() const {
+        cluster::configuration c(model.vm_count(), model.host_count());
+        for (std::size_t h = 0; h < 4; ++h) {
+            c.set_host_power(host_id{static_cast<std::int32_t>(h)}, true);
+        }
+        for (std::size_t a = 0; a < 2; ++a) {
+            const app_id app{static_cast<std::int32_t>(a)};
+            for (std::size_t t = 0; t < 3; ++t) {
+                c.deploy(model.tier_vms(app, t)[0],
+                         host_id{static_cast<std::int32_t>(2 * a + t % 2)}, 0.4);
+            }
+        }
+        return c;
+    }
+
+    mistral_controller make(controller_options opts = {}) {
+        return mistral_controller(model, cost::cost_table::paper_defaults(), opts);
+    }
+};
+
+using ControllerTest = fixture;
+
+TEST_F(ControllerTest, FirstStepAlwaysInvokesOptimizer) {
+    auto ctl = make();
+    const auto d = ctl.step(0.0, {50.0, 50.0}, base(), 0.0);
+    EXPECT_TRUE(d.invoked);
+    EXPECT_GE(d.control_window, ctl.options().min_control_window);
+}
+
+TEST_F(ControllerTest, QuietWhileWorkloadInBand) {
+    auto ctl = make();
+    ctl.step(0.0, {50.0, 50.0}, base(), 0.0);
+    const auto d = ctl.step(120.0, {52.0, 49.0}, base(), 1.0);
+    EXPECT_FALSE(d.invoked);
+    EXPECT_TRUE(d.actions.empty());
+}
+
+TEST_F(ControllerTest, InvokesWhenBandExceeded) {
+    auto ctl = make();
+    ctl.step(0.0, {50.0, 50.0}, base(), 0.0);
+    const auto d = ctl.step(240.0, {65.0, 50.0}, base(), 1.0);
+    EXPECT_TRUE(d.invoked);
+}
+
+TEST_F(ControllerTest, ZeroBandTriggersEveryChange) {
+    controller_options opts;
+    opts.band_width = 0.0;
+    auto ctl = make(opts);
+    ctl.step(0.0, {50.0, 50.0}, base(), 0.0);
+    EXPECT_TRUE(ctl.step(120.0, {50.1, 50.0}, base(), 1.0).invoked);
+}
+
+TEST_F(ControllerTest, StabilityIntervalsFeedArmaPredictors) {
+    auto ctl = make();
+    ctl.step(0.0, {50.0, 50.0}, base(), 0.0);
+    ctl.step(240.0, {70.0, 50.0}, base(), 1.0);   // app 0 exits after 240 s
+    EXPECT_EQ(ctl.predictors()[0].measurements().size(), 1u);
+    EXPECT_DOUBLE_EQ(ctl.predictors()[0].measurements()[0], 240.0);
+    EXPECT_TRUE(ctl.predictors()[1].measurements().empty());
+}
+
+TEST_F(ControllerTest, ControlWindowWithinConfiguredBounds) {
+    auto ctl = make();
+    seconds t = 0.0;
+    auto cfg = base();
+    for (int i = 0; i < 10; ++i) {
+        const auto d = ctl.step(t, {50.0 + 15.0 * (i % 2), 50.0}, cfg, 1.0);
+        if (d.invoked) {
+            EXPECT_GE(d.control_window, ctl.options().min_control_window);
+            EXPECT_LE(d.control_window, ctl.options().max_control_window);
+        }
+        t += 120.0;
+    }
+}
+
+TEST_F(ControllerTest, DecisionStatsAreMetered) {
+    auto ctl = make();
+    const auto d = ctl.step(0.0, {50.0, 50.0}, base(), 0.0);
+    ASSERT_TRUE(d.invoked);
+    EXPECT_GT(d.stats.expansions, 0u);
+    EXPECT_GT(d.stats.duration, 0.0);
+    EXPECT_GT(d.stats.search_power_cost, 0.0);
+}
+
+TEST_F(ControllerTest, ActionsAreApplicableFromGivenConfiguration) {
+    auto ctl = make();
+    auto cfg = base();
+    const auto d = ctl.step(0.0, {30.0, 30.0}, cfg, 0.0);
+    for (const auto& a : d.actions) {
+        std::string why;
+        ASSERT_TRUE(applicable(model, cfg, a, &why)) << why;
+        cfg = apply(model, cfg, a);
+    }
+    std::string why;
+    EXPECT_TRUE(is_candidate(model, cfg, &why)) << why;
+}
+
+TEST_F(ControllerTest, UtilityHistoryShapesExpectedBudget) {
+    // With a deeply negative utility history, UH is negative and pruning
+    // starts immediately; decisions still come back valid.
+    auto ctl = make();
+    auto cfg = base();
+    ctl.step(0.0, {50.0, 50.0}, cfg, 0.0);
+    const auto d = ctl.step(240.0, {80.0, 50.0}, cfg, -10.0);
+    EXPECT_TRUE(d.invoked);
+}
+
+TEST_F(ControllerTest, RejectsWrongRateCount) {
+    auto ctl = make();
+    EXPECT_THROW(ctl.step(0.0, {50.0}, base(), 0.0), invariant_error);
+}
+
+}  // namespace
+}  // namespace mistral::core

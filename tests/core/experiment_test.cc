@@ -1,0 +1,104 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace mistral::core {
+namespace {
+
+scenario small_scenario() {
+    scenario_options opts;
+    opts.host_count = 4;
+    opts.app_count = 2;
+    // Short constant traces keep the test fast.
+    wl::generator_options gen;
+    gen.duration = 3600.0;
+    gen.noise = 0.01;
+    opts.traces = {wl::constant_trace("a", 40.0, gen),
+                   wl::constant_trace("b", 40.0, gen)};
+    return make_rubis_scenario(opts);
+}
+
+TEST(Scenario, BuildsValidInitialConfiguration) {
+    const auto scn = make_rubis_scenario({.host_count = 4, .app_count = 2});
+    std::string why;
+    EXPECT_TRUE(is_candidate(scn.model, scn.initial, &why)) << why;
+    EXPECT_EQ(scn.model.app_count(), 2u);
+    EXPECT_EQ(scn.traces.size(), 2u);
+    // Fig. 4 workloads by default.
+    EXPECT_EQ(scn.traces[0].name(), "RUBiS-1");
+}
+
+TEST(Scenario, InitialPlacementRespectsPerfCostPools) {
+    const auto scn = make_rubis_scenario({.host_count = 4, .app_count = 2});
+    for (const auto& desc : scn.model.vms()) {
+        const auto& p = scn.initial.placement(desc.vm);
+        if (!p) continue;
+        const std::size_t pool_base = desc.app.index() * 2;
+        EXPECT_TRUE(p->host.index() == pool_base || p->host.index() == pool_base + 1);
+    }
+}
+
+TEST(Scenario, ScalesToMoreAppsAndHosts) {
+    const auto scn = make_rubis_scenario({.host_count = 8, .app_count = 4});
+    std::string why;
+    EXPECT_TRUE(is_candidate(scn.model, scn.initial, &why)) << why;
+    EXPECT_EQ(scn.traces.size(), 4u);
+    EXPECT_EQ(scn.model.vm_count(), 20u);  // the paper's 20-VM scenario
+}
+
+TEST(RunScenario, ProducesCompleteSeries) {
+    auto scn = small_scenario();
+    mistral_strategy strat(scn.model, cost::cost_table::paper_defaults());
+    const auto r = run_scenario(scn, strat);
+    EXPECT_EQ(r.strategy_name, "Mistral");
+    // 3600 s at 120 s intervals = 30 intervals.
+    ASSERT_NE(r.series.find("power"), nullptr);
+    EXPECT_EQ(r.series.find("power")->size(), 30u);
+    EXPECT_NE(r.series.find("rt_RUBiS-1"), nullptr);
+    EXPECT_NE(r.series.find("cum_utility"), nullptr);
+    EXPECT_EQ(r.violation_fraction.size(), 2u);
+}
+
+TEST(RunScenario, CumulativeUtilitySeriesEndsAtTotal) {
+    auto scn = small_scenario();
+    mistral_strategy strat(scn.model, cost::cost_table::paper_defaults());
+    const auto r = run_scenario(scn, strat);
+    const auto& cum = r.series.find("cum_utility")->samples();
+    EXPECT_NEAR(cum.back().value, r.cumulative_utility, 1e-9);
+    // Per-interval utilities sum to the cumulative total.
+    double sum = 0.0;
+    for (const auto& s : r.series.find("utility")->samples()) sum += s.value;
+    EXPECT_NEAR(sum, r.cumulative_utility, 1e-6);
+}
+
+TEST(RunScenario, SteadyWorkloadIsProfitable) {
+    // A constant moderate load with a competent controller must net
+    // positive utility (rewards exceed power cost).
+    auto scn = small_scenario();
+    mistral_strategy strat(scn.model, cost::cost_table::paper_defaults());
+    const auto r = run_scenario(scn, strat);
+    EXPECT_GT(r.cumulative_utility, 0.0);
+    EXPECT_LT(r.violation_fraction[0], 0.35);
+}
+
+TEST(RunScenario, SameSeedSameGroundTruthAcrossStrategies) {
+    auto scn = small_scenario();
+    mistral_strategy a(scn.model, cost::cost_table::paper_defaults());
+    mistral_strategy b(scn.model, cost::cost_table::paper_defaults());
+    const auto ra = run_scenario(scn, a);
+    const auto rb = run_scenario(scn, b);
+    EXPECT_DOUBLE_EQ(ra.cumulative_utility, rb.cumulative_utility);
+}
+
+TEST(RunScenario, TracksInvocationAndActionCounts) {
+    auto scn = small_scenario();
+    perf_pwr_strategy strat(scn.model);
+    const auto r = run_scenario(scn, strat);
+    EXPECT_GT(r.invocations, 0u);
+    EXPECT_EQ(r.strategy_name, "Perf-Pwr");
+}
+
+}  // namespace
+}  // namespace mistral::core

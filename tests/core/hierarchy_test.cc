@@ -1,0 +1,106 @@
+#include "core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/rubis.h"
+
+namespace mistral::core {
+namespace {
+
+struct fixture : ::testing::Test {
+    cluster::cluster_model model = [] {
+        std::vector<apps::application_spec> specs;
+        for (int a = 0; a < 3; ++a) {
+            specs.push_back(apps::rubis_browsing("R" + std::to_string(a)));
+        }
+        return cluster::cluster_model(cluster::uniform_hosts(6), std::move(specs));
+    }();
+    cost::cost_table costs = cost::cost_table::paper_defaults();
+
+    cluster::configuration base() const {
+        cluster::configuration c(model.vm_count(), model.host_count());
+        for (std::size_t h = 0; h < 6; ++h) {
+            c.set_host_power(host_id{static_cast<std::int32_t>(h)}, true);
+        }
+        for (std::size_t a = 0; a < 3; ++a) {
+            const app_id app{static_cast<std::int32_t>(a)};
+            for (std::size_t t = 0; t < 3; ++t) {
+                c.deploy(model.tier_vms(app, t)[0],
+                         host_id{static_cast<std::int32_t>(2 * a + t % 2)}, 0.4);
+            }
+        }
+        return c;
+    }
+};
+
+using HierarchyTest = fixture;
+
+TEST_F(HierarchyTest, RejectsOverlappingGroups) {
+    EXPECT_THROW(hierarchical_controller(model, costs, {{0, 1}, {1, 2}}),
+                 invariant_error);
+    EXPECT_THROW(hierarchical_controller(model, costs, {{0, 99}}), invariant_error);
+    EXPECT_THROW(hierarchical_controller(model, costs, {}), invariant_error);
+}
+
+TEST_F(HierarchyTest, DecisionsAreExecutable) {
+    hierarchical_controller h(model, costs, {{0, 1, 2}, {3, 4, 5}});
+    auto cfg = base();
+    seconds t = 0.0;
+    for (double rate : {40.0, 42.0, 55.0, 70.0}) {
+        const auto out = h.decide(t, {rate, rate, rate}, cfg, 1.0);
+        for (const auto& a : out.actions) {
+            std::string why;
+            ASSERT_TRUE(applicable(model, cfg, a, &why))
+                << to_string(model, a) << ": " << why;
+            cfg = apply(model, cfg, a);
+        }
+        std::string why;
+        EXPECT_TRUE(structurally_valid(model, cfg, &why)) << why;
+        t += 120.0;
+    }
+}
+
+TEST_F(HierarchyTest, LevelOneActsWithinItsGroup) {
+    hierarchical_controller h(model, costs, {{0, 1, 2}, {3, 4, 5}});
+    auto cfg = base();
+    // Small drift: second level's 8 req/s band does not trip after the first
+    // invocation, so any actions come from level-1 controllers.
+    h.decide(0.0, {40.0, 40.0, 40.0}, cfg, 1.0);
+    const auto out = h.decide(120.0, {43.0, 40.0, 40.0}, cfg, 1.0);
+    for (const auto& a : out.actions) {
+        const auto k = kind_of(a);
+        EXPECT_NE(k, cluster::action_kind::power_on) << to_string(model, a);
+        EXPECT_NE(k, cluster::action_kind::power_off) << to_string(model, a);
+        EXPECT_NE(k, cluster::action_kind::add_replica) << to_string(model, a);
+        EXPECT_NE(k, cluster::action_kind::remove_replica) << to_string(model, a);
+    }
+}
+
+TEST_F(HierarchyTest, LevelTwoFiresOnLargeShift) {
+    hierarchical_controller h(model, costs, {{0, 1, 2}, {3, 4, 5}});
+    auto cfg = base();
+    h.decide(0.0, {40.0, 40.0, 40.0}, cfg, 1.0);
+    h.decide(120.0, {80.0, 40.0, 40.0}, cfg, 1.0);
+    EXPECT_GT(h.level2_durations().count(), 1u);  // first step + the shift
+}
+
+TEST_F(HierarchyTest, PerLevelDurationsAccumulate) {
+    hierarchical_controller h(model, costs, {{0, 1, 2}, {3, 4, 5}});
+    auto cfg = base();
+    seconds t = 0.0;
+    for (int i = 0; i < 5; ++i) {
+        h.decide(t, {40.0 + i, 40.0, 40.0}, cfg, 1.0);
+        t += 120.0;
+    }
+    EXPECT_GT(h.level1_durations().count(), 0u);
+    EXPECT_GT(h.level1_durations().mean(), 0.0);
+    EXPECT_GT(h.level2_durations().count(), 0u);
+}
+
+TEST_F(HierarchyTest, NameIdentifiesTwoLevels) {
+    hierarchical_controller h(model, costs, {{0, 1, 2, 3, 4, 5}});
+    EXPECT_EQ(h.name(), "Mistral-2L");
+}
+
+}  // namespace
+}  // namespace mistral::core

@@ -1,0 +1,140 @@
+#include "core/perf_pwr.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/rubis.h"
+
+namespace mistral::core {
+namespace {
+
+struct fixture : ::testing::Test {
+    cluster::cluster_model model = [] {
+        std::vector<apps::application_spec> specs;
+        specs.push_back(apps::rubis_browsing("R0"));
+        specs.push_back(apps::rubis_browsing("R1"));
+        return cluster::cluster_model(cluster::uniform_hosts(4), std::move(specs));
+    }();
+    perf_pwr_optimizer opt{model, utility_model{}};
+};
+
+using PerfPwrTest = fixture;
+
+TEST_F(PerfPwrTest, ProducesCandidateConfigurations) {
+    for (double rate : {5.0, 30.0, 60.0, 90.0}) {
+        const auto r = opt.optimize({rate, rate});
+        ASSERT_TRUE(r.feasible) << rate;
+        std::string why;
+        EXPECT_TRUE(is_candidate(model, r.ideal, &why)) << rate << ": " << why;
+    }
+}
+
+TEST_F(PerfPwrTest, ConsolidatesAtLowLoad) {
+    const auto lo = opt.optimize({3.0, 3.0});
+    const auto hi = opt.optimize({90.0, 90.0});
+    ASSERT_TRUE(lo.feasible && hi.feasible);
+    EXPECT_LT(lo.hosts_used, hi.hosts_used);
+    EXPECT_LT(lo.power, hi.power);
+}
+
+TEST_F(PerfPwrTest, MeetsTargetsAtModerateLoad) {
+    const auto r = opt.optimize({40.0, 40.0});
+    ASSERT_TRUE(r.feasible);
+    for (double rt : r.response_times) {
+        EXPECT_LE(rt, 0.4);
+    }
+    EXPECT_GT(r.perf_rate, 0.0);
+}
+
+TEST_F(PerfPwrTest, UtilityDecomposesIntoPerfAndPower) {
+    const auto r = opt.optimize({40.0, 40.0});
+    EXPECT_NEAR(r.utility_rate, r.perf_rate + r.power_rate, 1e-12);
+    EXPECT_LT(r.power_rate, 0.0);
+}
+
+TEST_F(PerfPwrTest, IdealUtilityIsNonDecreasingRelaxation) {
+    // Fewer constraints (ignoring targets) can only help utility.
+    const auto any = opt.optimize({50.0, 50.0});
+    const auto strict = opt.optimize_meeting_targets({50.0, 50.0});
+    if (strict.feasible) {
+        EXPECT_GE(any.utility_rate, strict.utility_rate - 1e-9);
+    }
+}
+
+TEST_F(PerfPwrTest, MeetingTargetsVariantNeverViolates) {
+    for (double rate : {20.0, 50.0, 80.0}) {
+        const auto r = opt.optimize_meeting_targets({rate, rate});
+        if (!r.feasible) continue;
+        const utility_model u;
+        for (std::size_t a = 0; a < r.response_times.size(); ++a) {
+            EXPECT_LE(r.response_times[a], u.planning_target(0.4) + 1e-9)
+                << "rate " << rate;
+        }
+    }
+}
+
+TEST_F(PerfPwrTest, DeterministicForSameInputs) {
+    const auto a = opt.optimize({35.0, 55.0});
+    const auto b = opt.optimize({35.0, 55.0});
+    EXPECT_EQ(a.ideal, b.ideal);
+    EXPECT_DOUBLE_EQ(a.utility_rate, b.utility_rate);
+}
+
+TEST_F(PerfPwrTest, ReferencePlacementIsSticky) {
+    // Build a valid current placement, then ask for the ideal near it: VMs
+    // that fit where they are should not move.
+    const auto base = opt.optimize({40.0, 40.0});
+    ASSERT_TRUE(base.feasible);
+    const auto again = opt.optimize({40.0, 40.0}, &base.ideal);
+    std::size_t moved = 0;
+    for (const auto& desc : model.vms()) {
+        const auto& p0 = base.ideal.placement(desc.vm);
+        const auto& p1 = again.ideal.placement(desc.vm);
+        if (p0 && p1 && p0->host != p1->host) ++moved;
+    }
+    EXPECT_EQ(moved, 0u);
+}
+
+TEST_F(PerfPwrTest, ReferenceReducesChurnAcrossSmallRateChange) {
+    const auto at40 = opt.optimize({40.0, 40.0});
+    const auto fresh = opt.optimize({45.0, 45.0});
+    const auto sticky = opt.optimize({45.0, 45.0}, &at40.ideal);
+    EXPECT_LE(placement_distance(model, sticky.ideal, at40.ideal),
+              placement_distance(model, fresh.ideal, at40.ideal) + 1e-12);
+}
+
+TEST_F(PerfPwrTest, RespectsAppHostPools) {
+    perf_pwr_options opts;
+    opts.app_hosts = {{true, true, false, false}, {false, false, true, true}};
+    perf_pwr_optimizer pooled(model, utility_model{}, opts);
+    const auto r = pooled.optimize({60.0, 60.0});
+    ASSERT_TRUE(r.feasible);
+    for (const auto& desc : model.vms()) {
+        const auto& p = r.ideal.placement(desc.vm);
+        if (!p) continue;
+        EXPECT_TRUE(opts.app_hosts[desc.app.index()][p->host.index()])
+            << "app " << desc.app << " placed on " << p->host;
+    }
+}
+
+TEST_F(PerfPwrTest, PacksWithinHostConstraints) {
+    const auto r = opt.optimize({70.0, 70.0});
+    ASSERT_TRUE(r.feasible);
+    for (std::size_t h = 0; h < model.host_count(); ++h) {
+        const host_id host{static_cast<std::int32_t>(h)};
+        EXPECT_LE(r.ideal.cap_sum(host), model.limits().host_cpu_cap + 1e-9);
+        EXPECT_LE(static_cast<int>(r.ideal.vms_on(host).size()),
+                  model.limits().max_vms_per_host);
+    }
+}
+
+TEST_F(PerfPwrTest, HigherRateNeverLowersIdealPerfRequirement) {
+    // Utility of the ideal should not be wildly non-monotone: power rises
+    // with load, so total utility can move either way, but the perf term
+    // should track the bigger rewards available at higher rates.
+    const auto lo = opt.optimize({20.0, 20.0});
+    const auto hi = opt.optimize({80.0, 80.0});
+    EXPECT_GT(hi.perf_rate, lo.perf_rate);
+}
+
+}  // namespace
+}  // namespace mistral::core

@@ -1,0 +1,200 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/rubis.h"
+#include "common/rng.h"
+#include "core/perf_pwr.h"
+
+namespace mistral::core {
+namespace {
+
+struct fixture : ::testing::Test {
+    cluster::cluster_model model = [] {
+        std::vector<apps::application_spec> specs;
+        specs.push_back(apps::rubis_browsing("R0"));
+        specs.push_back(apps::rubis_browsing("R1"));
+        return cluster::cluster_model(cluster::uniform_hosts(4), std::move(specs));
+    }();
+
+    cluster::configuration base() const {
+        cluster::configuration c(model.vm_count(), model.host_count());
+        for (std::size_t h = 0; h < 4; ++h) {
+            c.set_host_power(host_id{static_cast<std::int32_t>(h)}, true);
+        }
+        for (std::size_t a = 0; a < 2; ++a) {
+            const app_id app{static_cast<std::int32_t>(a)};
+            for (std::size_t t = 0; t < 3; ++t) {
+                c.deploy(model.tier_vms(app, t)[0],
+                         host_id{static_cast<std::int32_t>(2 * a + t % 2)}, 0.4);
+            }
+        }
+        return c;
+    }
+};
+
+using PlannerTest = fixture;
+
+TEST_F(PlannerTest, EmptyPlanForIdenticalConfigs) {
+    const auto c = base();
+    EXPECT_TRUE(plan_transition(model, c, c).empty());
+}
+
+TEST_F(PlannerTest, EveryPrefixIsApplicable) {
+    const auto from = base();
+    auto to = from;
+    // Target: move R0's db to host3, raise its cap, add an app replica.
+    to.deploy(model.tier_vms(app_id{0}, 2)[0], host_id{3}, 0.6);
+    to.deploy(model.tier_vms(app_id{0}, 1)[1], host_id{3}, 0.2);
+    const auto plan = plan_transition(model, from, to);
+    EXPECT_FALSE(plan.empty());
+    cluster::configuration cur = from;
+    for (const auto& a : plan) {
+        std::string why;
+        ASSERT_TRUE(applicable(model, cur, a, &why))
+            << to_string(model, a) << ": " << why;
+        cur = apply(model, cur, a);
+    }
+}
+
+TEST_F(PlannerTest, ReachesCapRetargets) {
+    const auto from = base();
+    auto to = from;
+    const auto vm = model.tier_vms(app_id{0}, 1)[0];
+    to.set_cap(vm, 0.6);
+    const auto plan = plan_transition(model, from, to);
+    const auto reached = apply_plan(model, from, plan);
+    EXPECT_NEAR(reached.placement(vm)->cpu_cap, 0.6, 1e-9);
+}
+
+TEST_F(PlannerTest, ReplicaCountsReconciledByTierNotIdentity) {
+    const auto from = base();
+    auto to = from;
+    // The target deploys replica index 1 instead of 0 on the same host with
+    // the same cap: semantically nothing changes, so no actions needed.
+    const auto r0 = model.tier_vms(app_id{0}, 2)[0];
+    const auto r1 = model.tier_vms(app_id{0}, 2)[1];
+    const auto placement = *to.placement(r0);
+    to.undeploy(r0);
+    to.deploy(r1, placement.host, placement.cpu_cap);
+    EXPECT_TRUE(plan_transition(model, from, to).empty());
+}
+
+TEST_F(PlannerTest, PowersOnBeforeMovingIn) {
+    auto from = base();
+    from.set_host_power(host_id{3}, false);
+    // Re-deploy R1 entirely onto hosts 2 (held) — base put tier 1 on host 3.
+    const auto moved = model.tier_vms(app_id{1}, 1)[0];
+    from.deploy(moved, host_id{2}, 0.4);
+    auto to = from;
+    to.set_host_power(host_id{3}, true);
+    to.deploy(moved, host_id{3}, 0.4);
+    const auto plan = plan_transition(model, from, to);
+    ASSERT_GE(plan.size(), 2u);
+    EXPECT_EQ(kind_of(plan.front()), cluster::action_kind::power_on);
+    const auto reached = apply_plan(model, from, plan);
+    EXPECT_EQ(reached.placement(moved)->host, host_id{3});
+}
+
+TEST_F(PlannerTest, PowersOffEmptiedHosts) {
+    const auto from = base();
+    auto to = from;
+    // Consolidate R1 onto host2 and power host3 down.
+    const auto moved = model.tier_vms(app_id{1}, 1)[0];
+    to.deploy(moved, host_id{2}, 0.4);
+    to.set_host_power(host_id{3}, false);
+    const auto plan = plan_transition(model, from, to);
+    const auto reached = apply_plan(model, from, plan);
+    EXPECT_FALSE(reached.host_on(host_id{3}));
+    EXPECT_EQ(reached.placement(moved)->host, host_id{2});
+}
+
+TEST_F(PlannerTest, RemovesExtraReplicas) {
+    auto from = base();
+    from.deploy(model.tier_vms(app_id{0}, 2)[1], host_id{3}, 0.2);
+    const auto to = base();
+    const auto plan = plan_transition(model, from, to);
+    const auto reached = apply_plan(model, from, plan);
+    EXPECT_FALSE(reached.deployed(model.tier_vms(app_id{0}, 2)[1]));
+}
+
+TEST_F(PlannerTest, PlansBetweenOptimizerOutputsAcrossRates) {
+    // Property sweep: the planner must connect Perf-Pwr ideals for adjacent
+    // workload levels, ending structurally valid and close to the target.
+    perf_pwr_optimizer opt(model, utility_model{});
+    rng r(99);
+    auto prev = opt.optimize({30.0, 30.0});
+    ASSERT_TRUE(prev.feasible);
+    for (double rate = 40.0; rate <= 90.0; rate += 10.0) {
+        const auto next = opt.optimize({rate, rate}, &prev.ideal);
+        ASSERT_TRUE(next.feasible) << rate;
+        const auto plan = plan_transition(model, prev.ideal, next.ideal);
+        const auto reached = apply_plan(model, prev.ideal, plan);
+        std::string why;
+        EXPECT_TRUE(structurally_valid(model, reached, &why))
+            << "rate " << rate << ": " << why;
+        // Same deployed multiset per tier as the target.
+        for (std::size_t a = 0; a < model.app_count(); ++a) {
+            const app_id app{static_cast<std::int32_t>(a)};
+            for (std::size_t t = 0; t < 3; ++t) {
+                int want = 0, have = 0;
+                for (vm_id vm : model.tier_vms(app, t)) {
+                    want += next.ideal.deployed(vm) ? 1 : 0;
+                    have += reached.deployed(vm) ? 1 : 0;
+                }
+                EXPECT_EQ(have, want) << "rate " << rate;
+            }
+        }
+        prev = next;
+    }
+}
+
+TEST_F(PlannerTest, CompressPlanRemovesNoOpDetours) {
+    const auto from = base();
+    const auto vm = model.tier_vms(app_id{0}, 0)[0];
+    // A plan with two kinds of waste: a power_on/power_off no-op pair... the
+    // model's 4 hosts are all on in base(), so build it around host power by
+    // first freeing a host — simpler: an increase/decrease cancel pair and a
+    // migrate-there-and-back detour.
+    std::vector<cluster::action> plan = {
+        cluster::increase_cpu{vm},  cluster::decrease_cpu{vm},
+        cluster::migrate{vm, host_id{3}}, cluster::migrate{vm, host_id{0}},
+        cluster::increase_cpu{vm},
+    };
+    const auto compressed = compress_plan(model, from, plan);
+    ASSERT_EQ(compressed.size(), 1u);
+    EXPECT_EQ(kind_of(compressed[0]), cluster::action_kind::increase_cpu);
+    EXPECT_EQ(apply_plan(model, from, compressed), apply_plan(model, from, plan));
+}
+
+TEST_F(PlannerTest, CompressPlanKeepsEffectivePlansIntact) {
+    const auto from = base();
+    auto to = from;
+    to.deploy(model.tier_vms(app_id{0}, 2)[0], host_id{3}, 0.6);
+    const auto plan = plan_transition(model, from, to);
+    const auto compressed = compress_plan(model, from, plan);
+    EXPECT_EQ(compressed, plan);  // planner output has no detours to remove
+}
+
+TEST_F(PlannerTest, CompressPlanHandlesEmptyAndIdentity) {
+    const auto from = base();
+    EXPECT_TRUE(compress_plan(model, from, {}).empty());
+    const auto vm = model.tier_vms(app_id{0}, 0)[0];
+    // Pure cancel pair compresses to nothing.
+    std::vector<cluster::action> pair = {cluster::increase_cpu{vm},
+                                         cluster::decrease_cpu{vm}};
+    EXPECT_TRUE(compress_plan(model, from, pair).empty());
+}
+
+TEST_F(PlannerTest, ApplyPlanMatchesManualFold) {
+    const auto from = base();
+    auto to = from;
+    to.set_cap(model.tier_vms(app_id{0}, 0)[0], 0.6);
+    const auto plan = plan_transition(model, from, to);
+    cluster::configuration manual = from;
+    for (const auto& a : plan) manual = apply(model, manual, a);
+    EXPECT_EQ(apply_plan(model, from, plan), manual);
+}
+
+}  // namespace
+}  // namespace mistral::core

@@ -1,0 +1,177 @@
+#include "core/strategies.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/rubis.h"
+
+namespace mistral::core {
+namespace {
+
+struct fixture : ::testing::Test {
+    cluster::cluster_model model = [] {
+        std::vector<apps::application_spec> specs;
+        specs.push_back(apps::rubis_browsing("R0"));
+        specs.push_back(apps::rubis_browsing("R1"));
+        return cluster::cluster_model(cluster::uniform_hosts(4), std::move(specs));
+    }();
+    cost::cost_table costs = cost::cost_table::paper_defaults();
+
+    cluster::configuration base() const {
+        cluster::configuration c(model.vm_count(), model.host_count());
+        for (std::size_t h = 0; h < 4; ++h) {
+            c.set_host_power(host_id{static_cast<std::int32_t>(h)}, true);
+        }
+        for (std::size_t a = 0; a < 2; ++a) {
+            const app_id app{static_cast<std::int32_t>(a)};
+            for (std::size_t t = 0; t < 3; ++t) {
+                c.deploy(model.tier_vms(app, t)[0],
+                         host_id{static_cast<std::int32_t>(2 * a + t % 2)}, 0.4);
+            }
+        }
+        return c;
+    }
+
+    // Applies a decision, asserting executability.
+    cluster::configuration apply_all(const cluster::configuration& from,
+                                     const std::vector<cluster::action>& actions) {
+        cluster::configuration cur = from;
+        for (const auto& a : actions) {
+            std::string why;
+            EXPECT_TRUE(applicable(model, cur, a, &why))
+                << to_string(model, a) << ": " << why;
+            cur = apply(model, cur, a);
+        }
+        return cur;
+    }
+};
+
+using StrategiesTest = fixture;
+
+TEST_F(StrategiesTest, NamesIdentifyStrategies) {
+    mistral_strategy m(model, costs);
+    perf_pwr_strategy pp(model);
+    perf_cost_strategy pc(model, costs);
+    pwr_cost_strategy wc(model, costs);
+    EXPECT_EQ(m.name(), "Mistral");
+    EXPECT_EQ(pp.name(), "Perf-Pwr");
+    EXPECT_EQ(pc.name(), "Perf-Cost");
+    EXPECT_EQ(wc.name(), "Pwr-Cost");
+}
+
+TEST_F(StrategiesTest, MistralDecisionsAreExecutable) {
+    mistral_strategy s(model, costs);
+    auto cfg = base();
+    const auto out = s.decide(0.0, {40.0, 40.0}, cfg, 0.0);
+    EXPECT_TRUE(out.invoked);
+    cfg = apply_all(cfg, out.actions);
+    EXPECT_TRUE(is_candidate(model, cfg));
+    EXPECT_GE(out.decision_delay, 0.0);
+    EXPECT_GE(out.decision_power_cost, 0.0);
+}
+
+TEST_F(StrategiesTest, PerfPwrAdaptsOnAnyRateChange) {
+    perf_pwr_strategy s(model);
+    auto cfg = base();
+    const auto first = s.decide(0.0, {40.0, 40.0}, cfg, 0.0);
+    EXPECT_TRUE(first.invoked);
+    cfg = apply_all(cfg, first.actions);
+    // Identical rates: no re-optimization.
+    EXPECT_FALSE(s.decide(120.0, {40.0, 40.0}, cfg, 0.0).invoked);
+    // Tiny change: immediately re-optimizes (band-0 behaviour).
+    EXPECT_TRUE(s.decide(240.0, {40.2, 40.0}, cfg, 0.0).invoked);
+}
+
+TEST_F(StrategiesTest, PerfPwrReachesCandidateConfigurations) {
+    perf_pwr_strategy s(model);
+    auto cfg = base();
+    for (double rate : {15.0, 60.0, 85.0, 30.0}) {
+        const auto out = s.decide(0.0, {rate, rate}, cfg, 0.0);
+        cfg = apply_all(cfg, out.actions);
+        std::string why;
+        EXPECT_TRUE(structurally_valid(model, cfg, &why)) << rate << ": " << why;
+    }
+}
+
+TEST_F(StrategiesTest, PerfCostPoolsAreDisjointPairs) {
+    perf_cost_strategy s(model, costs);
+    const auto& pools = s.pools();
+    ASSERT_EQ(pools.size(), 2u);
+    EXPECT_TRUE(pools[0][0] && pools[0][1]);
+    EXPECT_FALSE(pools[0][2] || pools[0][3]);
+    EXPECT_TRUE(pools[1][2] && pools[1][3]);
+    EXPECT_FALSE(pools[1][0] || pools[1][1]);
+}
+
+TEST_F(StrategiesTest, PerfCostNeverLeavesItsPools) {
+    perf_cost_strategy s(model, costs);
+    auto cfg = base();
+    seconds t = 0.0;
+    for (double rate : {30.0, 70.0, 90.0, 50.0}) {
+        const auto out = s.decide(t, {rate, rate}, cfg, 1.0);
+        cfg = apply_all(cfg, out.actions);
+        for (const auto& desc : model.vms()) {
+            const auto& p = cfg.placement(desc.vm);
+            if (!p) continue;
+            EXPECT_TRUE(s.pools()[desc.app.index()][p->host.index()])
+                << desc.vm << " on " << p->host << " at rate " << rate;
+        }
+        t += 120.0;
+    }
+}
+
+TEST_F(StrategiesTest, PerfCostNeverPowersHostsDown) {
+    perf_cost_strategy s(model, costs);
+    auto cfg = base();
+    const auto out = s.decide(0.0, {5.0, 5.0}, cfg, 0.0);
+    for (const auto& a : out.actions) {
+        EXPECT_NE(kind_of(a), cluster::action_kind::power_off);
+        EXPECT_NE(kind_of(a), cluster::action_kind::power_on);
+    }
+}
+
+TEST_F(StrategiesTest, PwrCostMeetsTargetsAfterAdaptation) {
+    pwr_cost_strategy s(model, costs);
+    auto cfg = base();
+    const auto out = s.decide(0.0, {60.0, 60.0}, cfg, 0.0);
+    EXPECT_TRUE(out.invoked);
+    cfg = apply_all(cfg, out.actions);
+    const auto pred = cluster::predict(model, cfg, {60.0, 60.0});
+    for (const auto& app : pred.perf.apps) {
+        EXPECT_LE(app.mean_response_time, 0.4);
+    }
+}
+
+TEST_F(StrategiesTest, PwrCostConsolidatesWhenClearlyWorthIt) {
+    pwr_cost_strategy s(model, costs);
+    auto cfg = base();
+    // Long stable low load: savings over the window dwarf migration costs.
+    auto out = s.decide(0.0, {5.0, 5.0}, cfg, 0.0);
+    cfg = apply_all(cfg, out.actions);
+    // May take a second invocation once ARMA has a long estimate.
+    out = s.decide(120.0, {5.5, 5.0}, cfg, 0.0);
+    cfg = apply_all(cfg, out.actions);
+    EXPECT_LT(cfg.active_host_count(), 4u);
+}
+
+TEST_F(StrategiesTest, PwrCostRepairsOverbookedHosts) {
+    pwr_cost_strategy s(model, costs);
+    auto cfg = base();
+    const auto out = s.decide(0.0, {80.0, 80.0}, cfg, 0.0);
+    cfg = apply_all(cfg, out.actions);
+    for (std::size_t h = 0; h < model.host_count(); ++h) {
+        EXPECT_LE(cfg.cap_sum(host_id{static_cast<std::int32_t>(h)}),
+                  model.limits().host_cpu_cap + 1e-9);
+    }
+}
+
+TEST_F(StrategiesTest, PwrCostQuietWithoutBandExit) {
+    pwr_cost_strategy s(model, costs);
+    auto cfg = base();
+    const auto first = s.decide(0.0, {50.0, 50.0}, cfg, 0.0);
+    cfg = apply_all(cfg, first.actions);
+    const auto repeat = s.decide(120.0, {50.0, 50.0}, cfg, 0.0);
+    EXPECT_FALSE(repeat.invoked);
+}
+
+}  // namespace
+}  // namespace mistral::core

@@ -1,0 +1,113 @@
+#include "core/utility.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace mistral::core {
+namespace {
+
+TEST(Utility, RewardGrowsWithRate) {
+    utility_model u;
+    EXPECT_DOUBLE_EQ(u.reward(0.0), u.params().reward_lo);
+    EXPECT_DOUBLE_EQ(u.reward(u.params().max_rate), u.params().reward_hi);
+    EXPECT_LT(u.reward(20.0), u.reward(80.0));
+}
+
+TEST(Utility, PenaltyShrinksInMagnitudeWithRate) {
+    utility_model u;
+    EXPECT_DOUBLE_EQ(u.penalty(0.0), u.params().penalty_lo);
+    EXPECT_DOUBLE_EQ(u.penalty(u.params().max_rate), u.params().penalty_hi);
+    EXPECT_LT(std::abs(u.penalty(80.0)), std::abs(u.penalty(20.0)));
+    EXPECT_LT(u.penalty(50.0), 0.0);
+}
+
+TEST(Utility, CurvesClampBeyondMaxRate) {
+    utility_model u;
+    EXPECT_DOUBLE_EQ(u.reward(1000.0), u.params().reward_hi);
+    EXPECT_DOUBLE_EQ(u.penalty(1000.0), u.params().penalty_hi);
+}
+
+TEST(Utility, Eq1StepsAtTarget) {
+    utility_model u;
+    const double meeting = u.perf_rate(50.0, 0.399, 0.4);
+    const double missing = u.perf_rate(50.0, 0.401, 0.4);
+    EXPECT_GT(meeting, 0.0);
+    EXPECT_LT(missing, 0.0);
+    EXPECT_DOUBLE_EQ(meeting, u.reward(50.0) / u.params().monitoring_interval);
+    EXPECT_DOUBLE_EQ(missing, u.penalty(50.0) / u.params().monitoring_interval);
+}
+
+TEST(Utility, ExactlyOnTargetCountsAsMeeting) {
+    utility_model u;
+    EXPECT_GT(u.perf_rate(50.0, 0.4, 0.4), 0.0);
+}
+
+TEST(Utility, Eq2PowerRateScalesLinearly) {
+    utility_model u;
+    EXPECT_DOUBLE_EQ(u.power_rate(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(u.power_rate(200.0), 2.0 * u.power_rate(100.0));
+    EXPECT_LT(u.power_rate(100.0), 0.0);
+    // $0.01 per watt-interval: 100 W costs $1 per interval.
+    EXPECT_NEAR(u.power_rate(100.0) * u.params().monitoring_interval, -1.0, 1e-9);
+}
+
+TEST(Utility, PowerWeightZeroDisablesPowerTerm) {
+    utility_params p;
+    p.power_weight = 0.0;
+    utility_model u(p);
+    EXPECT_DOUBLE_EQ(u.power_rate(500.0), 0.0);
+}
+
+TEST(Utility, SteadyRateSumsAppsAndPower) {
+    utility_model u;
+    const std::vector<req_per_sec> rates = {50.0, 50.0};
+    const std::vector<seconds> rts = {0.3, 0.5};
+    const std::vector<seconds> targets = {0.4, 0.4};
+    const double expected = u.perf_rate(50.0, 0.3, 0.4) +
+                            u.perf_rate(50.0, 0.5, 0.4) + u.power_rate(150.0);
+    EXPECT_DOUBLE_EQ(u.steady_rate(rates, rts, targets, 150.0), expected);
+}
+
+TEST(Utility, IntervalUtilityIsRateTimesInterval) {
+    utility_model u;
+    const std::vector<req_per_sec> rates = {40.0};
+    const std::vector<seconds> rts = {0.2};
+    const std::vector<seconds> targets = {0.4};
+    EXPECT_NEAR(u.interval_utility(rates, rts, targets, 100.0),
+                u.steady_rate(rates, rts, targets, 100.0) *
+                    u.params().monitoring_interval,
+                1e-12);
+}
+
+TEST(Utility, DefaultRewardsYieldProfitOverDefaultPower) {
+    // Section V-A: rewards sized to a ~20 % net profit over the default
+    // configuration's power cost. Two apps at 50 req/s on ~2.5 hosts
+    // (≈ 190 W) must net positive.
+    utility_model u;
+    const double rewards = 2.0 * u.reward(50.0);
+    const double power_cost = 190.0 * u.params().power_cost_per_watt_interval;
+    EXPECT_GT(rewards, power_cost);
+}
+
+TEST(Utility, PlanningTargetTightensByMargin) {
+    utility_model u;
+    EXPECT_NEAR(u.planning_target(0.4), 0.4 * u.params().rt_margin, 1e-12);
+    utility_params p;
+    p.rt_margin = 1.0;
+    EXPECT_DOUBLE_EQ(utility_model(p).planning_target(0.4), 0.4);
+}
+
+TEST(Utility, RejectsNonsenseParameters) {
+    utility_params p;
+    p.monitoring_interval = 0.0;
+    EXPECT_THROW(utility_model{p}, invariant_error);
+    utility_params q;
+    q.penalty_hi = 1.0;  // a positive "penalty"
+    EXPECT_THROW(utility_model{q}, invariant_error);
+    utility_model u;
+    EXPECT_THROW(u.power_rate(-5.0), invariant_error);
+}
+
+}  // namespace
+}  // namespace mistral::core

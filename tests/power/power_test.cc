@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/check.h"
+#include "power/calibration.h"
+#include "power/model.h"
+
+namespace mistral::pwr {
+namespace {
+
+TEST(PowerModel, IdleAtZeroUtilization) {
+    host_power_model m;
+    EXPECT_DOUBLE_EQ(m.power(0.0), m.idle);
+}
+
+TEST(PowerModel, BusyAtFullUtilization) {
+    // 2ρ − ρ^r equals 1 at ρ = 1 for any r.
+    for (double r : {0.8, 1.0, 1.4, 2.0, 3.0}) {
+        host_power_model m;
+        m.r = r;
+        EXPECT_NEAR(m.power(1.0), m.busy, 1e-9);
+    }
+}
+
+TEST(PowerModel, MonotoneInUtilization) {
+    host_power_model m;
+    double prev = -1.0;
+    for (double rho = 0.0; rho <= 1.0; rho += 0.01) {
+        const double p = m.power(rho);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(PowerModel, SuperLinearAtLowUtilization) {
+    // The empirical curve rises faster than linear interpolation early on
+    // (a lightly used machine is disproportionately expensive).
+    host_power_model m;
+    const double linear = m.idle + (m.busy - m.idle) * 0.3;
+    EXPECT_GT(m.power(0.3), linear);
+}
+
+TEST(PowerModel, ClampsUtilizationOutOfRange) {
+    host_power_model m;
+    EXPECT_DOUBLE_EQ(m.power(-0.5), m.idle);
+    EXPECT_DOUBLE_EQ(m.power(1.5), m.busy);
+}
+
+TEST(PowerModel, TransitionConstantsMatchPaper) {
+    host_power_model m;
+    EXPECT_DOUBLE_EQ(m.boot_power(), 80.0);
+    EXPECT_DOUBLE_EQ(m.shutdown_power(), 20.0);
+    EXPECT_DOUBLE_EQ(host_boot_duration, 90.0);
+    EXPECT_DOUBLE_EQ(host_shutdown_duration, 30.0);
+}
+
+class CalibrationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CalibrationTest, RecoversExponentFromCleanSamples) {
+    host_power_model truth;
+    truth.idle = 58.0;
+    truth.busy = 97.0;
+    truth.r = GetParam();
+    std::vector<meter_sample> samples;
+    for (double rho = 0.0; rho <= 1.0 + 1e-9; rho += 0.02) {
+        samples.push_back({rho, truth.power(rho)});
+    }
+    const auto fit = calibrate(samples);
+    EXPECT_NEAR(fit.model.idle, truth.idle, 1.5);
+    EXPECT_NEAR(fit.model.busy, truth.busy, 1.5);
+    EXPECT_NEAR(fit.model.r, truth.r, 0.1);
+    EXPECT_LT(fit.rms_error, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, CalibrationTest,
+                         ::testing::Values(0.9, 1.2, 1.4, 1.8, 2.5));
+
+TEST(Calibration, ToleratesMeterNoise) {
+    host_power_model truth;
+    truth.r = 1.4;
+    rng noise(17);
+    std::vector<meter_sample> samples;
+    for (double rho = 0.0; rho <= 1.0 + 1e-9; rho += 0.01) {
+        samples.push_back({rho, truth.power(rho) + noise.normal(0.0, 1.0)});
+    }
+    const auto fit = calibrate(samples);
+    EXPECT_NEAR(fit.model.r, truth.r, 0.3);
+    EXPECT_LT(fit.rms_error, 2.0);
+}
+
+TEST(Calibration, RequiresSpanOfUtilizations) {
+    // All samples at the same utilization: idle/busy anchors collapse.
+    std::vector<meter_sample> samples(10, meter_sample{0.5, 80.0});
+    EXPECT_THROW(calibrate(samples), invariant_error);
+}
+
+TEST(Calibration, RequiresEnoughSamples) {
+    std::vector<meter_sample> samples = {{0.0, 60.0}, {1.0, 95.0}};
+    EXPECT_THROW(calibrate(samples), invariant_error);
+}
+
+}  // namespace
+}  // namespace mistral::pwr

@@ -1,0 +1,92 @@
+#include "sim/cost_campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/rubis.h"
+
+namespace mistral::sim {
+namespace {
+
+using cluster::action_kind;
+
+// One small campaign shared across assertions (it is the expensive part).
+class CampaignTest : public ::testing::Test {
+protected:
+    static const cost::cost_table& table() {
+        static const cost::cost_table t = [] {
+            campaign_options opts;
+            opts.workloads = {12.5, 50.0, 100.0};
+            opts.trials = 2;
+            return run_cost_campaign(apps::rubis_browsing("probe"), opts);
+        }();
+        return t;
+    }
+};
+
+TEST_F(CampaignTest, CoversEveryActionKindTheSpecAdmits) {
+    for (std::size_t tier = 0; tier < 3; ++tier) {
+        EXPECT_TRUE(table().has(action_kind::migrate, tier)) << tier;
+        EXPECT_TRUE(table().has(action_kind::increase_cpu, tier)) << tier;
+        EXPECT_TRUE(table().has(action_kind::decrease_cpu, tier)) << tier;
+    }
+    // Replication only exists for tiers with max_replicas > min_replicas.
+    EXPECT_FALSE(table().has(action_kind::add_replica, 0));
+    EXPECT_TRUE(table().has(action_kind::add_replica, 1));
+    EXPECT_TRUE(table().has(action_kind::add_replica, 2));
+    EXPECT_TRUE(table().has(action_kind::remove_replica, 2));
+    EXPECT_TRUE(table().has(action_kind::power_on, 0));
+    EXPECT_TRUE(table().has(action_kind::power_off, 0));
+}
+
+TEST_F(CampaignTest, MeasuredWorkloadGridIsTheRequestedOne) {
+    const auto keys = table().workloads(action_kind::migrate, 2);
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_DOUBLE_EQ(keys[0], 12.5);
+    EXPECT_DOUBLE_EQ(keys[2], 100.0);
+}
+
+TEST_F(CampaignTest, MigrationCostsGrowWithWorkload) {
+    const auto lo = table().lookup(action_kind::migrate, 2, 12.5);
+    const auto hi = table().lookup(action_kind::migrate, 2, 100.0);
+    EXPECT_GT(hi.duration, lo.duration);
+    EXPECT_GT(hi.delta_rt_target, lo.delta_rt_target);
+}
+
+TEST_F(CampaignTest, MeasuredDurationsTrackGroundTruthModel) {
+    // The campaign measures through noisy observations; its migration
+    // duration at 50 req/s should land near the transient model's value
+    // (base + per_rate·rate, db tier factor 1.1 ⇒ ≈ 39 s).
+    const auto e = table().lookup(action_kind::migrate, 2, 50.0);
+    EXPECT_NEAR(e.duration, 39.0, 8.0);
+}
+
+TEST_F(CampaignTest, BootAndShutdownMeasured) {
+    const auto boot = table().lookup(action_kind::power_on, 0, 50.0);
+    EXPECT_NEAR(boot.duration, 90.0, 5.0);
+    EXPECT_NEAR(boot.delta_power, 80.0, 15.0);
+    const auto down = table().lookup(action_kind::power_off, 0, 50.0);
+    EXPECT_NEAR(down.duration, 30.0, 5.0);
+    EXPECT_LT(down.delta_power, 0.0);  // below the idle draw it replaces
+}
+
+TEST_F(CampaignTest, CpuTuningIsCheap) {
+    const auto e = table().lookup(action_kind::increase_cpu, 1, 50.0);
+    EXPECT_LT(e.duration, 3.0);
+    EXPECT_LT(e.delta_rt_target, 0.05);
+}
+
+TEST_F(CampaignTest, DeterministicForSameSeed) {
+    campaign_options opts;
+    opts.workloads = {50.0};
+    opts.trials = 1;
+    const auto a = run_cost_campaign(apps::rubis_browsing("p"), opts);
+    const auto b = run_cost_campaign(apps::rubis_browsing("p"), opts);
+    const auto ea = a.lookup(action_kind::migrate, 2, 50.0);
+    const auto eb = b.lookup(action_kind::migrate, 2, 50.0);
+    EXPECT_DOUBLE_EQ(ea.duration, eb.duration);
+    EXPECT_DOUBLE_EQ(ea.delta_rt_target, eb.delta_rt_target);
+    EXPECT_DOUBLE_EQ(ea.delta_power, eb.delta_power);
+}
+
+}  // namespace
+}  // namespace mistral::sim

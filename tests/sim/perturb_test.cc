@@ -1,0 +1,90 @@
+#include "sim/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/rubis.h"
+#include "common/check.h"
+
+namespace mistral::sim {
+namespace {
+
+TEST(Perturb, SpecDemandsSkewWithinBound) {
+    const auto spec = apps::rubis_browsing("r");
+    rng r(3);
+    const auto skewed = perturb_spec(spec, 0.05, r);
+    ASSERT_EQ(skewed.transactions().size(), spec.transactions().size());
+    bool any_changed = false;
+    for (std::size_t x = 0; x < spec.transactions().size(); ++x) {
+        const auto& orig = spec.transactions()[x];
+        const auto& pert = skewed.transactions()[x];
+        for (std::size_t t = 0; t < orig.demand.size(); ++t) {
+            if (orig.demand[t] == 0.0) {
+                EXPECT_DOUBLE_EQ(pert.demand[t], 0.0);
+                continue;
+            }
+            const double ratio = pert.demand[t] / orig.demand[t];
+            EXPECT_GE(ratio, 0.95 - 1e-9);
+            EXPECT_LE(ratio, 1.05 + 1e-9);
+            if (std::abs(ratio - 1.0) > 1e-6) any_changed = true;
+        }
+    }
+    EXPECT_TRUE(any_changed);
+}
+
+TEST(Perturb, SpecStructureUnchanged) {
+    const auto spec = apps::rubis_browsing("r");
+    rng r(4);
+    const auto skewed = perturb_spec(spec, 0.05, r);
+    EXPECT_EQ(skewed.name(), spec.name());
+    EXPECT_EQ(skewed.tier_count(), spec.tier_count());
+    EXPECT_DOUBLE_EQ(skewed.target_response_time(1.0),
+                     spec.target_response_time(1.0));
+    for (std::size_t x = 0; x < spec.transactions().size(); ++x) {
+        EXPECT_EQ(skewed.transactions()[x].visits, spec.transactions()[x].visits);
+        EXPECT_DOUBLE_EQ(skewed.transactions()[x].mix, spec.transactions()[x].mix);
+    }
+}
+
+TEST(Perturb, ZeroSkewIsIdentityForSpec) {
+    const auto spec = apps::rubis_browsing("r");
+    rng r(5);
+    const auto same = perturb_spec(spec, 0.0, r);
+    for (std::size_t x = 0; x < spec.transactions().size(); ++x) {
+        EXPECT_EQ(same.transactions()[x].demand, spec.transactions()[x].demand);
+    }
+}
+
+TEST(Perturb, DeterministicForSameRngState) {
+    const auto spec = apps::rubis_browsing("r");
+    rng r1(7), r2(7);
+    const auto a = perturb_spec(spec, 0.05, r1);
+    const auto b = perturb_spec(spec, 0.05, r2);
+    for (std::size_t x = 0; x < a.transactions().size(); ++x) {
+        EXPECT_EQ(a.transactions()[x].demand, b.transactions()[x].demand);
+    }
+}
+
+TEST(Perturb, PowerModelStaysPhysical) {
+    pwr::host_power_model nominal;
+    rng r(11);
+    for (int i = 0; i < 100; ++i) {
+        const auto p = perturb_power(nominal, 0.03, r);
+        EXPECT_GT(p.busy, p.idle);
+        EXPECT_GE(p.r, 0.5);
+        EXPECT_LE(p.r, 4.0);
+        EXPECT_NEAR(p.idle, nominal.idle, nominal.idle * 0.031);
+        EXPECT_NEAR(p.busy, nominal.busy, nominal.busy * 0.031 + 1.0);
+    }
+}
+
+TEST(Perturb, RejectsInvalidSkew) {
+    const auto spec = apps::rubis_browsing("r");
+    rng r(1);
+    EXPECT_THROW(perturb_spec(spec, -0.1, r), invariant_error);
+    EXPECT_THROW(perturb_spec(spec, 1.0, r), invariant_error);
+    pwr::host_power_model m;
+    EXPECT_THROW(perturb_power(m, 1.0, r), invariant_error);
+}
+
+}  // namespace
+}  // namespace mistral::sim

@@ -1,0 +1,180 @@
+#include "sim/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/rubis.h"
+#include "common/check.h"
+
+namespace mistral::sim {
+namespace {
+
+struct fixture : ::testing::Test {
+    cluster::cluster_model model = [] {
+        std::vector<apps::application_spec> specs;
+        specs.push_back(apps::rubis_browsing("R0"));
+        return cluster::cluster_model(cluster::uniform_hosts(3), std::move(specs));
+    }();
+    cluster::configuration config{model.vm_count(), model.host_count()};
+
+    void SetUp() override {
+        config.set_host_power(host_id{0}, true);
+        config.set_host_power(host_id{1}, true);
+        config.deploy(model.tier_vms(app_id{0}, 0)[0], host_id{0}, 0.4);
+        config.deploy(model.tier_vms(app_id{0}, 1)[0], host_id{0}, 0.4);
+        config.deploy(model.tier_vms(app_id{0}, 2)[0], host_id{1}, 0.4);
+    }
+
+    testbed make(testbed_options opts = {}) { return testbed(model, config, opts); }
+};
+
+using TestbedTest = fixture;
+
+TEST_F(TestbedTest, RejectsInvalidInitialConfiguration) {
+    cluster::configuration bad(model.vm_count(), model.host_count());
+    EXPECT_THROW(testbed(model, bad, {}), invariant_error);
+}
+
+TEST_F(TestbedTest, AdvanceProducesPlausibleMeasurements) {
+    auto tb = make();
+    const auto obs = tb.advance(120.0, {40.0});
+    EXPECT_DOUBLE_EQ(obs.time, 120.0);
+    EXPECT_GT(obs.response_time[0], 0.02);
+    EXPECT_LT(obs.response_time[0], 0.5);
+    EXPECT_GT(obs.power, 2.0 * 50.0);   // two hosts, above deep idle
+    EXPECT_LT(obs.power, 2.0 * 100.0);
+    EXPECT_EQ(obs.completed.size(), 0u);
+    EXPECT_DOUBLE_EQ(obs.adapting_fraction, 0.0);
+}
+
+TEST_F(TestbedTest, DeterministicForSameSeed) {
+    auto a = make(), b = make();
+    for (int i = 0; i < 5; ++i) {
+        const auto oa = a.advance(120.0, {30.0});
+        const auto ob = b.advance(120.0, {30.0});
+        EXPECT_DOUBLE_EQ(oa.response_time[0], ob.response_time[0]);
+        EXPECT_DOUBLE_EQ(oa.power, ob.power);
+    }
+}
+
+TEST_F(TestbedTest, GroundTruthDiffersFromNominalModelByAFewPercent) {
+    auto tb = make();
+    const auto truth = tb.ground_truth(config, {40.0});
+    const auto nominal = cluster::predict(model, config, {40.0});
+    const double rel = std::abs(truth.perf.apps[0].mean_response_time -
+                                nominal.perf.apps[0].mean_response_time) /
+                       nominal.perf.apps[0].mean_response_time;
+    EXPECT_GT(rel, 0.001);  // not identical (no trivial zero-error loop)
+    EXPECT_LT(rel, 0.35);   // but close: the paper's ~5 % regime
+}
+
+TEST_F(TestbedTest, MeasurementNoiseIsBounded) {
+    auto tb = make();
+    const auto truth = tb.ground_truth(config, {40.0});
+    for (int i = 0; i < 20; ++i) {
+        const auto obs = tb.advance(120.0, {40.0});
+        EXPECT_NEAR(obs.response_time[0], truth.perf.apps[0].mean_response_time,
+                    truth.perf.apps[0].mean_response_time * 0.15);
+        EXPECT_NEAR(obs.power, truth.power, truth.power * 0.08);
+    }
+}
+
+TEST_F(TestbedTest, SubmitExecutesActionsOverTime) {
+    auto tb = make();
+    const auto vm = model.tier_vms(app_id{0}, 2)[0];
+    tb.submit({cluster::migrate{vm, host_id{0}}});
+    EXPECT_TRUE(tb.busy());
+    // Migration at 50 req/s takes ~35-40 s: one 120 s interval covers it.
+    const auto obs = tb.advance(120.0, {50.0});
+    EXPECT_FALSE(tb.busy());
+    ASSERT_EQ(obs.completed.size(), 1u);
+    EXPECT_EQ(tb.config().placement(vm)->host, host_id{0});
+    EXPECT_GT(obs.adapting_fraction, 0.1);
+    EXPECT_LT(obs.adapting_fraction, 0.9);
+}
+
+TEST_F(TestbedTest, ActionsSpanMultipleWindows) {
+    auto tb = make();
+    const auto vm = model.tier_vms(app_id{0}, 2)[0];
+    tb.submit({cluster::migrate{vm, host_id{0}}});
+    const auto first = tb.advance(10.0, {50.0});
+    EXPECT_TRUE(tb.busy());
+    EXPECT_EQ(first.completed.size(), 0u);
+    EXPECT_DOUBLE_EQ(first.adapting_fraction, 1.0);
+    // Finish it.
+    while (tb.busy()) tb.advance(10.0, {50.0});
+    EXPECT_EQ(tb.config().placement(vm)->host, host_id{0});
+}
+
+TEST_F(TestbedTest, TransientRaisesResponseTimeDuringMigration) {
+    auto steady_tb = make();
+    const auto steady = steady_tb.advance(30.0, {50.0});
+    auto tb = make();
+    tb.submit({cluster::migrate{model.tier_vms(app_id{0}, 2)[0], host_id{0}}});
+    const auto during = tb.advance(30.0, {50.0});
+    EXPECT_GT(during.response_time[0], steady.response_time[0] * 1.5);
+    EXPECT_GT(during.power, steady.power);
+}
+
+TEST_F(TestbedTest, SequentialExecutionOrder) {
+    auto tb = make();
+    const auto vm = model.tier_vms(app_id{0}, 2)[1];
+    tb.submit({cluster::power_on{host_id{2}},
+               cluster::add_replica{vm, host_id{2}, 0.2}});
+    EXPECT_EQ(tb.pending_actions(), 2u);
+    // After 60 s, the 90 s boot is still running: no replica yet.
+    tb.advance(60.0, {30.0});
+    EXPECT_FALSE(tb.config().host_on(host_id{2}));
+    EXPECT_FALSE(tb.config().deployed(vm));
+    // Complete both.
+    while (tb.busy()) tb.advance(60.0, {30.0});
+    EXPECT_TRUE(tb.config().host_on(host_id{2}));
+    EXPECT_TRUE(tb.config().deployed(vm));
+}
+
+TEST_F(TestbedTest, SubmitValidatesAgainstQueuedActions) {
+    auto tb = make();
+    tb.submit({cluster::power_on{host_id{2}}});
+    // Queuing a second power-on of the same host must throw (it will be on).
+    EXPECT_THROW(tb.submit({cluster::power_on{host_id{2}}}), invariant_error);
+}
+
+TEST_F(TestbedTest, InitialDelayPostponesActions) {
+    auto tb = make();
+    const auto vm = model.tier_vms(app_id{0}, 2)[0];
+    tb.submit({cluster::migrate{vm, host_id{0}}}, /*initial_delay=*/30.0);
+    const auto obs = tb.advance(20.0, {50.0});
+    // Still waiting: not adapting, nothing completed.
+    EXPECT_DOUBLE_EQ(obs.adapting_fraction, 0.0);
+    EXPECT_TRUE(tb.busy());
+    while (tb.busy()) tb.advance(30.0, {50.0});
+    EXPECT_EQ(tb.config().placement(vm)->host, host_id{0});
+}
+
+TEST_F(TestbedTest, BootDrawsExtraPowerThenServes) {
+    auto tb = make();
+    auto base_tb = make();
+    const auto base = base_tb.advance(60.0, {30.0});
+    tb.submit({cluster::power_on{host_id{2}}});
+    const auto during = tb.advance(60.0, {30.0});
+    EXPECT_NEAR(during.power - base.power, 80.0, 12.0);
+}
+
+TEST_F(TestbedTest, RatesChangeMidRun) {
+    auto tb = make();
+    const auto lo = tb.advance(120.0, {10.0});
+    const auto hi = tb.advance(120.0, {60.0});
+    EXPECT_GT(hi.response_time[0], lo.response_time[0]);
+    EXPECT_GT(hi.power, lo.power);
+    EXPECT_GT(hi.app_cpu_usage[0], lo.app_cpu_usage[0]);
+}
+
+TEST_F(TestbedTest, HostUtilizationReflectsPlacement) {
+    auto tb = make();
+    const auto obs = tb.advance(120.0, {40.0});
+    EXPECT_GT(obs.host_utilization[0], 0.05);
+    EXPECT_GT(obs.host_utilization[1], 0.05);
+    EXPECT_DOUBLE_EQ(obs.host_utilization[2], 0.0);
+}
+
+}  // namespace
+}  // namespace mistral::sim

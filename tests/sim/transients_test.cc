@@ -1,0 +1,129 @@
+#include "sim/transients.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/rubis.h"
+#include "common/check.h"
+
+namespace mistral::sim {
+namespace {
+
+struct fixture : ::testing::Test {
+    cluster::cluster_model model = [] {
+        std::vector<apps::application_spec> specs;
+        specs.push_back(apps::rubis_browsing("R0"));
+        specs.push_back(apps::rubis_browsing("R1"));
+        return cluster::cluster_model(cluster::uniform_hosts(4), std::move(specs));
+    }();
+    cluster::configuration config{model.vm_count(), model.host_count()};
+    transient_model tm{};
+
+    void SetUp() override {
+        for (std::size_t h = 0; h < 3; ++h) {
+            config.set_host_power(host_id{static_cast<std::int32_t>(h)}, true);
+        }
+        // R0 on hosts 0/1; R1 entirely on host 2 (not co-located with R0).
+        config.deploy(model.tier_vms(app_id{0}, 0)[0], host_id{0}, 0.4);
+        config.deploy(model.tier_vms(app_id{0}, 1)[0], host_id{0}, 0.4);
+        config.deploy(model.tier_vms(app_id{0}, 2)[0], host_id{1}, 0.4);
+        config.deploy(model.tier_vms(app_id{1}, 0)[0], host_id{2}, 0.2);
+        config.deploy(model.tier_vms(app_id{1}, 1)[0], host_id{2}, 0.2);
+        config.deploy(model.tier_vms(app_id{1}, 2)[0], host_id{2}, 0.2);
+    }
+
+    vm_id r0_db() const { return model.tier_vms(app_id{0}, 2)[0]; }
+    vm_id r0_web() const { return model.tier_vms(app_id{0}, 0)[0]; }
+};
+
+using TransientsTest = fixture;
+
+TEST_F(TransientsTest, MigrationCostGrowsWithWorkload) {
+    const cluster::action mv = cluster::migrate{r0_db(), host_id{2}};
+    const auto lo = ground_truth_transient(model, config, mv, {12.5, 0.0}, tm);
+    const auto hi = ground_truth_transient(model, config, mv, {100.0, 0.0}, tm);
+    EXPECT_GT(hi.duration, lo.duration);
+    EXPECT_GT(hi.delta_rt[0], lo.delta_rt[0]);
+    EXPECT_GT(hi.delta_power, lo.delta_power);
+}
+
+TEST_F(TransientsTest, MigrationMagnitudesMatchFig7Regime) {
+    // At ~800 sessions (100 req/s): duration in tens of seconds, target ΔRT
+    // several hundred ms, power delta around 15–30 W.
+    const cluster::action mv = cluster::migrate{r0_db(), host_id{2}};
+    const auto t = ground_truth_transient(model, config, mv, {100.0, 0.0}, tm);
+    EXPECT_GT(t.duration, 30.0);
+    EXPECT_LT(t.duration, 120.0);
+    EXPECT_GT(t.delta_rt[0], 0.3);
+    EXPECT_LT(t.delta_rt[0], 1.2);
+    EXPECT_GT(t.delta_power, 10.0);
+    EXPECT_LT(t.delta_power, 40.0);
+}
+
+TEST_F(TransientsTest, DeeperTiersCostMore) {
+    const auto web = ground_truth_transient(
+        model, config, cluster::migrate{r0_web(), host_id{2}}, {50.0, 0.0}, tm);
+    const auto db = ground_truth_transient(
+        model, config, cluster::migrate{r0_db(), host_id{2}}, {50.0, 0.0}, tm);
+    EXPECT_GT(db.delta_rt[0], web.delta_rt[0]);
+    EXPECT_GT(db.duration, web.duration);
+}
+
+TEST_F(TransientsTest, ColocatedAppFeelsFractionOfImpact) {
+    // Migrating R0's db to host2 lands on R1's host: R1 is co-located.
+    const cluster::action mv = cluster::migrate{r0_db(), host_id{2}};
+    const auto t = ground_truth_transient(model, config, mv, {50.0, 50.0}, tm);
+    EXPECT_GT(t.delta_rt[1], 0.0);
+    EXPECT_NEAR(t.delta_rt[1], tm.colocated_fraction * t.delta_rt[0], 1e-9);
+}
+
+TEST_F(TransientsTest, NonColocatedAppUnaffected) {
+    // Migrating R0's db between hosts 1 and 0 never touches R1's host.
+    const cluster::action mv = cluster::migrate{r0_db(), host_id{0}};
+    const auto t = ground_truth_transient(model, config, mv, {50.0, 50.0}, tm);
+    EXPECT_DOUBLE_EQ(t.delta_rt[1], 0.0);
+}
+
+TEST_F(TransientsTest, AddReplicaCostsMoreThanRemove) {
+    const auto vm = model.tier_vms(app_id{0}, 2)[1];
+    const auto add = ground_truth_transient(
+        model, config, cluster::add_replica{vm, host_id{1}, 0.2}, {50.0, 0.0}, tm);
+    // Deploy it so removal is legal.
+    auto with = cluster::apply(model, config,
+                               cluster::add_replica{vm, host_id{1}, 0.2});
+    const auto rem = ground_truth_transient(
+        model, with, cluster::remove_replica{vm}, {50.0, 0.0}, tm);
+    EXPECT_GT(add.duration, rem.duration);
+    EXPECT_GT(add.delta_rt[0], rem.delta_rt[0]);
+}
+
+TEST_F(TransientsTest, CpuTuneIsNearlyFree) {
+    const auto t = ground_truth_transient(
+        model, config, cluster::increase_cpu{r0_web()}, {50.0, 0.0}, tm);
+    EXPECT_DOUBLE_EQ(t.duration, tm.cpu_tune_duration);
+    EXPECT_LT(t.delta_rt[0], 0.01);
+    EXPECT_DOUBLE_EQ(t.delta_power, 0.0);
+}
+
+TEST_F(TransientsTest, BootMatchesPaperConstants) {
+    const auto t = ground_truth_transient(model, config,
+                                          cluster::power_on{host_id{3}},
+                                          {50.0, 50.0}, tm);
+    EXPECT_DOUBLE_EQ(t.duration, 90.0);
+    EXPECT_DOUBLE_EQ(t.delta_power, 80.0);
+    for (double rt : t.delta_rt) EXPECT_DOUBLE_EQ(rt, 0.0);
+}
+
+TEST_F(TransientsTest, ShutdownDropsBelowIdle) {
+    // Clear host 1 so it can be shut down.
+    auto c = cluster::apply(model, config,
+                            cluster::migrate{r0_db(), host_id{0}});
+    const auto t = ground_truth_transient(model, c, cluster::power_off{host_id{1}},
+                                          {50.0, 50.0}, tm);
+    EXPECT_DOUBLE_EQ(t.duration, 30.0);
+    EXPECT_DOUBLE_EQ(t.delta_power,
+                     tm.shutdown_power - model.hosts()[1].power.idle);
+    EXPECT_LT(t.delta_power, 0.0);
+}
+
+}  // namespace
+}  // namespace mistral::sim

@@ -1,0 +1,120 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace mistral::wl {
+namespace {
+
+generator_options quiet() {
+    generator_options o;
+    o.noise = 0.0;
+    return o;
+}
+
+TEST(Generators, WorldCupCoversRequestedWindow) {
+    const auto t = world_cup_trace({});
+    EXPECT_DOUBLE_EQ(t.start_time(), 15.0 * 3600.0);
+    EXPECT_NEAR(t.end_time(), 21.5 * 3600.0, 60.0);
+}
+
+TEST(Generators, WorldCupDeterministicPerSeed) {
+    const auto a = world_cup_trace({});
+    const auto b = world_cup_trace({});
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.samples()[i].rate, b.samples()[i].rate);
+    }
+}
+
+TEST(Generators, WorldCupSeedChangesTrace) {
+    generator_options o;
+    o.seed = 2;
+    const auto a = world_cup_trace({});
+    const auto b = world_cup_trace(o);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a.samples()[i].rate != b.samples()[i].rate) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Generators, WorldCupHasFlashCrowdStructure) {
+    const auto t = world_cup_trace(quiet());
+    // Peak well above the early-baseline level.
+    const double early = t.rate_at(t.start_time() + 600.0);
+    EXPECT_GT(t.peak_rate(), 3.0 * early);
+}
+
+TEST(Generators, WorldCupVariantsDecorrelate) {
+    const auto a = world_cup_trace(quiet(), 0);
+    const auto b = world_cup_trace(quiet(), 1);
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        max_diff = std::max(max_diff,
+                            std::abs(a.samples()[i].rate - b.samples()[i].rate));
+    }
+    EXPECT_GT(max_diff, 0.05);
+}
+
+TEST(Generators, HpTraceIsSmootherThanWorldCup) {
+    const auto hp = hp_trace(quiet());
+    const auto wc = world_cup_trace(quiet());
+    auto roughness = [](const trace& t) {
+        double sum = 0.0;
+        for (std::size_t i = 1; i < t.size(); ++i) {
+            sum += std::abs(t.samples()[i].rate - t.samples()[i - 1].rate);
+        }
+        return sum / static_cast<double>(t.size());
+    };
+    EXPECT_LT(roughness(hp), roughness(wc));
+}
+
+TEST(Generators, ConstantTraceHoldsLevelWithoutNoise) {
+    const auto t = constant_trace("c", 42.0, quiet());
+    EXPECT_DOUBLE_EQ(t.min_rate(), 42.0);
+    EXPECT_DOUBLE_EQ(t.peak_rate(), 42.0);
+}
+
+TEST(Generators, StepTraceSwitchesAtStepTime) {
+    generator_options o = quiet();
+    const auto t = step_trace("s", 10.0, 50.0, 3600.0, o);
+    EXPECT_DOUBLE_EQ(t.rate_at(o.start + 1800.0), 10.0);
+    EXPECT_DOUBLE_EQ(t.rate_at(o.start + 3660.0), 50.0);
+}
+
+TEST(Generators, FlashCrowdRampsAndDecays) {
+    generator_options o = quiet();
+    const auto t = flash_crowd_trace("f", 10.0, 90.0, 3600.0, 600.0, 1200.0, o);
+    EXPECT_NEAR(t.rate_at(o.start + 1800.0), 10.0, 1e-6);       // before
+    EXPECT_NEAR(t.rate_at(o.start + 3600.0 + 900.0), 90.0, 1e-6);  // hold
+    EXPECT_LT(t.rate_at(o.start + 3600.0 + 3000.0), 60.0);      // decaying
+    EXPECT_GT(t.rate_at(o.start + 3600.0 + 300.0), 10.0);       // ramping
+}
+
+TEST(Generators, RandomWalkStaysInBounds) {
+    const auto t = random_walk_trace("w", 20.0, 80.0, 0.1, {});
+    EXPECT_GE(t.min_rate(), 20.0 - 1e-9);
+    EXPECT_LE(t.peak_rate(), 80.0 + 1e-9);
+}
+
+TEST(Generators, PaperWorkloadsMatchFig4Setup) {
+    const auto traces = paper_workloads();
+    ASSERT_EQ(traces.size(), 4u);
+    EXPECT_EQ(traces[0].name(), "RUBiS-1");
+    EXPECT_EQ(traces[3].name(), "RUBiS-4");
+    for (const auto& t : traces) {
+        EXPECT_NEAR(t.min_rate(), 0.0, 1e-9);
+        EXPECT_NEAR(t.peak_rate(), 100.0, 1e-9);
+        EXPECT_DOUBLE_EQ(t.start_time(), 15.0 * 3600.0);
+    }
+}
+
+TEST(Generators, RatesAreNeverNegativeEvenWithHeavyNoise) {
+    generator_options o;
+    o.noise = 0.5;
+    const auto t = world_cup_trace(o);
+    EXPECT_GE(t.min_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace mistral::wl

@@ -1,0 +1,109 @@
+#include "workload/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace mistral::wl {
+namespace {
+
+TEST(Band, ContainsWithinHalfWidth) {
+    band b{50.0, 8.0};
+    EXPECT_TRUE(b.contains(50.0));
+    EXPECT_TRUE(b.contains(54.0));
+    EXPECT_TRUE(b.contains(46.0));
+    EXPECT_FALSE(b.contains(54.1));
+    EXPECT_FALSE(b.contains(45.9));
+}
+
+TEST(Band, ZeroWidthContainsOnlyCenter) {
+    band b{50.0, 0.0};
+    EXPECT_TRUE(b.contains(50.0));
+    EXPECT_FALSE(b.contains(50.001));
+}
+
+TEST(Monitor, FirstObservationInitializesBands) {
+    workload_monitor m(2, 8.0);
+    const auto e = m.observe(0.0, {10.0, 20.0});
+    EXPECT_FALSE(e.any_exceeded);
+    EXPECT_DOUBLE_EQ(m.band_of(0).center, 10.0);
+    EXPECT_DOUBLE_EQ(m.band_of(1).center, 20.0);
+}
+
+TEST(Monitor, StaysQuietWithinBand) {
+    workload_monitor m(1, 8.0);
+    m.observe(0.0, {50.0});
+    const auto e = m.observe(120.0, {53.0});
+    EXPECT_FALSE(e.any_exceeded);
+    EXPECT_TRUE(e.exceeded.empty());
+}
+
+TEST(Monitor, ReportsExceededAppAndInterval) {
+    workload_monitor m(2, 8.0);
+    m.observe(0.0, {50.0, 50.0});
+    const auto e = m.observe(240.0, {60.0, 51.0});
+    ASSERT_TRUE(e.any_exceeded);
+    ASSERT_EQ(e.exceeded.size(), 1u);
+    EXPECT_EQ(e.exceeded[0], 0u);
+    ASSERT_EQ(e.completed_intervals.size(), 1u);
+    EXPECT_DOUBLE_EQ(e.completed_intervals[0], 240.0);
+}
+
+TEST(Monitor, MeasuredIntervalsAccumulatePerApp) {
+    workload_monitor m(1, 4.0);
+    m.observe(0.0, {10.0});
+    m.observe(100.0, {20.0});   // exit 1 at t=100
+    m.recenter(100.0, {20.0});
+    m.observe(400.0, {40.0});   // exit 2, interval 300
+    const auto& hist = m.measured_intervals(0);
+    ASSERT_EQ(hist.size(), 2u);
+    EXPECT_DOUBLE_EQ(hist[0], 100.0);
+    EXPECT_DOUBLE_EQ(hist[1], 300.0);
+}
+
+TEST(Monitor, WithoutRecenterBandStaysPut) {
+    workload_monitor m(1, 4.0);
+    m.observe(0.0, {10.0});
+    m.observe(100.0, {20.0});
+    // Band still centered at 10, so 20 keeps exceeding.
+    const auto e = m.observe(200.0, {20.0});
+    EXPECT_TRUE(e.any_exceeded);
+    EXPECT_DOUBLE_EQ(m.band_of(0).center, 10.0);
+}
+
+TEST(Monitor, RecenterMovesAllBands) {
+    workload_monitor m(2, 8.0);
+    m.observe(0.0, {10.0, 20.0});
+    m.recenter(50.0, {30.0, 40.0});
+    EXPECT_DOUBLE_EQ(m.band_of(0).center, 30.0);
+    EXPECT_DOUBLE_EQ(m.band_of(1).center, 40.0);
+    const auto e = m.observe(100.0, {30.0, 40.0});
+    EXPECT_FALSE(e.any_exceeded);
+}
+
+TEST(Monitor, ZeroBandTriggersOnAnyChange) {
+    workload_monitor m(1, 0.0);
+    m.observe(0.0, {50.0});
+    EXPECT_TRUE(m.observe(1.0, {50.0001}).any_exceeded);
+}
+
+TEST(Monitor, MultipleAppsExceedSimultaneously) {
+    workload_monitor m(3, 8.0);
+    m.observe(0.0, {10.0, 20.0, 30.0});
+    const auto e = m.observe(60.0, {30.0, 20.0, 50.0});
+    ASSERT_EQ(e.exceeded.size(), 2u);
+    EXPECT_EQ(e.exceeded[0], 0u);
+    EXPECT_EQ(e.exceeded[1], 2u);
+}
+
+TEST(Monitor, RejectsWrongRateCount) {
+    workload_monitor m(2, 8.0);
+    EXPECT_THROW(m.observe(0.0, {1.0}), invariant_error);
+}
+
+TEST(Monitor, RejectsZeroApps) {
+    EXPECT_THROW(workload_monitor(0, 8.0), invariant_error);
+}
+
+}  // namespace
+}  // namespace mistral::wl

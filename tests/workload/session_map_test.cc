@@ -1,0 +1,41 @@
+#include "workload/session_map.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace mistral::wl {
+namespace {
+
+TEST(SessionMap, DefaultCycleMatchesPaperScale) {
+    // 100 req/s should correspond to the paper's heavy ~800-session load.
+    session_map m;
+    EXPECT_NEAR(m.sessions_for_rate(100.0), 800.0, 1.0);
+}
+
+TEST(SessionMap, RoundTripsRateAndSessions) {
+    session_map m(7.0, 0.5);
+    const double sessions = m.sessions_for_rate(42.0);
+    EXPECT_NEAR(m.rate_for_sessions(sessions), 42.0, 1e-9);
+}
+
+TEST(SessionMap, LittleLawProportionality) {
+    session_map m(4.0, 1.0);
+    EXPECT_DOUBLE_EQ(m.sessions_for_rate(10.0), 50.0);
+    EXPECT_DOUBLE_EQ(m.cycle_time(), 5.0);
+}
+
+TEST(SessionMap, ZeroRateMapsToZeroSessions) {
+    session_map m;
+    EXPECT_DOUBLE_EQ(m.sessions_for_rate(0.0), 0.0);
+}
+
+TEST(SessionMap, RejectsInvalidInputs) {
+    session_map m;
+    EXPECT_THROW(m.sessions_for_rate(-1.0), invariant_error);
+    EXPECT_THROW(m.rate_for_sessions(-1.0), invariant_error);
+    EXPECT_THROW(session_map(0.0, 0.0), invariant_error);
+}
+
+}  // namespace
+}  // namespace mistral::wl

@@ -1,0 +1,77 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "workload/generators.h"
+
+namespace mistral::wl {
+namespace {
+
+TEST(TraceIo, ParsesPlainCsv) {
+    std::istringstream in("0,10\n60,20\n120,15\n");
+    const auto t = read_trace_csv(in, "x");
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_DOUBLE_EQ(t.rate_at(60.0), 20.0);
+    EXPECT_EQ(t.name(), "x");
+}
+
+TEST(TraceIo, ToleratesHeaderCommentsAndBlankLines) {
+    std::istringstream in(
+        "time,rate\n"
+        "# a comment\n"
+        "\n"
+        "0,5\n"
+        "60,6  # trailing comment\n");
+    const auto t = read_trace_csv(in, "x");
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_DOUBLE_EQ(t.rate_at(60.0), 6.0);
+}
+
+TEST(TraceIo, RejectsMalformedRows) {
+    std::istringstream missing("0\n");
+    EXPECT_THROW(read_trace_csv(missing, "x"), invariant_error);
+    std::istringstream not_numeric("0,abc\n");
+    EXPECT_THROW(read_trace_csv(not_numeric, "x"), invariant_error);
+    std::istringstream empty("# nothing\n");
+    EXPECT_THROW(read_trace_csv(empty, "x"), invariant_error);
+    std::istringstream unsorted("60,1\n0,2\n");
+    EXPECT_THROW(read_trace_csv(unsorted, "x"), invariant_error);
+    std::istringstream negative("0,-5\n");
+    EXPECT_THROW(read_trace_csv(negative, "x"), invariant_error);
+}
+
+TEST(TraceIo, RoundTripsGeneratedTrace) {
+    generator_options opts;
+    opts.duration = 1800.0;
+    const auto original = world_cup_trace(opts).scaled_to_range(0.0, 100.0);
+    std::ostringstream out;
+    write_trace_csv(out, original);
+    std::istringstream in(out.str());
+    const auto restored = read_trace_csv(in, original.name());
+    ASSERT_EQ(restored.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_NEAR(restored.samples()[i].time, original.samples()[i].time, 1e-6);
+        EXPECT_NEAR(restored.samples()[i].rate, original.samples()[i].rate, 1e-6);
+    }
+}
+
+TEST(TraceIo, FileRoundTripAndNaming) {
+    generator_options opts;
+    opts.duration = 600.0;
+    const auto t = hp_trace(opts);
+    const std::string path = ::testing::TempDir() + "/mistral_trace_io.csv";
+    save_trace_csv(path, t);
+    const auto loaded = load_trace_csv(path);
+    EXPECT_EQ(loaded.name(), "mistral_trace_io");
+    EXPECT_EQ(loaded.size(), t.size());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+    EXPECT_THROW(load_trace_csv("/nonexistent/trace.csv"), invariant_error);
+}
+
+}  // namespace
+}  // namespace mistral::wl

@@ -1,0 +1,121 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace mistral::wl {
+namespace {
+
+trace make_trace() {
+    return trace("t", {{0.0, 10.0}, {10.0, 20.0}, {20.0, 5.0}});
+}
+
+TEST(Trace, RequiresSortedSamples) {
+    EXPECT_THROW(trace("bad", {{10.0, 1.0}, {0.0, 2.0}}), invariant_error);
+}
+
+TEST(Trace, RejectsNegativeRates) {
+    EXPECT_THROW(trace("bad", {{0.0, -1.0}}), invariant_error);
+}
+
+TEST(Trace, StartEndTimes) {
+    const auto t = make_trace();
+    EXPECT_DOUBLE_EQ(t.start_time(), 0.0);
+    EXPECT_DOUBLE_EQ(t.end_time(), 20.0);
+}
+
+TEST(Trace, RateAtUsesStepInterpolation) {
+    const auto t = make_trace();
+    EXPECT_DOUBLE_EQ(t.rate_at(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(t.rate_at(5.0), 10.0);
+    EXPECT_DOUBLE_EQ(t.rate_at(10.0), 20.0);
+    EXPECT_DOUBLE_EQ(t.rate_at(19.9), 20.0);
+    EXPECT_DOUBLE_EQ(t.rate_at(20.0), 5.0);
+}
+
+TEST(Trace, RateAtClampsOutsideRange) {
+    const auto t = make_trace();
+    EXPECT_DOUBLE_EQ(t.rate_at(-5.0), 10.0);
+    EXPECT_DOUBLE_EQ(t.rate_at(100.0), 5.0);
+}
+
+TEST(Trace, MeanRateOverSegments) {
+    const auto t = make_trace();
+    EXPECT_DOUBLE_EQ(t.mean_rate(0.0, 10.0), 10.0);
+    EXPECT_DOUBLE_EQ(t.mean_rate(0.0, 20.0), 15.0);
+    EXPECT_DOUBLE_EQ(t.mean_rate(5.0, 15.0), 15.0);
+}
+
+TEST(Trace, MeanRateOfInstantEqualsRateAt) {
+    const auto t = make_trace();
+    EXPECT_DOUBLE_EQ(t.mean_rate(5.0, 5.0), 10.0);
+}
+
+TEST(Trace, MeanRatePastEndUsesLastRate) {
+    const auto t = make_trace();
+    EXPECT_DOUBLE_EQ(t.mean_rate(20.0, 30.0), 5.0);
+}
+
+TEST(Trace, PeakAndMin) {
+    const auto t = make_trace();
+    EXPECT_DOUBLE_EQ(t.peak_rate(), 20.0);
+    EXPECT_DOUBLE_EQ(t.min_rate(), 5.0);
+}
+
+TEST(Trace, ScaledToRangeMapsExtremes) {
+    const auto t = make_trace().scaled_to_range(0.0, 100.0);
+    EXPECT_DOUBLE_EQ(t.min_rate(), 0.0);
+    EXPECT_DOUBLE_EQ(t.peak_rate(), 100.0);
+    // 10 is 1/3 of the way from 5 to 20.
+    EXPECT_NEAR(t.rate_at(0.0), 100.0 / 3.0, 1e-9);
+}
+
+TEST(Trace, ScaledConstantTraceMapsToLow) {
+    trace c("c", {{0.0, 7.0}, {1.0, 7.0}});
+    const auto s = c.scaled_to_range(10.0, 90.0);
+    EXPECT_DOUBLE_EQ(s.rate_at(0.0), 10.0);
+}
+
+TEST(Trace, ShiftedToStartTranslatesTimes) {
+    const auto t = make_trace().shifted_to_start(100.0);
+    EXPECT_DOUBLE_EQ(t.start_time(), 100.0);
+    EXPECT_DOUBLE_EQ(t.end_time(), 120.0);
+    EXPECT_DOUBLE_EQ(t.rate_at(105.0), 10.0);
+}
+
+TEST(Trace, ResampledUniformGrid) {
+    const auto t = make_trace().resampled(5.0);
+    ASSERT_EQ(t.size(), 5u);
+    EXPECT_DOUBLE_EQ(t.samples()[1].time, 5.0);
+    EXPECT_DOUBLE_EQ(t.samples()[1].rate, 10.0);
+    EXPECT_DOUBLE_EQ(t.samples()[4].rate, 5.0);
+}
+
+TEST(Trace, SmoothedReducesVariance) {
+    std::vector<trace_sample> samples;
+    for (int i = 0; i < 100; ++i) {
+        samples.push_back({static_cast<double>(i), i % 2 ? 10.0 : 0.0});
+    }
+    const trace raw("saw", samples);
+    const auto smooth = raw.smoothed(5);
+    // Interior points should be near the mean of 5.
+    EXPECT_NEAR(smooth.samples()[50].rate, 5.0, 2.01);
+    EXPECT_LT(smooth.peak_rate(), raw.peak_rate());
+}
+
+TEST(Trace, SmoothedWindowOneIsIdentity) {
+    const auto t = make_trace();
+    const auto s = t.smoothed(1);
+    EXPECT_EQ(s.samples().size(), t.samples().size());
+    EXPECT_DOUBLE_EQ(s.rate_at(0.0), t.rate_at(0.0));
+}
+
+TEST(Trace, RenamedKeepsSamples) {
+    const auto t = make_trace().renamed("other");
+    EXPECT_EQ(t.name(), "other");
+    EXPECT_DOUBLE_EQ(t.rate_at(0.0), 10.0);
+}
+
+}  // namespace
+}  // namespace mistral::wl
