@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig01_migration_cost.cc" "bench/CMakeFiles/fig01_migration_cost.dir/fig01_migration_cost.cc.o" "gcc" "bench/CMakeFiles/fig01_migration_cost.dir/fig01_migration_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mistral_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/mistral_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mistral_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mistral_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/mistral_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mistral_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/lqn/CMakeFiles/mistral_lqn.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mistral_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mistral_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mistral_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_migration_cost.dir/fig01_migration_cost.cc.o"
+  "CMakeFiles/fig01_migration_cost.dir/fig01_migration_cost.cc.o.d"
+  "fig01_migration_cost"
+  "fig01_migration_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_migration_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

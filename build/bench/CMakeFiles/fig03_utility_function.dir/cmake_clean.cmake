@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_utility_function.dir/fig03_utility_function.cc.o"
+  "CMakeFiles/fig03_utility_function.dir/fig03_utility_function.cc.o.d"
+  "fig03_utility_function"
+  "fig03_utility_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_utility_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_utility_function.
+# This may be replaced when dependencies are built.

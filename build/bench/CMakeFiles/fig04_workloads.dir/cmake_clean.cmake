@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_workloads.dir/fig04_workloads.cc.o"
+  "CMakeFiles/fig04_workloads.dir/fig04_workloads.cc.o.d"
+  "fig04_workloads"
+  "fig04_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_model_accuracy.dir/fig05_model_accuracy.cc.o"
+  "CMakeFiles/fig05_model_accuracy.dir/fig05_model_accuracy.cc.o.d"
+  "fig05_model_accuracy"
+  "fig05_model_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_stability_estimation.dir/fig06_stability_estimation.cc.o"
+  "CMakeFiles/fig06_stability_estimation.dir/fig06_stability_estimation.cc.o.d"
+  "fig06_stability_estimation"
+  "fig06_stability_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_stability_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_adaptation_costs.dir/fig07_adaptation_costs.cc.o"
+  "CMakeFiles/fig07_adaptation_costs.dir/fig07_adaptation_costs.cc.o.d"
+  "fig07_adaptation_costs"
+  "fig07_adaptation_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_adaptation_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_strategy_comparison.dir/fig08_strategy_comparison.cc.o"
+  "CMakeFiles/fig08_strategy_comparison.dir/fig08_strategy_comparison.cc.o.d"
+  "fig08_strategy_comparison"
+  "fig08_strategy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_strategy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cumulative_utility.dir/fig09_cumulative_utility.cc.o"
+  "CMakeFiles/fig09_cumulative_utility.dir/fig09_cumulative_utility.cc.o.d"
+  "fig09_cumulative_utility"
+  "fig09_cumulative_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cumulative_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_benchmarks.dir/micro_binpack.cc.o"
+  "CMakeFiles/micro_benchmarks.dir/micro_binpack.cc.o.d"
+  "CMakeFiles/micro_benchmarks.dir/micro_lqn.cc.o"
+  "CMakeFiles/micro_benchmarks.dir/micro_lqn.cc.o.d"
+  "CMakeFiles/micro_benchmarks.dir/micro_search.cc.o"
+  "CMakeFiles/micro_benchmarks.dir/micro_search.cc.o.d"
+  "micro_benchmarks"
+  "micro_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

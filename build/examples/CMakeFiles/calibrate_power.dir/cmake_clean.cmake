@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_power.dir/calibrate_power.cpp.o"
+  "CMakeFiles/calibrate_power.dir/calibrate_power.cpp.o.d"
+  "calibrate_power"
+  "calibrate_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mistral_apps.dir/application.cc.o"
+  "CMakeFiles/mistral_apps.dir/application.cc.o.d"
+  "CMakeFiles/mistral_apps.dir/rubis.cc.o"
+  "CMakeFiles/mistral_apps.dir/rubis.cc.o.d"
+  "libmistral_apps.a"
+  "libmistral_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mistral_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/action.cc" "src/cluster/CMakeFiles/mistral_cluster.dir/action.cc.o" "gcc" "src/cluster/CMakeFiles/mistral_cluster.dir/action.cc.o.d"
+  "/root/repo/src/cluster/configuration.cc" "src/cluster/CMakeFiles/mistral_cluster.dir/configuration.cc.o" "gcc" "src/cluster/CMakeFiles/mistral_cluster.dir/configuration.cc.o.d"
+  "/root/repo/src/cluster/model.cc" "src/cluster/CMakeFiles/mistral_cluster.dir/model.cc.o" "gcc" "src/cluster/CMakeFiles/mistral_cluster.dir/model.cc.o.d"
+  "/root/repo/src/cluster/translate.cc" "src/cluster/CMakeFiles/mistral_cluster.dir/translate.cc.o" "gcc" "src/cluster/CMakeFiles/mistral_cluster.dir/translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mistral_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mistral_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/lqn/CMakeFiles/mistral_lqn.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mistral_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

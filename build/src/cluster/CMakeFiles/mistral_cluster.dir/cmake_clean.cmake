@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mistral_cluster.dir/action.cc.o"
+  "CMakeFiles/mistral_cluster.dir/action.cc.o.d"
+  "CMakeFiles/mistral_cluster.dir/configuration.cc.o"
+  "CMakeFiles/mistral_cluster.dir/configuration.cc.o.d"
+  "CMakeFiles/mistral_cluster.dir/model.cc.o"
+  "CMakeFiles/mistral_cluster.dir/model.cc.o.d"
+  "CMakeFiles/mistral_cluster.dir/translate.cc.o"
+  "CMakeFiles/mistral_cluster.dir/translate.cc.o.d"
+  "libmistral_cluster.a"
+  "libmistral_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mistral_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

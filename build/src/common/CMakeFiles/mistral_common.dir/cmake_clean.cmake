@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mistral_common.dir/lookup_table.cc.o"
+  "CMakeFiles/mistral_common.dir/lookup_table.cc.o.d"
+  "CMakeFiles/mistral_common.dir/rng.cc.o"
+  "CMakeFiles/mistral_common.dir/rng.cc.o.d"
+  "CMakeFiles/mistral_common.dir/stats.cc.o"
+  "CMakeFiles/mistral_common.dir/stats.cc.o.d"
+  "CMakeFiles/mistral_common.dir/table_printer.cc.o"
+  "CMakeFiles/mistral_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/mistral_common.dir/time_series.cc.o"
+  "CMakeFiles/mistral_common.dir/time_series.cc.o.d"
+  "libmistral_common.a"
+  "libmistral_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mistral_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

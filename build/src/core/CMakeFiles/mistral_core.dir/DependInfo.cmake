@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/mistral_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/mistral_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/mistral_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/mistral_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/hierarchy.cc" "src/core/CMakeFiles/mistral_core.dir/hierarchy.cc.o" "gcc" "src/core/CMakeFiles/mistral_core.dir/hierarchy.cc.o.d"
+  "/root/repo/src/core/perf_pwr.cc" "src/core/CMakeFiles/mistral_core.dir/perf_pwr.cc.o" "gcc" "src/core/CMakeFiles/mistral_core.dir/perf_pwr.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/mistral_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/mistral_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/search.cc" "src/core/CMakeFiles/mistral_core.dir/search.cc.o" "gcc" "src/core/CMakeFiles/mistral_core.dir/search.cc.o.d"
+  "/root/repo/src/core/search_meter.cc" "src/core/CMakeFiles/mistral_core.dir/search_meter.cc.o" "gcc" "src/core/CMakeFiles/mistral_core.dir/search_meter.cc.o.d"
+  "/root/repo/src/core/strategies.cc" "src/core/CMakeFiles/mistral_core.dir/strategies.cc.o" "gcc" "src/core/CMakeFiles/mistral_core.dir/strategies.cc.o.d"
+  "/root/repo/src/core/utility.cc" "src/core/CMakeFiles/mistral_core.dir/utility.cc.o" "gcc" "src/core/CMakeFiles/mistral_core.dir/utility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mistral_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mistral_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/lqn/CMakeFiles/mistral_lqn.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mistral_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/mistral_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/mistral_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mistral_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mistral_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mistral_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

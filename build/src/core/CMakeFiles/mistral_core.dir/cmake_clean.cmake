@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mistral_core.dir/controller.cc.o"
+  "CMakeFiles/mistral_core.dir/controller.cc.o.d"
+  "CMakeFiles/mistral_core.dir/experiment.cc.o"
+  "CMakeFiles/mistral_core.dir/experiment.cc.o.d"
+  "CMakeFiles/mistral_core.dir/hierarchy.cc.o"
+  "CMakeFiles/mistral_core.dir/hierarchy.cc.o.d"
+  "CMakeFiles/mistral_core.dir/perf_pwr.cc.o"
+  "CMakeFiles/mistral_core.dir/perf_pwr.cc.o.d"
+  "CMakeFiles/mistral_core.dir/planner.cc.o"
+  "CMakeFiles/mistral_core.dir/planner.cc.o.d"
+  "CMakeFiles/mistral_core.dir/search.cc.o"
+  "CMakeFiles/mistral_core.dir/search.cc.o.d"
+  "CMakeFiles/mistral_core.dir/search_meter.cc.o"
+  "CMakeFiles/mistral_core.dir/search_meter.cc.o.d"
+  "CMakeFiles/mistral_core.dir/strategies.cc.o"
+  "CMakeFiles/mistral_core.dir/strategies.cc.o.d"
+  "CMakeFiles/mistral_core.dir/utility.cc.o"
+  "CMakeFiles/mistral_core.dir/utility.cc.o.d"
+  "libmistral_core.a"
+  "libmistral_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mistral_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

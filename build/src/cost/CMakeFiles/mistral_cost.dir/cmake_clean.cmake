@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mistral_cost.dir/table.cc.o"
+  "CMakeFiles/mistral_cost.dir/table.cc.o.d"
+  "CMakeFiles/mistral_cost.dir/table_io.cc.o"
+  "CMakeFiles/mistral_cost.dir/table_io.cc.o.d"
+  "libmistral_cost.a"
+  "libmistral_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mistral_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lqn/erlang.cc" "src/lqn/CMakeFiles/mistral_lqn.dir/erlang.cc.o" "gcc" "src/lqn/CMakeFiles/mistral_lqn.dir/erlang.cc.o.d"
+  "/root/repo/src/lqn/model.cc" "src/lqn/CMakeFiles/mistral_lqn.dir/model.cc.o" "gcc" "src/lqn/CMakeFiles/mistral_lqn.dir/model.cc.o.d"
+  "/root/repo/src/lqn/solver.cc" "src/lqn/CMakeFiles/mistral_lqn.dir/solver.cc.o" "gcc" "src/lqn/CMakeFiles/mistral_lqn.dir/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mistral_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mistral_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

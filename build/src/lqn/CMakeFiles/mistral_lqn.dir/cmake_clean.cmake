@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mistral_lqn.dir/erlang.cc.o"
+  "CMakeFiles/mistral_lqn.dir/erlang.cc.o.d"
+  "CMakeFiles/mistral_lqn.dir/model.cc.o"
+  "CMakeFiles/mistral_lqn.dir/model.cc.o.d"
+  "CMakeFiles/mistral_lqn.dir/solver.cc.o"
+  "CMakeFiles/mistral_lqn.dir/solver.cc.o.d"
+  "libmistral_lqn.a"
+  "libmistral_lqn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mistral_lqn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

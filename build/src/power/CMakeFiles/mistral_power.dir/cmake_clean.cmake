@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mistral_power.dir/calibration.cc.o"
+  "CMakeFiles/mistral_power.dir/calibration.cc.o.d"
+  "CMakeFiles/mistral_power.dir/model.cc.o"
+  "CMakeFiles/mistral_power.dir/model.cc.o.d"
+  "libmistral_power.a"
+  "libmistral_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mistral_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mistral_predict.dir/arma.cc.o"
+  "CMakeFiles/mistral_predict.dir/arma.cc.o.d"
+  "libmistral_predict.a"
+  "libmistral_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mistral_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

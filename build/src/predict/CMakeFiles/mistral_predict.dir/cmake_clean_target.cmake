@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmistral_predict.a"
+)

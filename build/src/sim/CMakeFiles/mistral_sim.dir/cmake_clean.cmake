@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mistral_sim.dir/cost_campaign.cc.o"
+  "CMakeFiles/mistral_sim.dir/cost_campaign.cc.o.d"
+  "CMakeFiles/mistral_sim.dir/perturb.cc.o"
+  "CMakeFiles/mistral_sim.dir/perturb.cc.o.d"
+  "CMakeFiles/mistral_sim.dir/testbed.cc.o"
+  "CMakeFiles/mistral_sim.dir/testbed.cc.o.d"
+  "CMakeFiles/mistral_sim.dir/transients.cc.o"
+  "CMakeFiles/mistral_sim.dir/transients.cc.o.d"
+  "libmistral_sim.a"
+  "libmistral_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mistral_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

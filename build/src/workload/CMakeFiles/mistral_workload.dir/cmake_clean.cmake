@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mistral_workload.dir/generators.cc.o"
+  "CMakeFiles/mistral_workload.dir/generators.cc.o.d"
+  "CMakeFiles/mistral_workload.dir/monitor.cc.o"
+  "CMakeFiles/mistral_workload.dir/monitor.cc.o.d"
+  "CMakeFiles/mistral_workload.dir/session_map.cc.o"
+  "CMakeFiles/mistral_workload.dir/session_map.cc.o.d"
+  "CMakeFiles/mistral_workload.dir/trace.cc.o"
+  "CMakeFiles/mistral_workload.dir/trace.cc.o.d"
+  "CMakeFiles/mistral_workload.dir/trace_io.cc.o"
+  "CMakeFiles/mistral_workload.dir/trace_io.cc.o.d"
+  "libmistral_workload.a"
+  "libmistral_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mistral_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mistral_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/application_test.cc" "tests/CMakeFiles/mistral_tests.dir/apps/application_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/apps/application_test.cc.o.d"
+  "/root/repo/tests/cluster/action_test.cc" "tests/CMakeFiles/mistral_tests.dir/cluster/action_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/cluster/action_test.cc.o.d"
+  "/root/repo/tests/cluster/configuration_test.cc" "tests/CMakeFiles/mistral_tests.dir/cluster/configuration_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/cluster/configuration_test.cc.o.d"
+  "/root/repo/tests/cluster/model_test.cc" "tests/CMakeFiles/mistral_tests.dir/cluster/model_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/cluster/model_test.cc.o.d"
+  "/root/repo/tests/cluster/translate_test.cc" "tests/CMakeFiles/mistral_tests.dir/cluster/translate_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/cluster/translate_test.cc.o.d"
+  "/root/repo/tests/common/check_test.cc" "tests/CMakeFiles/mistral_tests.dir/common/check_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/common/check_test.cc.o.d"
+  "/root/repo/tests/common/ids_test.cc" "tests/CMakeFiles/mistral_tests.dir/common/ids_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/common/ids_test.cc.o.d"
+  "/root/repo/tests/common/lookup_table_test.cc" "tests/CMakeFiles/mistral_tests.dir/common/lookup_table_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/common/lookup_table_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/mistral_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/mistral_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/table_printer_test.cc" "tests/CMakeFiles/mistral_tests.dir/common/table_printer_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/common/table_printer_test.cc.o.d"
+  "/root/repo/tests/common/time_series_test.cc" "tests/CMakeFiles/mistral_tests.dir/common/time_series_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/common/time_series_test.cc.o.d"
+  "/root/repo/tests/core/controller_test.cc" "tests/CMakeFiles/mistral_tests.dir/core/controller_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/core/controller_test.cc.o.d"
+  "/root/repo/tests/core/experiment_test.cc" "tests/CMakeFiles/mistral_tests.dir/core/experiment_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/core/experiment_test.cc.o.d"
+  "/root/repo/tests/core/hierarchy_test.cc" "tests/CMakeFiles/mistral_tests.dir/core/hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/core/hierarchy_test.cc.o.d"
+  "/root/repo/tests/core/perf_pwr_test.cc" "tests/CMakeFiles/mistral_tests.dir/core/perf_pwr_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/core/perf_pwr_test.cc.o.d"
+  "/root/repo/tests/core/planner_test.cc" "tests/CMakeFiles/mistral_tests.dir/core/planner_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/core/planner_test.cc.o.d"
+  "/root/repo/tests/core/search_meter_test.cc" "tests/CMakeFiles/mistral_tests.dir/core/search_meter_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/core/search_meter_test.cc.o.d"
+  "/root/repo/tests/core/search_test.cc" "tests/CMakeFiles/mistral_tests.dir/core/search_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/core/search_test.cc.o.d"
+  "/root/repo/tests/core/strategies_test.cc" "tests/CMakeFiles/mistral_tests.dir/core/strategies_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/core/strategies_test.cc.o.d"
+  "/root/repo/tests/core/utility_test.cc" "tests/CMakeFiles/mistral_tests.dir/core/utility_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/core/utility_test.cc.o.d"
+  "/root/repo/tests/cost/table_io_test.cc" "tests/CMakeFiles/mistral_tests.dir/cost/table_io_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/cost/table_io_test.cc.o.d"
+  "/root/repo/tests/cost/table_test.cc" "tests/CMakeFiles/mistral_tests.dir/cost/table_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/cost/table_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/mistral_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/property_test.cc" "tests/CMakeFiles/mistral_tests.dir/integration/property_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/integration/property_test.cc.o.d"
+  "/root/repo/tests/lqn/erlang_test.cc" "tests/CMakeFiles/mistral_tests.dir/lqn/erlang_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/lqn/erlang_test.cc.o.d"
+  "/root/repo/tests/lqn/solver_test.cc" "tests/CMakeFiles/mistral_tests.dir/lqn/solver_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/lqn/solver_test.cc.o.d"
+  "/root/repo/tests/power/power_test.cc" "tests/CMakeFiles/mistral_tests.dir/power/power_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/power/power_test.cc.o.d"
+  "/root/repo/tests/predict/arma_test.cc" "tests/CMakeFiles/mistral_tests.dir/predict/arma_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/predict/arma_test.cc.o.d"
+  "/root/repo/tests/sim/campaign_test.cc" "tests/CMakeFiles/mistral_tests.dir/sim/campaign_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/sim/campaign_test.cc.o.d"
+  "/root/repo/tests/sim/perturb_test.cc" "tests/CMakeFiles/mistral_tests.dir/sim/perturb_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/sim/perturb_test.cc.o.d"
+  "/root/repo/tests/sim/testbed_test.cc" "tests/CMakeFiles/mistral_tests.dir/sim/testbed_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/sim/testbed_test.cc.o.d"
+  "/root/repo/tests/sim/transients_test.cc" "tests/CMakeFiles/mistral_tests.dir/sim/transients_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/sim/transients_test.cc.o.d"
+  "/root/repo/tests/workload/generators_test.cc" "tests/CMakeFiles/mistral_tests.dir/workload/generators_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/workload/generators_test.cc.o.d"
+  "/root/repo/tests/workload/monitor_test.cc" "tests/CMakeFiles/mistral_tests.dir/workload/monitor_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/workload/monitor_test.cc.o.d"
+  "/root/repo/tests/workload/session_map_test.cc" "tests/CMakeFiles/mistral_tests.dir/workload/session_map_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/workload/session_map_test.cc.o.d"
+  "/root/repo/tests/workload/trace_io_test.cc" "tests/CMakeFiles/mistral_tests.dir/workload/trace_io_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/workload/trace_io_test.cc.o.d"
+  "/root/repo/tests/workload/trace_test.cc" "tests/CMakeFiles/mistral_tests.dir/workload/trace_test.cc.o" "gcc" "tests/CMakeFiles/mistral_tests.dir/workload/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mistral_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/mistral_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mistral_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mistral_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/mistral_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mistral_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/lqn/CMakeFiles/mistral_lqn.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mistral_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mistral_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mistral_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
