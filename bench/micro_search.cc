@@ -1,9 +1,29 @@
 // Microbenchmark: one adaptation-search invocation.
 //
-// Wall-clock cost of a full self-aware A* decision at increasing scale; the
-// model-clock meter keeps the *decision logic* deterministic while this
-// measures real CPU time.
+// Two modes:
+//
+//  * Default: a threads ∈ {1,2,4,8} × cluster-size sweep of full self-aware
+//    decisions, written to BENCH_search.json. Per cell: measured wall-clock
+//    decision latency, the meter-modeled latency, and the eval cache hit
+//    rate. The meter prices decision *work* identically in every cell (the
+//    model-clock contract), so all cells of one size perform bit-identical
+//    decisions; the modeled latency then applies the meter's batched
+//    concurrency accounting — a charge of n evaluations on w workers
+//    occupies ⌈n/w⌉ wall slots — to that fixed work. The wall-clock column
+//    only reflects parallel execution when the host actually has cores to
+//    run the workers on (host_cpus is recorded alongside for that reason);
+//    the modeled column is hardware-independent and is what later PRs
+//    regress against.
+//
+//  * With any --benchmark* flag: the registered google-benchmark
+//    microbenchmarks run instead (e.g. --benchmark_filter=search).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/search.h"
@@ -21,6 +41,7 @@ void bm_self_aware_search(benchmark::State& state) {
                                          cost::cost_table::paper_defaults(), {});
     std::vector<req_per_sec> rates(apps, 60.0);
     for (auto _ : state) {
+        search.evaluator().reset_memo();  // cold cache: full decision cost
         core::model_clock_meter meter;
         benchmark::DoNotOptimize(
             search.find(scn.initial, rates, 600.0, 0.0, meter));
@@ -38,4 +59,132 @@ void bm_enumerate_actions(benchmark::State& state) {
 }
 BENCHMARK(bm_enumerate_actions)->Arg(2)->Arg(4);
 
+// A model-clock meter that additionally records the batched concurrency
+// accounting: `charges` is the work (evaluations priced), `slots` the
+// serialized wall slots those charges occupy at the evaluator's parallelism
+// (⌈n/w⌉ per batch). elapsed() prices charges, exactly like
+// model_clock_meter, so the *decision logic* is identical in every cell and
+// charges agree across the threads axis; slots/charges is then the meter's
+// modeled concurrency of the evaluation-dominated portion.
+class slot_meter final : public core::search_meter {
+public:
+    void begin() override { charges_ = slots_ = 0; }
+    void charge(std::size_t evaluations, std::size_t workers) override {
+        charges_ += evaluations;
+        slots_ += (evaluations + workers - 1) / workers;
+    }
+    [[nodiscard]] seconds elapsed() const override {
+        return 0.002 * static_cast<double>(charges_);
+    }
+    [[nodiscard]] watts search_power() const override { return 7.2; }
+
+    [[nodiscard]] std::size_t charges() const { return charges_; }
+    [[nodiscard]] std::size_t slots() const { return slots_; }
+
+private:
+    std::size_t charges_ = 0;
+    std::size_t slots_ = 0;
+};
+
+struct sweep_cell {
+    std::size_t hosts = 0;
+    std::size_t apps = 0;
+    std::size_t threads = 0;
+    double mean_ms = 0.0;     // measured wall clock
+    double modeled_ms = 0.0;  // serial wall time × slots / charges
+    double hit_rate = 0.0;
+    std::size_t charges = 0;
+    std::size_t slots = 0;
+};
+
+sweep_cell run_cell(std::size_t apps, std::size_t threads, int reps) {
+    auto scn = core::make_rubis_scenario(
+        {.host_count = 2 * apps, .app_count = apps});
+    core::search_options opts;
+    opts.evaluation.with_threads(threads);
+    const core::adaptation_search search(scn.model, core::utility_model{},
+                                         cost::cost_table::paper_defaults(),
+                                         opts);
+    std::vector<req_per_sec> rates(apps, 60.0);
+
+    sweep_cell cell{2 * apps, apps, threads, 0.0, 0.0, 0.0, 0, 0};
+    double total_ms = 0.0;
+    for (int r = -1; r < reps; ++r) {  // rep −1 warms everything but the memo
+        search.evaluator().reset_memo();
+        slot_meter meter;
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto result = search.find(scn.initial, rates, 600.0, 0.0, meter);
+        const auto t1 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(result);
+        if (r < 0) continue;
+        total_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+        cell.hit_rate = search.evaluator().stats().hit_rate();
+        cell.charges = meter.charges();
+        cell.slots = meter.slots();
+    }
+    cell.mean_ms = total_ms / reps;
+    return cell;
+}
+
+int run_sweep(const char* path) {
+    constexpr int kReps = 3;
+    std::vector<sweep_cell> cells;
+    for (const std::size_t apps : {2, 4}) {
+        double serial_ms = 0.0;
+        for (const std::size_t threads : {1, 2, 4, 8}) {
+            cells.push_back(run_cell(apps, threads, kReps));
+            auto& c = cells.back();
+            if (threads == 1) serial_ms = c.mean_ms;
+            // All cells of one size charge identical work; the modeled
+            // latency spreads the serial cell's measured time over this
+            // cell's wall slots.
+            c.modeled_ms = serial_ms * static_cast<double>(c.slots) /
+                           static_cast<double>(c.charges);
+            std::printf(
+                "hosts=%zu apps=%zu threads=%zu  wall %8.2f ms  modeled "
+                "%8.2f ms (x%.2f)  hit_rate=%.3f\n",
+                c.hosts, c.apps, c.threads, c.mean_ms, c.modeled_ms,
+                static_cast<double>(c.charges) / static_cast<double>(c.slots),
+                c.hit_rate);
+        }
+    }
+
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"self_aware_search_decision\",\n");
+    std::fprintf(f, "  \"host_cpus\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"reps\": %d,\n  \"cells\": [\n", kReps);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto& c = cells[i];
+        std::fprintf(f,
+                     "    {\"hosts\": %zu, \"apps\": %zu, \"threads\": %zu, "
+                     "\"mean_decision_ms\": %.3f, \"modeled_decision_ms\": %.3f, "
+                     "\"modeled_speedup\": %.3f, \"eval_charges\": %zu, "
+                     "\"eval_slots\": %zu, \"cache_hit_rate\": %.4f}%s\n",
+                     c.hosts, c.apps, c.threads, c.mean_ms, c.modeled_ms,
+                     static_cast<double>(c.charges) / static_cast<double>(c.slots),
+                     c.charges, c.slots, c.hit_rate,
+                     i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+    return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--benchmark", 0) == 0) {
+            benchmark::Initialize(&argc, argv);
+            benchmark::RunSpecifiedBenchmarks();
+            return 0;
+        }
+    }
+    return run_sweep(argc > 1 ? argv[1] : "BENCH_search.json");
+}

@@ -45,7 +45,7 @@ int main() {
 
         core::strategy::outcome decision;
         if (!tb.busy()) {
-            decision = mistral.decide(t, rates, tb.config(), last_utility);
+            decision = mistral.decide({t, rates, tb.config(), last_utility});
         }
         if (!decision.actions.empty()) {
             tb.submit(decision.actions, decision.decision_delay);

@@ -48,8 +48,10 @@ int main() {
     // 4. Ask Mistral. The cost tables here are the paper's published
     //    measurements; run sim::run_cost_campaign() to measure your own.
     core::mistral_controller controller(model, cost::cost_table::paper_defaults());
-    const auto decision = controller.step(/*now=*/0.0, rates, config,
-                                          /*last_interval_utility=*/0.0);
+    const auto decision = controller.step({.now = 0.0,
+                                           .rates = rates,
+                                           .current = config,
+                                           .last_interval_utility = 0.0});
 
     std::cout << "\nMistral's decision (control window "
               << static_cast<int>(decision.control_window) << " s, searched "

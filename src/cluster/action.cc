@@ -57,20 +57,26 @@ int deployed_replicas(const cluster_model& model, const configuration& config,
     return n;
 }
 
+// Per-host memory already committed, when the caller has precomputed it for
+// a whole batch of checks (enumerate_actions); nullptr recomputes on demand.
+using host_memory = std::vector<double>;
+
 bool host_has_room(const cluster_model& model, const configuration& config,
-                   host_id host, double extra_memory_mb, std::string* why) {
+                   host_id host, double extra_memory_mb,
+                   const host_memory* memory, std::string* why) {
     if (!config.host_on(host)) {
         if (why) *why = "target host is powered off";
         return false;
     }
-    const auto hosted = config.vms_on(host);
-    if (static_cast<int>(hosted.size()) + 1 > model.limits().max_vms_per_host) {
+    if (static_cast<int>(config.vm_count_on(host)) + 1 >
+        model.limits().max_vms_per_host) {
         if (why) *why = "target host VM slots full";
         return false;
     }
+    const double used = memory ? (*memory)[host.index()]
+                               : config.memory_sum(model, host);
     const double available = model.hosts()[host.index()].memory_mb -
-                             model.limits().dom0_memory_mb -
-                             config.memory_sum(model, host);
+                             model.limits().dom0_memory_mb - used;
     if (extra_memory_mb > available + 1e-9) {
         if (why) *why = "target host memory full";
         return false;
@@ -108,8 +114,11 @@ std::string to_string(const cluster_model& model, const action& a) {
     return os.str();
 }
 
-bool applicable(const cluster_model& model, const configuration& config,
-                const action& a, std::string* why) {
+namespace {
+
+bool applicable_impl(const cluster_model& model, const configuration& config,
+                     const action& a, const host_memory* memory,
+                     std::string* why) {
     const auto step = model.limits().cpu_step;
     return std::visit(
         [&](const auto& x) -> bool {
@@ -144,7 +153,7 @@ bool applicable(const cluster_model& model, const configuration& config,
                     return false;
                 }
                 return host_has_room(model, config, x.to,
-                                     model.vm(x.vm).memory_mb, why);
+                                     model.vm(x.vm).memory_mb, memory, why);
             } else if constexpr (std::is_same_v<T, remove_replica>) {
                 if (!config.deployed(x.vm)) {
                     if (why) *why = "VM is dormant";
@@ -164,7 +173,7 @@ bool applicable(const cluster_model& model, const configuration& config,
                     return false;
                 }
                 return host_has_room(model, config, x.to,
-                                     model.vm(x.vm).memory_mb, why);
+                                     model.vm(x.vm).memory_mb, memory, why);
             } else if constexpr (std::is_same_v<T, power_on>) {
                 if (config.host_on(x.host)) {
                     if (why) *why = "host already on";
@@ -176,7 +185,7 @@ bool applicable(const cluster_model& model, const configuration& config,
                     if (why) *why = "host already off";
                     return false;
                 }
-                if (!config.vms_on(x.host).empty()) {
+                if (config.vm_count_on(x.host) != 0) {
                     if (why) *why = "host still has VMs";
                     return false;
                 }
@@ -184,6 +193,13 @@ bool applicable(const cluster_model& model, const configuration& config,
             }
         },
         a);
+}
+
+}  // namespace
+
+bool applicable(const cluster_model& model, const configuration& config,
+                const action& a, std::string* why) {
+    return applicable_impl(model, config, a, nullptr, why);
 }
 
 configuration apply(const cluster_model& model, const configuration& config,
@@ -220,8 +236,17 @@ std::vector<action> enumerate_actions(const cluster_model& model,
                                       const configuration& config,
                                       const action_menu& menu) {
     std::vector<action> out;
+    // One memory pass up front; every migrate/add_replica probe below would
+    // otherwise rescan the whole VM inventory per target host.
+    host_memory memory(model.host_count(), 0.0);
+    for (const auto& desc : model.vms()) {
+        const auto& p = config.placement(desc.vm);
+        if (p) memory[p->host.index()] += desc.memory_mb;
+    }
     auto offer = [&](action a) {
-        if (applicable(model, config, a)) out.push_back(std::move(a));
+        if (applicable_impl(model, config, a, &memory, nullptr)) {
+            out.push_back(std::move(a));
+        }
     };
 
     for (const auto& desc : model.vms()) {

@@ -11,6 +11,11 @@ namespace {
 
 fraction round_cap(fraction cap) { return std::round(cap * 1000.0) / 1000.0; }
 
+// Exact integer milli-cap of an already-rounded cap.
+std::int32_t milli(fraction cap) {
+    return static_cast<std::int32_t>(std::llround(cap * 1000.0));
+}
+
 void hash_combine(std::size_t& seed, std::size_t value) {
     seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
 }
@@ -18,7 +23,10 @@ void hash_combine(std::size_t& seed, std::size_t value) {
 }  // namespace
 
 configuration::configuration(std::size_t vm_count, std::size_t host_count)
-    : vms_(vm_count), hosts_on_(host_count, false) {
+    : vms_(vm_count),
+      hosts_on_(host_count, false),
+      host_cap_milli_(host_count, 0),
+      host_vm_count_(host_count, 0) {
     MISTRAL_CHECK(vm_count > 0);
     MISTRAL_CHECK(host_count > 0);
 }
@@ -58,12 +66,14 @@ std::size_t configuration::deployed_vm_count() const {
     return n;
 }
 
+std::size_t configuration::vm_count_on(host_id host) const {
+    MISTRAL_CHECK(host.valid() && host.index() < hosts_on_.size());
+    return static_cast<std::size_t>(host_vm_count_[host.index()]);
+}
+
 fraction configuration::cap_sum(host_id host) const {
-    fraction sum = 0.0;
-    for (const auto& p : vms_) {
-        if (p && p->host == host) sum += p->cpu_cap;
-    }
-    return sum;
+    MISTRAL_CHECK(host.valid() && host.index() < hosts_on_.size());
+    return static_cast<fraction>(host_cap_milli_[host.index()]) / 1000.0;
 }
 
 double configuration::memory_sum(const cluster_model& model, host_id host) const {
@@ -80,11 +90,22 @@ void configuration::deploy(vm_id vm, host_id host, fraction cpu_cap) {
     MISTRAL_CHECK(vm.valid() && vm.index() < vms_.size());
     MISTRAL_CHECK(host.valid() && host.index() < hosts_on_.size());
     MISTRAL_CHECK(cpu_cap > 0.0 && cpu_cap <= 1.0);
-    vms_[vm.index()] = vm_placement{host, round_cap(cpu_cap)};
+    if (const auto& old = vms_[vm.index()]) {  // re-deploy moves the VM
+        host_cap_milli_[old->host.index()] -= milli(old->cpu_cap);
+        host_vm_count_[old->host.index()] -= 1;
+    }
+    const fraction cap = round_cap(cpu_cap);
+    vms_[vm.index()] = vm_placement{host, cap};
+    host_cap_milli_[host.index()] += milli(cap);
+    host_vm_count_[host.index()] += 1;
 }
 
 void configuration::undeploy(vm_id vm) {
     MISTRAL_CHECK(vm.valid() && vm.index() < vms_.size());
+    if (const auto& old = vms_[vm.index()]) {
+        host_cap_milli_[old->host.index()] -= milli(old->cpu_cap);
+        host_vm_count_[old->host.index()] -= 1;
+    }
     vms_[vm.index()].reset();
 }
 
@@ -92,7 +113,10 @@ void configuration::set_cap(vm_id vm, fraction cpu_cap) {
     MISTRAL_CHECK(vm.valid() && vm.index() < vms_.size());
     MISTRAL_CHECK_MSG(vms_[vm.index()].has_value(), "set_cap on dormant " << vm);
     MISTRAL_CHECK(cpu_cap > 0.0 && cpu_cap <= 1.0);
-    vms_[vm.index()]->cpu_cap = round_cap(cpu_cap);
+    auto& p = *vms_[vm.index()];
+    const fraction cap = round_cap(cpu_cap);
+    host_cap_milli_[p.host.index()] += milli(cap) - milli(p.cpu_cap);
+    p.cpu_cap = cap;
 }
 
 void configuration::set_host_power(host_id host, bool on) {
@@ -156,14 +180,21 @@ bool structurally_valid(const cluster_model& model, const configuration& config,
             return fail("cap outside tier window");
         }
     }
+    // One pass over the VMs for every host's memory load (memory_sum per
+    // host would rescan the whole inventory host_count times).
+    std::vector<double> memory(model.host_count(), 0.0);
+    for (const auto& desc : model.vms()) {
+        const auto& p = config.placement(desc.vm);
+        if (p) memory[p->host.index()] += desc.memory_mb;
+    }
     for (std::size_t h = 0; h < model.host_count(); ++h) {
         const host_id host{static_cast<std::int32_t>(h)};
-        const auto hosted = config.vms_on(host);
-        if (static_cast<int>(hosted.size()) > model.limits().max_vms_per_host) {
+        if (static_cast<int>(config.vm_count_on(host)) >
+            model.limits().max_vms_per_host) {
             return fail("too many VMs on " + model.hosts()[h].name);
         }
         const double available = model.hosts()[h].memory_mb - model.limits().dom0_memory_mb;
-        if (config.memory_sum(model, host) > available + 1e-9) {
+        if (memory[h] > available + 1e-9) {
             return fail("memory overcommitted on " + model.hosts()[h].name);
         }
     }

@@ -48,10 +48,14 @@ public:
     [[nodiscard]] bool host_on(host_id host) const;
 
     [[nodiscard]] std::vector<vm_id> vms_on(host_id host) const;
+    // Number of VMs deployed on `host`; O(1) from the incremental aggregates.
+    [[nodiscard]] std::size_t vm_count_on(host_id host) const;
     [[nodiscard]] std::size_t active_host_count() const;
     [[nodiscard]] std::size_t deployed_vm_count() const;
 
-    // Sum of deployed CPU caps on `host`.
+    // Sum of deployed CPU caps on `host`. Caps are multiples of 1e-3, so the
+    // sum is kept as an exact integer milli-cap count: O(1), no accumulation
+    // order to worry about.
     [[nodiscard]] fraction cap_sum(host_id host) const;
     // Sum of deployed VM memory on `host` (the model supplies footprints).
     [[nodiscard]] double memory_sum(const cluster_model& model, host_id host) const;
@@ -63,7 +67,11 @@ public:
     void set_host_power(host_id host, bool on);
 
     [[nodiscard]] std::size_t hash() const;
-    friend bool operator==(const configuration&, const configuration&) = default;
+    // Equality is over placements and host power only; the per-host
+    // aggregates are derived data.
+    friend bool operator==(const configuration& a, const configuration& b) {
+        return a.vms_ == b.vms_ && a.hosts_on_ == b.hosts_on_;
+    }
 
     // Human-readable one-line summary (placements + host states).
     [[nodiscard]] std::string describe(const cluster_model& model) const;
@@ -71,6 +79,11 @@ public:
 private:
     std::vector<std::optional<vm_placement>> vms_;
     std::vector<bool> hosts_on_;
+    // Derived per-host aggregates, maintained by the mutators. Milli-caps are
+    // exact integers (caps are rounded to 1e-3), so incremental updates can
+    // never drift from a from-scratch sum.
+    std::vector<std::int32_t> host_cap_milli_;
+    std::vector<std::int32_t> host_vm_count_;
 };
 
 // Constraints that every configuration — candidate or intermediate — must

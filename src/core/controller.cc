@@ -17,6 +17,8 @@ mistral_controller::mistral_controller(const cluster::cluster_model& model,
       meter_(meter ? std::move(meter) : std::make_unique<model_clock_meter>()),
       monitor_(model.app_count(), options.band_width) {
     MISTRAL_CHECK(options_.min_control_window > 0.0);
+    MISTRAL_CHECK(options_.max_control_window >= options_.min_control_window);
+    MISTRAL_CHECK(options_.band_width >= 0.0);
     MISTRAL_CHECK(options_.utility_history >= 1);
     predictors_.reserve(model.app_count());
     for (std::size_t a = 0; a < model.app_count(); ++a) {
@@ -37,15 +39,14 @@ dollars mistral_controller::pessimistic_expected_utility(seconds cw) const {
     return lowest * cw / options_.utility.monitoring_interval;
 }
 
-controller_decision mistral_controller::step(seconds now,
-                                             const std::vector<req_per_sec>& rates,
-                                             const cluster::configuration& current,
-                                             dollars last_interval_utility) {
+controller_decision mistral_controller::step(const decision_input& in) {
+    const seconds now = in.now;
+    const auto& rates = in.rates;
     MISTRAL_CHECK(rates.size() == model_->app_count());
     controller_decision decision;
 
     if (!first_step_) {
-        utility_history_.push_back(last_interval_utility);
+        utility_history_.push_back(in.last_interval_utility);
         if (static_cast<int>(utility_history_.size()) > options_.utility_history) {
             utility_history_.erase(utility_history_.begin());
         }
@@ -74,7 +75,7 @@ controller_decision mistral_controller::step(seconds now,
     cw = std::min(cw, options_.max_control_window);
 
     const dollars uh = pessimistic_expected_utility(cw);
-    auto result = search_.find(current, rates, cw, uh, *meter_);
+    auto result = search_.find(in.current, rates, cw, uh, *meter_);
 
     decision.invoked = true;
     decision.actions = std::move(result.actions);

@@ -45,6 +45,21 @@ struct controller_options {
     int utility_history = 5;
 };
 
+// One monitoring interval's observations, as handed to a controller or
+// strategy. A struct rather than positional parameters so the decision
+// interface can grow (SLA revisions, host-failure notices, operator hints)
+// without touching every implementation and call site again.
+struct decision_input {
+    seconds now = 0.0;
+    // Measured per-application request rates over the interval.
+    std::vector<req_per_sec> rates;
+    // The configuration currently in effect.
+    cluster::configuration current;
+    // Utility the system actually accrued over the previous interval
+    // (feeds the pessimistic UH search budget).
+    dollars last_interval_utility = 0.0;
+};
+
 struct controller_decision {
     bool invoked = false;  // the optimizer ran this step
     std::vector<cluster::action> actions;
@@ -61,12 +76,8 @@ public:
                        controller_options options = {},
                        std::unique_ptr<search_meter> meter = nullptr);
 
-    // One monitoring-interval step: `rates` are the interval's measured
-    // per-application request rates; `last_interval_utility` is the utility
-    // the system actually accrued over the previous interval (feeds UH).
-    controller_decision step(seconds now, const std::vector<req_per_sec>& rates,
-                             const cluster::configuration& current,
-                             dollars last_interval_utility);
+    // One monitoring-interval step over the interval's observations.
+    controller_decision step(const decision_input& in);
 
     [[nodiscard]] const wl::workload_monitor& monitor() const { return monitor_; }
     [[nodiscard]] const std::vector<predict::stability_predictor>& predictors() const {

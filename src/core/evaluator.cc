@@ -1,0 +1,381 @@
+#include "core/evaluator.h"
+
+#include <cmath>
+#include <utility>
+
+#include "cluster/translate.h"
+#include "common/check.h"
+#include "lqn/solver.h"
+
+namespace mistral::core {
+
+// ---- eval_memo -------------------------------------------------------------
+
+eval_memo::eval_memo(std::size_t capacity) : capacity_(capacity) {
+    MISTRAL_CHECK(capacity >= 1);
+}
+
+std::vector<std::int64_t> eval_memo::quantize(
+    const std::vector<req_per_sec>& rates, req_per_sec quantum) {
+    std::vector<std::int64_t> key;
+    key.reserve(rates.size());
+    if (quantum <= 0.0) {
+        // Exact keys: the rate's bit pattern, so only identical workload
+        // vectors share entries.
+        for (const req_per_sec r : rates) {
+            std::int64_t bits;
+            static_assert(sizeof(bits) == sizeof(r));
+            __builtin_memcpy(&bits, &r, sizeof(bits));
+            key.push_back(bits);
+        }
+    } else {
+        for (const req_per_sec r : rates) {
+            key.push_back(static_cast<std::int64_t>(std::llround(r / quantum)));
+        }
+    }
+    return key;
+}
+
+void eval_memo::bind_rates(const std::vector<req_per_sec>& rates,
+                           req_per_sec quantum) {
+    auto key = quantize(rates, quantum);
+    if (bound_ && key == rate_key_) return;
+    rate_key_ = std::move(key);
+    bound_ = true;
+    lru_.clear();
+    index_.clear();
+}
+
+const steady_utility* eval_memo::find(const cluster::configuration& c) {
+    const auto it = index_.find(c);
+    if (it == index_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return &it->second->second;
+}
+
+void eval_memo::insert(const cluster::configuration& c, steady_utility value) {
+    const auto it = index_.find(c);
+    if (it != index_.end()) {
+        it->second->second = std::move(value);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(c, std::move(value));
+    index_.emplace(c, lru_.begin());
+    while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+void eval_memo::clear() {
+    lru_.clear();
+    index_.clear();
+    hits_ = misses_ = evictions_ = 0;
+}
+
+// ---- serial_evaluator ------------------------------------------------------
+
+serial_evaluator::serial_evaluator(const cluster::cluster_model& model,
+                                   utility_model utility, lqn::model_options lqn,
+                                   evaluation_options options)
+    : model_(&model),
+      utility_(utility),
+      lqn_(lqn),
+      options_(options),
+      memo_(options.memo_capacity) {
+    MISTRAL_CHECK(options_.threads >= 1 && options_.threads <= 256);
+    MISTRAL_CHECK(options_.memo_capacity >= 1);
+    MISTRAL_CHECK(options_.rate_quantum >= 0.0);
+}
+
+void serial_evaluator::begin_decision(const std::vector<req_per_sec>& rates) {
+    MISTRAL_CHECK(rates.size() == model_->app_count());
+    rates_ = rates;
+    targets_.resize(model_->app_count());
+    for (std::size_t a = 0; a < model_->app_count(); ++a) {
+        targets_[a] = utility_.planning_target(
+            model_->app(app_id{static_cast<std::int32_t>(a)})
+                .target_response_time(rates[a]));
+    }
+    memo_.bind_rates(rates, options_.rate_quantum);
+}
+
+steady_utility serial_evaluator::compute(const cluster::configuration& config) const {
+    const auto pred = cluster::predict(*model_, config, rates_, lqn_);
+    steady_utility out;
+    out.power = pred.power;
+    out.power_rate = utility_.power_rate(pred.power);
+    out.response_times.reserve(model_->app_count());
+    for (std::size_t a = 0; a < model_->app_count(); ++a) {
+        const seconds rt = pred.perf.apps[a].mean_response_time;
+        out.response_times.push_back(rt);
+        out.perf_rate += utility_.perf_rate(rates_[a], rt, targets_[a]);
+        if (rt > targets_[a]) out.meets_targets = false;
+    }
+    // steady_rate() accumulates power-first; summing the components here
+    // instead would drift by an ulp and is a different number to callers
+    // that compare utilities at 1e-12.
+    out.rate = utility_.steady_rate(rates_, out.response_times, targets_, pred.power);
+    out.candidate = is_candidate(*model_, config);
+    return out;
+}
+
+steady_utility serial_evaluator::evaluate(const cluster::configuration& config) {
+    MISTRAL_CHECK_MSG(!rates_.empty(), "begin_decision() before evaluate()");
+    if (const auto* hit = memo_.find(config)) {
+        ++stats_.cache_hits;
+        return *hit;
+    }
+    ++stats_.cache_misses;
+    ++stats_.evaluations;
+    steady_utility value = compute(config);
+    memo_.insert(config, value);
+    return value;
+}
+
+std::vector<steady_utility> serial_evaluator::evaluate_batch(
+    const std::vector<cluster::configuration>& configs) {
+    ++stats_.batches;
+    std::vector<steady_utility> out;
+    out.reserve(configs.size());
+    for (const auto& c : configs) out.push_back(evaluate(c));
+    return out;
+}
+
+isolated_perf serial_evaluator::compute_isolated(const app_sizing& s) const {
+    MISTRAL_CHECK(s.size() == model_->app_count());
+    std::vector<lqn::app_deployment> deps;
+    std::size_t fake_host = 0;
+    for (std::size_t a = 0; a < model_->app_count(); ++a) {
+        lqn::app_deployment dep;
+        dep.spec = &model_->app(app_id{static_cast<std::int32_t>(a)});
+        dep.rate = rates_[a];
+        dep.tiers.resize(dep.spec->tier_count());
+        for (std::size_t t = 0; t < dep.spec->tier_count(); ++t) {
+            for (int r = 0; r < s[a][t].replicas; ++r) {
+                dep.tiers[t].replicas.push_back({fake_host++, s[a][t].cap});
+            }
+        }
+        deps.push_back(std::move(dep));
+    }
+    const auto solved = lqn::solve(deps, fake_host, lqn_);
+    isolated_perf out;
+    out.response_times.reserve(model_->app_count());
+    for (std::size_t a = 0; a < model_->app_count(); ++a) {
+        const seconds rt = solved.apps[a].mean_response_time;
+        out.response_times.push_back(rt);
+        out.perf_rate += utility_.perf_rate(rates_[a], rt, targets_[a]);
+        if (rt > targets_[a]) out.meets_all_targets = false;
+    }
+    return out;
+}
+
+isolated_perf serial_evaluator::evaluate_isolated(const app_sizing& s) {
+    MISTRAL_CHECK_MSG(!rates_.empty(), "begin_decision() before evaluate_isolated()");
+    ++stats_.evaluations;
+    return compute_isolated(s);
+}
+
+std::vector<isolated_perf> serial_evaluator::evaluate_isolated_batch(
+    const std::vector<app_sizing>& sizings) {
+    std::vector<isolated_perf> out;
+    out.reserve(sizings.size());
+    for (const auto& s : sizings) out.push_back(evaluate_isolated(s));
+    return out;
+}
+
+void serial_evaluator::reset_memo() {
+    memo_.clear();
+    stats_ = {};
+}
+
+// ---- parallel_evaluator ----------------------------------------------------
+
+parallel_evaluator::parallel_evaluator(const cluster::cluster_model& model,
+                                       utility_model utility,
+                                       lqn::model_options lqn,
+                                       evaluation_options options)
+    : serial_evaluator(model, utility, lqn, options) {
+    // The calling thread is worker zero; spawn the rest.
+    workers_.reserve(options_.threads - 1);
+    for (std::size_t i = 0; i + 1 < options_.threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+parallel_evaluator::~parallel_evaluator() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void parallel_evaluator::worker_loop() {
+    std::size_t seen_generation = 0;
+    for (;;) {
+        std::uint32_t generation = 0;
+        std::size_t count = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return shutdown_ || job_generation_ != seen_generation;
+            });
+            if (shutdown_) return;
+            seen_generation = job_generation_;
+            generation = static_cast<std::uint32_t>(seen_generation);
+            count = job_count_;
+        }
+        drain(generation, count);
+    }
+}
+
+void parallel_evaluator::drain(std::uint32_t generation, std::size_t count) {
+    for (;;) {
+        std::uint64_t cursor = job_cursor_.load(std::memory_order_acquire);
+        std::size_t i;
+        for (;;) {
+            // A cursor from a different generation means this job is already
+            // over (and possibly replaced); claiming from it would hand out
+            // the *new* job's indices against the old count.
+            if (static_cast<std::uint32_t>(cursor >> 32) != generation) return;
+            i = static_cast<std::uint32_t>(cursor);
+            if (i >= count) return;
+            if (job_cursor_.compare_exchange_weak(cursor, cursor + 1,
+                                                  std::memory_order_acq_rel)) {
+                break;
+            }
+        }
+        try {
+            job_(i);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (!job_error_) job_error_ = std::current_exception();
+        }
+        if (job_done_.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            done_.notify_all();
+        }
+    }
+}
+
+void parallel_evaluator::run_job(const std::function<void(std::size_t)>& fn,
+                                 std::size_t count) {
+    if (count == 0) return;
+    std::uint32_t generation = 0;
+    {
+        // run_job only starts after the previous job fully completed, so no
+        // worker is between claim and done-increment here and reseeding the
+        // done counter is race-free.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        job_ = fn;
+        job_count_ = count;
+        job_error_ = nullptr;
+        job_done_.store(0, std::memory_order_relaxed);
+        ++job_generation_;
+        generation = static_cast<std::uint32_t>(job_generation_);
+        job_cursor_.store(static_cast<std::uint64_t>(generation) << 32,
+                          std::memory_order_release);
+    }
+    wake_.notify_all();
+    drain(generation, count);  // the calling thread works the same queue
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+        return job_done_.load(std::memory_order_acquire) == count;
+    });
+    // All items are done, so no worker will call job_ again this generation.
+    job_ = nullptr;
+    job_count_ = 0;
+    if (job_error_) {
+        auto error = std::exchange(job_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+void parallel_evaluator::parallel_for(std::size_t count,
+                                      const std::function<void(std::size_t)>& fn) {
+    // Pool dispatch costs a few wake-ups; below a handful of items the serial
+    // loop wins outright and keeps the meter's work accounting honest.
+    if (count <= 1 || workers_.empty()) {
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+    run_job(fn, count);
+}
+
+std::vector<isolated_perf> parallel_evaluator::evaluate_isolated_batch(
+    const std::vector<app_sizing>& sizings) {
+    MISTRAL_CHECK_MSG(!rates_.empty(),
+                      "begin_decision() before evaluate_isolated_batch()");
+    stats_.evaluations += sizings.size();
+    std::vector<isolated_perf> out(sizings.size());
+    parallel_for(sizings.size(),
+                 [&](std::size_t i) { out[i] = compute_isolated(sizings[i]); });
+    return out;
+}
+
+std::vector<steady_utility> parallel_evaluator::evaluate_batch(
+    const std::vector<cluster::configuration>& configs) {
+    MISTRAL_CHECK_MSG(!rates_.empty(), "begin_decision() before evaluate_batch()");
+    ++stats_.batches;
+    std::vector<steady_utility> out(configs.size());
+    std::vector<bool> resolved(configs.size(), false);
+    // Memo lookups and duplicate folding stay on the calling thread so the
+    // cache's LRU order — and with it every eviction — matches the serial
+    // evaluator exactly.
+    std::unordered_map<cluster::configuration, std::size_t> first_seen;
+    std::vector<std::size_t> work;  // indices needing a real solve
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (const auto* hit = memo_.find(configs[i])) {
+            ++stats_.cache_hits;
+            out[i] = *hit;
+            resolved[i] = true;
+            continue;
+        }
+        const auto [it, inserted] = first_seen.emplace(configs[i], i);
+        if (inserted) {
+            ++stats_.cache_misses;
+            work.push_back(i);
+        } else {
+            // Duplicate within the batch: solved once, copied below.
+            ++stats_.cache_hits;
+        }
+    }
+    if (!work.empty()) {
+        stats_.evaluations += work.size();
+        parallel_for(work.size(),
+                     [&](std::size_t j) { out[work[j]] = compute(configs[work[j]]); });
+        // Publish in input order (deterministic LRU insertion order).
+        for (const std::size_t i : work) {
+            memo_.insert(configs[i], out[i]);
+            resolved[i] = true;
+        }
+    }
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (resolved[i]) continue;
+        out[i] = out[first_seen.at(configs[i])];
+    }
+    return out;
+}
+
+// ---- factory ---------------------------------------------------------------
+
+std::shared_ptr<utility_evaluator> make_evaluator(const cluster::cluster_model& model,
+                                                  utility_model utility,
+                                                  lqn::model_options lqn,
+                                                  evaluation_options options) {
+    if (options.threads <= 1) {
+        return std::make_shared<serial_evaluator>(model, utility, lqn, options);
+    }
+    return std::make_shared<parallel_evaluator>(model, utility, lqn, options);
+}
+
+}  // namespace mistral::core

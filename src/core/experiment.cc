@@ -89,7 +89,9 @@ run_result run_scenario(const scenario& scn, strategy& strat) {
         // off — re-planning against a configuration that is mid-transition
         // would race the in-flight actions.
         strategy::outcome decision;
-        if (!tb.busy()) decision = strat.decide(t, rates, tb.config(), last_utility);
+        if (!tb.busy()) {
+            decision = strat.decide({t, rates, tb.config(), last_utility});
+        }
         if (decision.invoked) {
             ++out.invocations;
             out.search_duration.add(decision.decision_delay);

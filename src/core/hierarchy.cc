@@ -44,12 +44,10 @@ hierarchical_controller::hierarchical_controller(
         std::make_unique<model_clock_meter>(options.meter_per_expansion));
 }
 
-strategy::outcome hierarchical_controller::decide(
-    seconds now, const std::vector<req_per_sec>& rates,
-    const cluster::configuration& current, dollars last_interval_utility) {
+strategy::outcome hierarchical_controller::decide(const decision_input& in) {
     outcome out;
 
-    const auto d2 = level2_->step(now, rates, current, last_interval_utility);
+    const auto d2 = level2_->step(in);
     if (d2.invoked) {
         level2_durations_.add(d2.stats.duration);
         if (!d2.actions.empty()) {
@@ -64,9 +62,10 @@ strategy::outcome hierarchical_controller::decide(
 
     // First-level controllers refine in parallel over disjoint host groups;
     // their action lists compose, and the decision delay is the slowest one.
-    cluster::configuration probe = current;
+    cluster::configuration probe = in.current;
     for (auto& controller : level1_) {
-        const auto d1 = controller->step(now, rates, probe, last_interval_utility);
+        const auto d1 = controller->step(
+            {in.now, in.rates, probe, in.last_interval_utility});
         if (!d1.invoked) continue;
         out.invoked = true;
         level1_durations_.add(d1.stats.duration);

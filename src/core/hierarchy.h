@@ -41,9 +41,7 @@ public:
                             hierarchy_options options = {});
 
     [[nodiscard]] std::string name() const override { return "Mistral-2L"; }
-    outcome decide(seconds now, const std::vector<req_per_sec>& rates,
-                   const cluster::configuration& current,
-                   dollars last_interval_utility) override;
+    outcome decide(const decision_input& in) override;
 
     // Mean search duration per level so far (Table I's per-level rows).
     [[nodiscard]] const running_stats& level1_durations() const { return level1_durations_; }

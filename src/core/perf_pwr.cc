@@ -4,20 +4,15 @@
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <utility>
 
 #include "common/check.h"
-#include "lqn/solver.h"
 
 namespace mistral::core {
 
 namespace {
 
-// Per-(app, tier) sizing: how many replicas at what (uniform) cap.
-struct tier_sizing {
-    int replicas = 1;
-    fraction cap = 0.8;
-};
-using sizing = std::vector<std::vector<tier_sizing>>;  // [app][tier]
+using sizing = app_sizing;  // per-(app, tier) replicas + uniform cap
 
 // Total CPU allocation of a sizing (the ρ in the gradient).
 double total_allocation(const sizing& s) {
@@ -26,48 +21,6 @@ double total_allocation(const sizing& s) {
         for (const auto& t : app) sum += t.replicas * t.cap;
     }
     return sum;
-}
-
-// Performance evaluation with replicas isolated one-per-synthetic-host:
-// with caps enforcing isolation, placement barely affects response times
-// below saturation, so this cheap view is what the gradient search scores.
-struct perf_eval {
-    double perf_rate = 0.0;
-    std::vector<seconds> response_times;
-    bool meets_all_targets = true;
-};
-
-perf_eval evaluate_perf(const cluster::cluster_model& model,
-                        const utility_model& utility, const sizing& s,
-                        const std::vector<req_per_sec>& rates,
-                        const lqn::model_options& lqn_opts) {
-    std::vector<lqn::app_deployment> deps;
-    std::size_t fake_host = 0;
-    for (std::size_t a = 0; a < model.app_count(); ++a) {
-        lqn::app_deployment dep;
-        dep.spec = &model.app(app_id{static_cast<std::int32_t>(a)});
-        dep.rate = rates[a];
-        dep.tiers.resize(dep.spec->tier_count());
-        for (std::size_t t = 0; t < dep.spec->tier_count(); ++t) {
-            for (int r = 0; r < s[a][t].replicas; ++r) {
-                dep.tiers[t].replicas.push_back({fake_host++, s[a][t].cap});
-            }
-        }
-        deps.push_back(std::move(dep));
-    }
-    const auto solved = lqn::solve(deps, fake_host, lqn_opts);
-    perf_eval out;
-    out.response_times.reserve(model.app_count());
-    for (std::size_t a = 0; a < model.app_count(); ++a) {
-        const seconds rt = solved.apps[a].mean_response_time;
-        const seconds target = utility.planning_target(
-            model.app(app_id{static_cast<std::int32_t>(a)})
-                .target_response_time(rates[a]));
-        out.response_times.push_back(rt);
-        out.perf_rate += utility.perf_rate(rates[a], rt, target);
-        if (rt > target) out.meets_all_targets = false;
-    }
-    return out;
 }
 
 // Worst-fit-decreasing bin packing of the sizing's replicas onto at most
@@ -185,8 +138,20 @@ std::optional<cluster::configuration> pack(
 
 perf_pwr_optimizer::perf_pwr_optimizer(const cluster::cluster_model& model,
                                        utility_model utility, perf_pwr_options options)
-    : model_(&model), utility_(std::move(utility)), options_(options) {
+    : perf_pwr_optimizer(model, utility, options, nullptr) {}
+
+perf_pwr_optimizer::perf_pwr_optimizer(const cluster::cluster_model& model,
+                                       utility_model utility, perf_pwr_options options,
+                                       std::shared_ptr<utility_evaluator> evaluator)
+    : model_(&model),
+      utility_(utility),
+      options_(options),
+      evaluator_(std::move(evaluator)) {
     if (options_.cap_step <= 0.0) options_.cap_step = model.limits().cpu_step;
+    MISTRAL_CHECK(options_.max_gradient_iterations >= 1);
+    if (!evaluator_) {
+        evaluator_ = make_evaluator(model, utility_, options_.lqn);
+    }
 }
 
 perf_pwr_result perf_pwr_optimizer::optimize(
@@ -206,6 +171,8 @@ perf_pwr_result perf_pwr_optimizer::run(const std::vector<req_per_sec>& rates,
                                         const cluster::configuration* reference) const {
     const auto& model = *model_;
     MISTRAL_CHECK(rates.size() == model.app_count());
+    auto& engine = *evaluator_;
+    engine.begin_decision(rates);
 
     // Start: maximum replication, maximum capacities.
     sizing s(model.app_count());
@@ -240,70 +207,59 @@ perf_pwr_result perf_pwr_optimizer::run(const std::vector<req_per_sec>& rates,
             if (packed) break;
 
             // Gradient step: among all single reductions, take the one that
-            // frees the most CPU per unit of performance utility lost.
-            const auto base = evaluate_perf(model, utility_, s, rates, options_.lqn);
-            const double base_alloc = total_allocation(s);
-            double best_grad = -std::numeric_limits<double>::infinity();
-            std::optional<sizing> best_candidate;
+            // frees the most CPU per unit of performance utility lost. The
+            // reductions are independent, so all of one step's candidates —
+            // batch[0] is the base sizing itself — go to the engine as one
+            // batch; the best pick replays the original enumeration order.
+            std::vector<sizing> batch;
+            batch.push_back(s);
             for (std::size_t a = 0; a < model.app_count(); ++a) {
                 const auto& app = model.app(app_id{static_cast<std::int32_t>(a)});
                 for (std::size_t t = 0; t < app.tier_count(); ++t) {
                     const auto& tier = app.tiers()[t];
-                    std::vector<sizing> candidates;
                     if (s[a][t].cap - options_.cap_step >= tier.min_cpu_cap - 1e-9) {
                         sizing c = s;
                         c[a][t].cap -= options_.cap_step;
-                        candidates.push_back(std::move(c));
+                        batch.push_back(std::move(c));
                     }
                     if (s[a][t].replicas > tier.min_replicas) {
                         sizing c = s;
                         c[a][t].replicas -= 1;
-                        candidates.push_back(std::move(c));
-                    }
-                    for (auto& c : candidates) {
-                        const auto eval =
-                            evaluate_perf(model, utility_, c, rates, options_.lqn);
-                        if (enforce_targets && !eval.meets_all_targets) continue;
-                        const double dalloc = base_alloc - total_allocation(c);
-                        const double dutil = base.perf_rate - eval.perf_rate;
-                        const double grad = dalloc / (dutil + 1e-9);
-                        if (grad > best_grad) {
-                            best_grad = grad;
-                            best_candidate = std::move(c);
-                        }
+                        batch.push_back(std::move(c));
                     }
                 }
             }
-            if (!best_candidate) break;  // nothing left to shrink
-            s = std::move(*best_candidate);
+            const auto evals = engine.evaluate_isolated_batch(batch);
+            const auto& base = evals[0];
+            const double base_alloc = total_allocation(s);
+            double best_grad = -std::numeric_limits<double>::infinity();
+            std::size_t best_candidate = 0;  // 0 = none (the base itself)
+            for (std::size_t i = 1; i < batch.size(); ++i) {
+                if (enforce_targets && !evals[i].meets_all_targets) continue;
+                const double dalloc = base_alloc - total_allocation(batch[i]);
+                const double dutil = base.perf_rate - evals[i].perf_rate;
+                const double grad = dalloc / (dutil + 1e-9);
+                if (grad > best_grad) {
+                    best_grad = grad;
+                    best_candidate = i;
+                }
+            }
+            if (best_candidate == 0) break;  // nothing left to shrink
+            s = std::move(batch[best_candidate]);
         }
         if (!packed) break;  // cannot fit on this few hosts; fewer is hopeless
 
         // Score the packed configuration with the real placement and power.
-        const auto pred = cluster::predict(model, *packed, rates, options_.lqn);
-        double perf = 0.0;
-        bool meets = true;
-        std::vector<seconds> rts;
-        for (std::size_t a = 0; a < model.app_count(); ++a) {
-            const auto& app = model.app(app_id{static_cast<std::int32_t>(a)});
-            const seconds rt = pred.perf.apps[a].mean_response_time;
-            const seconds target =
-                utility_.planning_target(app.target_response_time(rates[a]));
-            rts.push_back(rt);
-            perf += utility_.perf_rate(rates[a], rt, target);
-            if (rt > target) meets = false;
-        }
-        if (enforce_targets && !meets) break;
-        const double pw = utility_.power_rate(pred.power);
-        const double total = perf + pw;
-        if (total > best.utility_rate) {
+        const auto se = engine.evaluate(*packed);
+        if (enforce_targets && !se.meets_targets) break;
+        if (se.rate > best.utility_rate) {
             best.feasible = true;
             best.ideal = *packed;
-            best.utility_rate = total;
-            best.perf_rate = perf;
-            best.power_rate = pw;
-            best.power = pred.power;
-            best.response_times = std::move(rts);
+            best.utility_rate = se.rate;
+            best.perf_rate = se.perf_rate;
+            best.power_rate = se.power_rate;
+            best.power = se.power;
+            best.response_times = se.response_times;
             best.hosts_used = packed->active_host_count();
         }
         if (iterations_left <= 0) break;

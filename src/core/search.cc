@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <queue>
 #include <unordered_map>
+#include <utility>
 
 #include "cluster/translate.h"
 #include "common/check.h"
@@ -16,14 +18,6 @@ namespace {
 
 using cluster::action;
 using cluster::configuration;
-
-// Cached steady-state evaluation of one configuration.
-struct steady_eval {
-    double rate = 0.0;  // $/s accrual (perf + power)
-    std::vector<seconds> response_times;
-    watts power = 0.0;
-    bool candidate = false;
-};
 
 struct vertex {
     configuration config;
@@ -77,16 +71,31 @@ std::vector<host_id> affected_hosts(const configuration& config, const action& a
 adaptation_search::adaptation_search(const cluster::cluster_model& model,
                                      utility_model utility, cost::cost_table costs,
                                      search_options options)
+    : adaptation_search(model, utility, std::move(costs), std::move(options),
+                        nullptr) {}
+
+adaptation_search::adaptation_search(const cluster::cluster_model& model,
+                                     utility_model utility, cost::cost_table costs,
+                                     search_options options,
+                                     std::shared_ptr<utility_evaluator> evaluator)
     : model_(&model),
       utility_(utility),
       costs_(std::move(costs)),
       options_(std::move(options)),
+      evaluator_(evaluator
+                     ? std::move(evaluator)
+                     : make_evaluator(model, utility, options_.lqn,
+                                      options_.evaluation)),
       perf_pwr_(model, utility,
-                {.lqn = options_.lqn, .app_hosts = options_.app_hosts}) {
+                {.lqn = options_.lqn, .app_hosts = options_.app_hosts},
+                evaluator_) {
     MISTRAL_CHECK(options_.prune_keep_fraction > 0.0 &&
                   options_.prune_keep_fraction <= 1.0);
     MISTRAL_CHECK(options_.delay_threshold_fraction > 0.0);
     MISTRAL_CHECK(options_.max_expansions >= 1);
+    MISTRAL_CHECK(options_.stop_factor >= 1.0);
+    MISTRAL_CHECK(options_.max_plan_actions >= 1);
+    MISTRAL_CHECK(options_.per_action_overhead >= 0.0);
     if (!options_.app_hosts.empty()) {
         MISTRAL_CHECK(options_.app_hosts.size() == model.app_count());
         for (const auto& row : options_.app_hosts) {
@@ -107,14 +116,12 @@ search_result adaptation_search::find(const configuration& current,
     MISTRAL_CHECK(cw > 0.0);
     meter.begin();
 
-    std::vector<seconds> targets(model.app_count());
-    for (std::size_t a = 0; a < model.app_count(); ++a) {
-        targets[a] = utility_.planning_target(
-            model.app(app_id{static_cast<std::int32_t>(a)})
-                .target_response_time(rates[a]));
-    }
+    auto& engine = *evaluator_;
+    engine.begin_decision(rates);
+    const auto& targets = engine.targets();
+    const evaluation_stats stats0 = engine.stats();
 
-    // $/s drawn by the search itself, in utility units.
+    // $/s drawn by one busy search worker, in utility units.
     const double search_cost_rate =
         -utility_.power_rate(meter.search_power());  // ≥ 0
 
@@ -125,32 +132,30 @@ search_result adaptation_search::find(const configuration& current,
     stay.ideal_utility = ideal.feasible ? ideal.utility_rate * cw : 0.0;
     if (!ideal.feasible || ideal.ideal == current) {
         stay.stats.duration = meter.elapsed();
-        stay.stats.search_power_cost = stay.stats.duration * search_cost_rate;
+        stay.stats.search_power_cost = meter.active_seconds() * search_cost_rate;
         return stay;
     }
     const double ideal_rate = ideal.utility_rate;
 
-    std::unordered_map<configuration, steady_eval> eval_cache;
-    auto eval = [&](const configuration& c) -> const steady_eval& {
-        auto it = eval_cache.find(c);
-        if (it == eval_cache.end()) {
-            steady_eval e;
-            const auto pred = cluster::predict(model, c, rates, options_.lqn);
-            e.power = pred.power;
-            e.response_times.reserve(model.app_count());
-            for (const auto& app : pred.perf.apps) {
-                e.response_times.push_back(app.mean_response_time);
-            }
-            e.rate = utility_.steady_rate(rates, e.response_times, targets, e.power);
-            e.candidate = is_candidate(model, c);
-            it = eval_cache.emplace(c, std::move(e)).first;
+    // app × host occupancy bitmap of a configuration: occ[s·H + h] is nonzero
+    // iff application s has a deployed VM on host h. Computed once per
+    // expansion so the transient colocation test below is O(|touched|)
+    // instead of a VM-inventory scan per (child, app).
+    const std::size_t host_count = model.host_count();
+    auto occupancy = [&](const configuration& c) {
+        std::vector<std::uint8_t> occ(model.app_count() * host_count, 0);
+        for (const auto& desc : model.vms()) {
+            const auto& p = c.placement(desc.vm);
+            if (p) occ[desc.app.index() * host_count + p->host.index()] = 1;
         }
-        return it->second;
+        return occ;
     };
 
-    // Transient accrual rate while `a` executes in configuration `c`.
-    auto transient_rate = [&](const configuration& c, const steady_eval& ce,
-                              const action& a,
+    // Transient accrual rate while `a` executes in configuration `c`, with
+    // `occ` = occupancy(c).
+    auto transient_rate = [&](const configuration& c,
+                              const std::vector<std::uint8_t>& occ,
+                              const steady_utility& ce, const action& a,
                               const cost::cost_entry& entry) -> double {
         const vm_id vm = touched_vm(a);
         const auto touched = affected_hosts(c, a);
@@ -162,11 +167,8 @@ search_result adaptation_search::find(const configuration& current,
             } else if (!touched.empty()) {
                 // Co-located applications: any VM on an affected host.
                 bool colocated = false;
-                for (const auto& desc : model.vms()) {
-                    if (desc.app.index() != s) continue;
-                    const auto& p = c.placement(desc.vm);
-                    if (p && std::find(touched.begin(), touched.end(), p->host) !=
-                                 touched.end()) {
+                for (const host_id h : touched) {
+                    if (occ[s * host_count + h.index()] != 0) {
                         colocated = true;
                         break;
                     }
@@ -176,6 +178,35 @@ search_result adaptation_search::find(const configuration& current,
             rate += utility_.perf_rate(rates[s], rt, targets[s]);
         }
         return rate;
+    };
+
+    // Pruning distance to the ideal configuration, with cap_distance's
+    // ideal-derived VM weights hoisted: they depend only on `ideal`, so
+    // computing them per child (as the free function does) repeats identical
+    // work thousands of times per decision. Same accumulation order, so the
+    // result is bit-identical to cap_distance + placement_distance.
+    std::vector<double> prune_weights(model.vm_count(), 0.05);
+    double prune_weight_sum = 0.0;
+    for (const auto& desc : model.vms()) {
+        const auto& p = ideal.ideal.placement(desc.vm);
+        if (p) prune_weights[desc.vm.index()] = p->cpu_cap;
+        prune_weight_sum += prune_weights[desc.vm.index()];
+    }
+    auto prune_distance = [&](const configuration& c) -> double {
+        double sum = 0.0;
+        std::size_t same = 0;
+        for (const auto& desc : model.vms()) {
+            const auto& pa = c.placement(desc.vm);
+            const auto& pb = ideal.ideal.placement(desc.vm);
+            const double ca = pa ? pa->cpu_cap : 0.0;
+            const double cb = pb ? pb->cpu_cap : 0.0;
+            sum += prune_weights[desc.vm.index()] / prune_weight_sum *
+                   (ca - cb) * (ca - cb);
+            same += ((!pa && !pb) || (pa && pb && pa->host == pb->host)) ? 1 : 0;
+        }
+        return std::sqrt(sum) +
+               (1.0 - static_cast<double>(same) /
+                          static_cast<double>(model.vm_count()));
     };
 
     auto allowed = [&](const configuration& c, const action& a) -> bool {
@@ -238,9 +269,10 @@ search_result adaptation_search::find(const configuration& current,
     dollars uh = expected_utility;
     const double uh_rate = cw > 0.0 ? expected_utility / cw : 0.0;
     const seconds delay_threshold = options_.delay_threshold_fraction * cw;
-    const double current_rate = eval(current).rate;
+    const double current_rate = engine.evaluate(current).rate;
     dollars ut = 0.0, upwr_t = 0.0;
     seconds last_elapsed = meter.elapsed();
+    seconds last_active = meter.active_seconds();
     bool prune_mode = false;
 
     int best_terminal = -1;
@@ -268,11 +300,14 @@ search_result adaptation_search::find(const configuration& current,
         return (accrued + (h - duration) * rate) / h;
     };
 
-    // Builds the child vertex reached by firing `a` from vertex `v` (index
-    // `parent_idx`). The 1e-9·D term breaks value ties toward shorter plans.
-    auto make_child = [&](const vertex& v, std::size_t parent_idx,
-                          const action& a) -> vertex {
-        const auto& pe = eval(v.config);
+    // Drafts the child vertex reached by firing `a` from vertex `v` (index
+    // `parent_idx`): everything except the steady-state valuation, which
+    // value_child fills in once the batch evaluation has run. `pe` is the
+    // parent's (memoized) steady evaluation.
+    auto draft_child = [&](const vertex& v, std::size_t parent_idx,
+                           const steady_utility& pe,
+                           const std::vector<std::uint8_t>& occ,
+                           const action& a) -> vertex {
         const auto entry = costs_.lookup(model, a, rates);
         vertex c;
         c.via = a;
@@ -283,15 +318,18 @@ search_result adaptation_search::find(const configuration& current,
         // steady state (which would invite lingering in intermediate
         // configurations and break the heuristic's bound).
         const double during =
-            std::min(transient_rate(v.config, pe, a, entry), ideal_rate);
+            std::min(transient_rate(v.config, occ, pe, a, entry), ideal_rate);
         c.accrued = v.accrued + entry.duration * during -
                     options_.per_action_overhead;
         c.duration = v.duration + entry.duration;
         c.depth = v.depth + 1;
-        const double rate =
-            is_candidate(model, c.config) ? eval(c.config).rate : ideal_rate;
-        c.utility = average_rate(c.accrued, c.duration, rate) - 1e-9 * c.duration;
         return c;
+    };
+
+    // Vertex valuation: candidates by their own steady rate, intermediates
+    // by the ideal bound. The 1e-9·D term breaks ties toward shorter plans.
+    auto value_child = [&](vertex& c, double steady) {
+        c.utility = average_rate(c.accrued, c.duration, steady) - 1e-9 * c.duration;
     };
 
     // Records a vertex if it improves on anything previously seen for its
@@ -310,7 +348,7 @@ search_result adaptation_search::find(const configuration& current,
     // Adds the "null"-edge terminal for a candidate vertex.
     auto add_terminal = [&](std::size_t idx) {
         const vertex& v = vertices[idx];
-        const auto& pe = eval(v.config);
+        const auto pe = engine.evaluate(v.config);
         if (!pe.candidate) return;
         vertex term = v;
         term.parent = static_cast<int>(idx);
@@ -328,7 +366,12 @@ search_result adaptation_search::find(const configuration& current,
 
     auto finish = [&](int terminal_index) -> search_result {
         stats.duration = meter.elapsed();
-        stats.search_power_cost = stats.duration * search_cost_rate;
+        // Power self-cost is charged on busy worker-seconds, not calendar
+        // time: a parallel evaluator saves wall time but not joules.
+        stats.search_power_cost = meter.active_seconds() * search_cost_rate;
+        const auto& es = engine.stats();
+        stats.eval_cache_hits = es.cache_hits - stats0.cache_hits;
+        stats.eval_cache_misses = es.cache_misses - stats0.cache_misses;
         if (terminal_index < 0) {
             search_result out = stay;
             out.stats = stats;
@@ -381,6 +424,8 @@ search_result adaptation_search::find(const configuration& current,
         // The seeded route is exempt from max_plan_actions: it comes from
         // the deterministic planner, which cannot pad, and truncating a
         // full-cluster rescue mid-route would leave only useless prefixes.
+        // Each step's configuration depends on the previous, so this short
+        // chain (≤ 64 evaluations) stays serial.
         std::size_t at = 0;
         int seeded = 0;
         for (const auto& a : plan_transition(model, current, ideal.ideal)) {
@@ -390,7 +435,12 @@ search_result adaptation_search::find(const configuration& current,
                 break;
             }
             meter.on_expansion();
-            const int idx = record_vertex(make_child(v, at, a));
+            vertex c = draft_child(v, at, engine.evaluate(v.config),
+                                   occupancy(v.config), a);
+            value_child(c, is_candidate(model, c.config)
+                               ? engine.evaluate(c.config).rate
+                               : ideal_rate);
+            const int idx = record_vertex(std::move(c));
             if (idx < 0) break;
             add_terminal(static_cast<std::size_t>(idx));
             at = static_cast<std::size_t>(idx);
@@ -412,11 +462,12 @@ search_result adaptation_search::find(const configuration& current,
 
         ++stats.expansions;
         const seconds now_elapsed = meter.elapsed();
-        const seconds t = now_elapsed - last_elapsed;
+        const seconds now_active = meter.active_seconds();
+        ut += (now_elapsed - last_elapsed) * current_rate;
+        upwr_t += (now_active - last_active) * search_cost_rate;
+        uh -= (now_elapsed - last_elapsed) * uh_rate;
         last_elapsed = now_elapsed;
-        ut += t * current_rate;
-        upwr_t += t * search_cost_rate;
-        uh -= t * uh_rate;
+        last_active = now_active;
         if (options_.self_aware && !prune_mode &&
             ((ut + upwr_t) >= uh || now_elapsed >= delay_threshold)) {
             prune_mode = true;
@@ -433,13 +484,50 @@ search_result adaptation_search::find(const configuration& current,
         // Action children. The meter charges per child *evaluated* — child
         // construction (cost lookup + utility estimation) is where a real
         // controller burns its time and power, so search durations scale
-        // with the branching factor, i.e. with cluster size (Table I).
+        // with the branching factor, i.e. with cluster size (Table I). One
+        // batched charge covers the whole expansion; the worker count tells
+        // the meter how the wall clock amortizes.
         if (static_cast<std::size_t>(v.depth) >= options_.max_plan_actions) continue;
-        std::vector<vertex> children;
+        std::vector<action> acts;
         for (const auto& a : enumerate_actions(model, v.config, options_.menu)) {
-            if (!allowed(v.config, a)) continue;
-            meter.on_expansion();
-            children.push_back(make_child(v, idx, a));
+            if (allowed(v.config, a)) acts.push_back(a);
+        }
+        if (acts.empty()) continue;
+        meter.charge(acts.size(), engine.parallelism());
+
+        // Draft the whole expansion's children as one parallel job: per-child
+        // work (apply + candidacy + transient accounting + prune distance) is
+        // pure given the parent, and each worker writes only its own index's
+        // slots. Memo-backed steady evaluation then runs as a second batch —
+        // the LQN solves the parallel evaluator fans out — with all cache
+        // bookkeeping back on this thread, so results are bit-identical to
+        // the serial drafting loop.
+        const auto pe = engine.evaluate(v.config);
+        const auto occ = occupancy(v.config);
+        std::vector<vertex> children(acts.size());
+        std::vector<std::uint8_t> child_candidate(acts.size(), 0);
+        std::vector<double> child_distance(acts.size(), 0.0);
+        const bool score_children = prune_mode;
+        engine.parallel_for(acts.size(), [&](std::size_t j) {
+            vertex c = draft_child(v, idx, pe, occ, acts[j]);
+            child_candidate[j] = is_candidate(model, c.config) ? 1 : 0;
+            if (child_candidate[j] == 0) value_child(c, ideal_rate);
+            if (score_children) child_distance[j] = prune_distance(c.config);
+            children[j] = std::move(c);
+        });
+        std::vector<std::size_t> steady_index;  // children needing a steady eval
+        std::vector<configuration> steady_configs;
+        for (std::size_t j = 0; j < children.size(); ++j) {
+            if (child_candidate[j] != 0) {
+                steady_index.push_back(j);
+                steady_configs.push_back(children[j].config);
+            }
+        }
+        if (!steady_configs.empty()) {
+            const auto evals = engine.evaluate_batch(steady_configs);
+            for (std::size_t i = 0; i < steady_index.size(); ++i) {
+                value_child(children[steady_index[i]], evals[i].rate);
+            }
         }
         stats.generated += children.size();
 
@@ -449,10 +537,7 @@ search_result adaptation_search::find(const configuration& current,
             std::vector<std::pair<double, std::size_t>> scored;
             scored.reserve(children.size());
             for (std::size_t i = 0; i < children.size(); ++i) {
-                const double d =
-                    cap_distance(model, children[i].config, ideal.ideal, ideal.ideal) +
-                    placement_distance(model, children[i].config, ideal.ideal);
-                scored.push_back({d, i});
+                scored.push_back({child_distance[i], i});
             }
             std::sort(scored.begin(), scored.end());
             const std::size_t keep = std::max<std::size_t>(

@@ -28,9 +28,12 @@
 #include <cstddef>
 #include <vector>
 
+#include <memory>
+
 #include "cluster/action.h"
 #include "cluster/configuration.h"
 #include "cluster/model.h"
+#include "core/evaluator.h"
 #include "core/perf_pwr.h"
 #include "core/search_meter.h"
 #include "core/utility.h"
@@ -38,6 +41,9 @@
 
 namespace mistral::core {
 
+// All options are validated in the adaptation_search constructor; nonsense
+// values (a zero keep-fraction, a stop factor below 1) throw invariant_error
+// rather than being silently accepted.
 struct search_options {
     bool self_aware = true;
     // Fraction of children kept when pruning kicks in (paper: top 5 %).
@@ -64,6 +70,10 @@ struct search_options {
     std::size_t max_plan_actions = 16;
     cluster::action_menu menu{};
     lqn::model_options lqn{};
+    // Utility-evaluation engine tuning (threads, memo capacity, rate
+    // quantum); threads > 1 selects the batched parallel evaluator. See
+    // evaluator.h for the defaults and DESIGN.md for the caching contract.
+    evaluation_options evaluation{};
     // Optional per-app host restriction: app_hosts[a][h] == false forbids
     // placing app a's VMs on host h (used by the Perf-Cost baseline's fixed
     // pools). Empty = unrestricted.
@@ -81,6 +91,9 @@ struct search_stats {
     std::size_t generated = 0;       // children generated
     bool pruned = false;             // self-aware pruning engaged
     dollars search_power_cost = 0.0; // $ cost of the search's own power draw
+                                     // (scales with active worker-seconds)
+    std::size_t eval_cache_hits = 0;   // memoized evaluations reused
+    std::size_t eval_cache_misses = 0; // LQN solves actually paid for
 };
 
 struct search_result {
@@ -94,10 +107,19 @@ struct search_result {
 
 class adaptation_search {
 public:
+    // Builds the evaluation engine `options.evaluation` asks for (serial by
+    // default, thread pool for threads > 1) and routes every steady-state
+    // utility computation through it.
     adaptation_search(const cluster::cluster_model& model, utility_model utility,
                       cost::cost_table costs, search_options options = {});
+    // Injects a caller-owned evaluator (shared memo across components, or a
+    // test double); `options.evaluation` is ignored in this form.
+    adaptation_search(const cluster::cluster_model& model, utility_model utility,
+                      cost::cost_table costs, search_options options,
+                      std::shared_ptr<utility_evaluator> evaluator);
 
     [[nodiscard]] const search_options& options() const { return options_; }
+    [[nodiscard]] utility_evaluator& evaluator() const { return *evaluator_; }
 
     // Finds the best action sequence from `current` for workload `rates`
     // over the control window `cw`. `expected_utility` is the self-aware
@@ -114,6 +136,7 @@ private:
     utility_model utility_;
     cost::cost_table costs_;
     search_options options_;
+    std::shared_ptr<utility_evaluator> evaluator_;
     perf_pwr_optimizer perf_pwr_;
 };
 

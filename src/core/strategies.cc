@@ -34,11 +34,8 @@ mistral_strategy::mistral_strategy(const cluster_model& model, cost::cost_table 
                                    std::unique_ptr<search_meter> meter)
     : controller_(model, std::move(costs), options, std::move(meter)) {}
 
-strategy::outcome mistral_strategy::decide(seconds now,
-                                           const std::vector<req_per_sec>& rates,
-                                           const configuration& current,
-                                           dollars last_interval_utility) {
-    const auto decision = controller_.step(now, rates, current, last_interval_utility);
+strategy::outcome mistral_strategy::decide(const decision_input& in) {
+    const auto decision = controller_.step(in);
     outcome out;
     out.invoked = decision.invoked;
     out.actions = decision.actions;
@@ -55,10 +52,9 @@ perf_pwr_strategy::perf_pwr_strategy(const cluster_model& model,
                                      perf_pwr_options options)
     : model_(&model), optimizer_(model, utility_model(utility), options) {}
 
-strategy::outcome perf_pwr_strategy::decide(seconds /*now*/,
-                                            const std::vector<req_per_sec>& rates,
-                                            const configuration& current,
-                                            dollars /*last_interval_utility*/) {
+strategy::outcome perf_pwr_strategy::decide(const decision_input& in) {
+    const auto& rates = in.rates;
+    const auto& current = in.current;
     outcome out;
     if (!last_rates_.empty() && !rates_changed(rates, last_rates_)) return out;
     last_rates_ = rates;
@@ -101,11 +97,8 @@ perf_cost_strategy::perf_cost_strategy(const cluster_model& model,
                                                        options, nullptr);
 }
 
-strategy::outcome perf_cost_strategy::decide(seconds now,
-                                             const std::vector<req_per_sec>& rates,
-                                             const configuration& current,
-                                             dollars last_interval_utility) {
-    const auto decision = controller_->step(now, rates, current, last_interval_utility);
+strategy::outcome perf_cost_strategy::decide(const decision_input& in) {
+    const auto decision = controller_->step(in);
     outcome out;
     out.invoked = decision.invoked;
     out.actions = decision.actions;
@@ -144,10 +137,10 @@ seconds pwr_cost_strategy::control_window(const wl::monitor_event& event) const 
     return cw;
 }
 
-strategy::outcome pwr_cost_strategy::decide(seconds now,
-                                            const std::vector<req_per_sec>& rates,
-                                            const configuration& current,
-                                            dollars /*last_interval_utility*/) {
+strategy::outcome pwr_cost_strategy::decide(const decision_input& in) {
+    const seconds now = in.now;
+    const auto& rates = in.rates;
+    const auto& current = in.current;
     outcome out;
     const auto event = monitor_.observe(now, rates);
     for (std::size_t i = 0; i < event.exceeded.size(); ++i) {

@@ -51,9 +51,9 @@ public:
     };
 
     [[nodiscard]] virtual std::string name() const = 0;
-    virtual outcome decide(seconds now, const std::vector<req_per_sec>& rates,
-                           const cluster::configuration& current,
-                           dollars last_interval_utility) = 0;
+    // One monitoring-interval decision over the interval's observations
+    // (see decision_input in controller.h).
+    virtual outcome decide(const decision_input& in) = 0;
 };
 
 // ---- Mistral -------------------------------------------------------------
@@ -64,9 +64,7 @@ public:
                      std::unique_ptr<search_meter> meter = nullptr);
 
     [[nodiscard]] std::string name() const override { return "Mistral"; }
-    outcome decide(seconds now, const std::vector<req_per_sec>& rates,
-                   const cluster::configuration& current,
-                   dollars last_interval_utility) override;
+    outcome decide(const decision_input& in) override;
 
     [[nodiscard]] const mistral_controller& controller() const { return controller_; }
 
@@ -81,9 +79,7 @@ public:
                       utility_params utility = {}, perf_pwr_options options = {});
 
     [[nodiscard]] std::string name() const override { return "Perf-Pwr"; }
-    outcome decide(seconds now, const std::vector<req_per_sec>& rates,
-                   const cluster::configuration& current,
-                   dollars last_interval_utility) override;
+    outcome decide(const decision_input& in) override;
 
 private:
     const cluster::cluster_model* model_;
@@ -99,9 +95,7 @@ public:
                        controller_options options = {}, int hosts_per_app = 2);
 
     [[nodiscard]] std::string name() const override { return "Perf-Cost"; }
-    outcome decide(seconds now, const std::vector<req_per_sec>& rates,
-                   const cluster::configuration& current,
-                   dollars last_interval_utility) override;
+    outcome decide(const decision_input& in) override;
 
     // The pool assignment (app → allowed hosts), exposed so harnesses can
     // build pool-respecting initial configurations.
@@ -120,9 +114,7 @@ public:
                       predict::arma_options arma = {});
 
     [[nodiscard]] std::string name() const override { return "Pwr-Cost"; }
-    outcome decide(seconds now, const std::vector<req_per_sec>& rates,
-                   const cluster::configuration& current,
-                   dollars last_interval_utility) override;
+    outcome decide(const decision_input& in) override;
 
 private:
     const cluster::cluster_model* model_;

@@ -55,6 +55,12 @@ struct solve_result {
 
 // Solves the model for the given deployments on `host_count` hosts.
 // Deployments are validated; see model.h.
+//
+// Thread-safety: solve() is a pure function — it reads only its arguments,
+// touches no global or static mutable state, and allocates nothing shared.
+// Concurrent calls from different threads are safe (the parallel utility
+// evaluator relies on this), and results are a deterministic function of
+// the inputs, bit-identical across threads and runs.
 solve_result solve(const std::vector<app_deployment>& apps, std::size_t host_count,
                    const model_options& options = {});
 

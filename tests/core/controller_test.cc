@@ -39,23 +39,23 @@ using ControllerTest = fixture;
 
 TEST_F(ControllerTest, FirstStepAlwaysInvokesOptimizer) {
     auto ctl = make();
-    const auto d = ctl.step(0.0, {50.0, 50.0}, base(), 0.0);
+    const auto d = ctl.step({0.0, {50.0, 50.0}, base(), 0.0});
     EXPECT_TRUE(d.invoked);
     EXPECT_GE(d.control_window, ctl.options().min_control_window);
 }
 
 TEST_F(ControllerTest, QuietWhileWorkloadInBand) {
     auto ctl = make();
-    ctl.step(0.0, {50.0, 50.0}, base(), 0.0);
-    const auto d = ctl.step(120.0, {52.0, 49.0}, base(), 1.0);
+    ctl.step({0.0, {50.0, 50.0}, base(), 0.0});
+    const auto d = ctl.step({120.0, {52.0, 49.0}, base(), 1.0});
     EXPECT_FALSE(d.invoked);
     EXPECT_TRUE(d.actions.empty());
 }
 
 TEST_F(ControllerTest, InvokesWhenBandExceeded) {
     auto ctl = make();
-    ctl.step(0.0, {50.0, 50.0}, base(), 0.0);
-    const auto d = ctl.step(240.0, {65.0, 50.0}, base(), 1.0);
+    ctl.step({0.0, {50.0, 50.0}, base(), 0.0});
+    const auto d = ctl.step({240.0, {65.0, 50.0}, base(), 1.0});
     EXPECT_TRUE(d.invoked);
 }
 
@@ -63,14 +63,14 @@ TEST_F(ControllerTest, ZeroBandTriggersEveryChange) {
     controller_options opts;
     opts.band_width = 0.0;
     auto ctl = make(opts);
-    ctl.step(0.0, {50.0, 50.0}, base(), 0.0);
-    EXPECT_TRUE(ctl.step(120.0, {50.1, 50.0}, base(), 1.0).invoked);
+    ctl.step({0.0, {50.0, 50.0}, base(), 0.0});
+    EXPECT_TRUE(ctl.step({120.0, {50.1, 50.0}, base(), 1.0}).invoked);
 }
 
 TEST_F(ControllerTest, StabilityIntervalsFeedArmaPredictors) {
     auto ctl = make();
-    ctl.step(0.0, {50.0, 50.0}, base(), 0.0);
-    ctl.step(240.0, {70.0, 50.0}, base(), 1.0);   // app 0 exits after 240 s
+    ctl.step({0.0, {50.0, 50.0}, base(), 0.0});
+    ctl.step({240.0, {70.0, 50.0}, base(), 1.0});   // app 0 exits after 240 s
     EXPECT_EQ(ctl.predictors()[0].measurements().size(), 1u);
     EXPECT_DOUBLE_EQ(ctl.predictors()[0].measurements()[0], 240.0);
     EXPECT_TRUE(ctl.predictors()[1].measurements().empty());
@@ -81,7 +81,7 @@ TEST_F(ControllerTest, ControlWindowWithinConfiguredBounds) {
     seconds t = 0.0;
     auto cfg = base();
     for (int i = 0; i < 10; ++i) {
-        const auto d = ctl.step(t, {50.0 + 15.0 * (i % 2), 50.0}, cfg, 1.0);
+        const auto d = ctl.step({t, {50.0 + 15.0 * (i % 2), 50.0}, cfg, 1.0});
         if (d.invoked) {
             EXPECT_GE(d.control_window, ctl.options().min_control_window);
             EXPECT_LE(d.control_window, ctl.options().max_control_window);
@@ -92,7 +92,7 @@ TEST_F(ControllerTest, ControlWindowWithinConfiguredBounds) {
 
 TEST_F(ControllerTest, DecisionStatsAreMetered) {
     auto ctl = make();
-    const auto d = ctl.step(0.0, {50.0, 50.0}, base(), 0.0);
+    const auto d = ctl.step({0.0, {50.0, 50.0}, base(), 0.0});
     ASSERT_TRUE(d.invoked);
     EXPECT_GT(d.stats.expansions, 0u);
     EXPECT_GT(d.stats.duration, 0.0);
@@ -102,7 +102,7 @@ TEST_F(ControllerTest, DecisionStatsAreMetered) {
 TEST_F(ControllerTest, ActionsAreApplicableFromGivenConfiguration) {
     auto ctl = make();
     auto cfg = base();
-    const auto d = ctl.step(0.0, {30.0, 30.0}, cfg, 0.0);
+    const auto d = ctl.step({0.0, {30.0, 30.0}, cfg, 0.0});
     for (const auto& a : d.actions) {
         std::string why;
         ASSERT_TRUE(applicable(model, cfg, a, &why)) << why;
@@ -117,14 +117,14 @@ TEST_F(ControllerTest, UtilityHistoryShapesExpectedBudget) {
     // starts immediately; decisions still come back valid.
     auto ctl = make();
     auto cfg = base();
-    ctl.step(0.0, {50.0, 50.0}, cfg, 0.0);
-    const auto d = ctl.step(240.0, {80.0, 50.0}, cfg, -10.0);
+    ctl.step({0.0, {50.0, 50.0}, cfg, 0.0});
+    const auto d = ctl.step({240.0, {80.0, 50.0}, cfg, -10.0});
     EXPECT_TRUE(d.invoked);
 }
 
 TEST_F(ControllerTest, RejectsWrongRateCount) {
     auto ctl = make();
-    EXPECT_THROW(ctl.step(0.0, {50.0}, base(), 0.0), invariant_error);
+    EXPECT_THROW(ctl.step({0.0, {50.0}, base(), 0.0}), invariant_error);
 }
 
 }  // namespace

@@ -1,0 +1,266 @@
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/rubis.h"
+#include "core/experiment.h"
+#include "core/search.h"
+#include "core/search_meter.h"
+
+namespace mistral::core {
+namespace {
+
+struct fixture : ::testing::Test {
+    cluster::cluster_model model = [] {
+        std::vector<apps::application_spec> specs;
+        specs.push_back(apps::rubis_browsing("R0"));
+        specs.push_back(apps::rubis_browsing("R1"));
+        return cluster::cluster_model(cluster::uniform_hosts(4), std::move(specs));
+    }();
+
+    cluster::configuration base(fraction cap = 0.4) const {
+        cluster::configuration c(model.vm_count(), model.host_count());
+        for (std::size_t h = 0; h < 4; ++h) {
+            c.set_host_power(host_id{static_cast<std::int32_t>(h)}, true);
+        }
+        for (std::size_t a = 0; a < 2; ++a) {
+            const app_id app{static_cast<std::int32_t>(a)};
+            for (std::size_t t = 0; t < 3; ++t) {
+                c.deploy(model.tier_vms(app, t)[0],
+                         host_id{static_cast<std::int32_t>(2 * a + t % 2)}, cap);
+            }
+        }
+        return c;
+    }
+};
+
+using EvaluatorTest = fixture;
+
+// ---- eval_memo -------------------------------------------------------------
+
+TEST_F(EvaluatorTest, MemoCountsHitsAndMisses) {
+    serial_evaluator ev(model, utility_model{});
+    ev.begin_decision({40.0, 40.0});
+    const auto a = ev.evaluate(base(0.4));
+    const auto b = ev.evaluate(base(0.4));  // identical configuration
+    EXPECT_EQ(ev.stats().cache_misses, 1u);
+    EXPECT_EQ(ev.stats().cache_hits, 1u);
+    EXPECT_EQ(ev.stats().evaluations, 1u);
+    EXPECT_EQ(a.rate, b.rate);
+    EXPECT_EQ(a.response_times, b.response_times);
+}
+
+TEST_F(EvaluatorTest, MemoEvictsAtCapacity) {
+    eval_memo memo(2);
+    memo.bind_rates({40.0, 40.0}, 0.0);
+    memo.insert(base(0.3), {});
+    memo.insert(base(0.4), {});
+    EXPECT_EQ(memo.size(), 2u);
+    EXPECT_EQ(memo.evictions(), 0u);
+    memo.insert(base(0.5), {});
+    EXPECT_EQ(memo.size(), 2u);
+    EXPECT_EQ(memo.evictions(), 1u);
+    // Least-recently-used entry (0.3 caps) was the one dropped.
+    EXPECT_EQ(memo.find(base(0.3)), nullptr);
+    EXPECT_NE(memo.find(base(0.4)), nullptr);
+    EXPECT_NE(memo.find(base(0.5)), nullptr);
+}
+
+TEST_F(EvaluatorTest, MemoLruTouchProtectsFromEviction) {
+    eval_memo memo(2);
+    memo.bind_rates({40.0, 40.0}, 0.0);
+    memo.insert(base(0.3), {});
+    memo.insert(base(0.4), {});
+    ASSERT_NE(memo.find(base(0.3)), nullptr);  // touch: 0.3 becomes MRU
+    memo.insert(base(0.5), {});                // evicts 0.4, not 0.3
+    EXPECT_NE(memo.find(base(0.3)), nullptr);
+    EXPECT_EQ(memo.find(base(0.4)), nullptr);
+}
+
+TEST_F(EvaluatorTest, QuantizationCollapsesNearbyRates) {
+    // One grid cell: rates within the same cell share a key…
+    EXPECT_EQ(eval_memo::quantize({10.2, 19.9}, 0.5),
+              eval_memo::quantize({10.0, 20.0}, 0.5));
+    // …and different cells do not.
+    EXPECT_NE(eval_memo::quantize({10.0, 20.0}, 0.5),
+              eval_memo::quantize({11.0, 20.0}, 0.5));
+    // Exact mode: any bit-level difference is a different key.
+    EXPECT_NE(eval_memo::quantize({10.0, 20.0}, 0.0),
+              eval_memo::quantize({10.0 + 1e-12, 20.0}, 0.0));
+    EXPECT_EQ(eval_memo::quantize({10.0, 20.0}, 0.0),
+              eval_memo::quantize({10.0, 20.0}, 0.0));
+}
+
+TEST_F(EvaluatorTest, RebindingRatesClearsExactKeyedMemo) {
+    serial_evaluator ev(model, utility_model{});
+    ev.begin_decision({40.0, 40.0});
+    (void)ev.evaluate(base());
+    // Same rates: the memo survives, so this is a hit.
+    ev.begin_decision({40.0, 40.0});
+    (void)ev.evaluate(base());
+    EXPECT_EQ(ev.stats().cache_hits, 1u);
+    // Moved rates with quantum 0: the store is invalidated.
+    ev.begin_decision({41.0, 40.0});
+    (void)ev.evaluate(base());
+    EXPECT_EQ(ev.stats().cache_misses, 2u);
+}
+
+TEST_F(EvaluatorTest, QuantumKeepsMemoAcrossSmallRateMoves) {
+    evaluation_options opts;
+    opts.with_rate_quantum(2.0);
+    serial_evaluator ev(model, utility_model{}, {}, opts);
+    ev.begin_decision({40.0, 40.0});
+    (void)ev.evaluate(base());
+    ev.begin_decision({40.5, 39.8});  // same grid cell ⇒ memo survives
+    (void)ev.evaluate(base());
+    EXPECT_EQ(ev.stats().cache_hits, 1u);
+    EXPECT_EQ(ev.stats().cache_misses, 1u);
+}
+
+TEST_F(EvaluatorTest, OptionsAreValidated) {
+    EXPECT_THROW(serial_evaluator(model, utility_model{}, {},
+                                  evaluation_options{}.with_threads(0)),
+                 invariant_error);
+    EXPECT_THROW(serial_evaluator(model, utility_model{}, {},
+                                  evaluation_options{}.with_memo_capacity(0)),
+                 invariant_error);
+    EXPECT_THROW(serial_evaluator(model, utility_model{}, {},
+                                  evaluation_options{}.with_rate_quantum(-1.0)),
+                 invariant_error);
+    EXPECT_THROW(eval_memo(0), invariant_error);
+}
+
+TEST_F(EvaluatorTest, EvaluateRequiresBoundDecision) {
+    serial_evaluator ev(model, utility_model{});
+    EXPECT_THROW((void)ev.evaluate(base()), invariant_error);
+}
+
+// ---- batch semantics -------------------------------------------------------
+
+TEST_F(EvaluatorTest, BatchMatchesSequentialAndDedupes) {
+    serial_evaluator serial(model, utility_model{});
+    parallel_evaluator par(model, utility_model{}, {},
+                           evaluation_options{}.with_threads(4));
+    serial.begin_decision({40.0, 40.0});
+    par.begin_decision({40.0, 40.0});
+
+    const std::vector<cluster::configuration> batch = {base(0.4), base(0.5),
+                                                       base(0.4), base(0.6)};
+    const auto s = serial.evaluate_batch(batch);
+    const auto p = par.evaluate_batch(batch);
+    ASSERT_EQ(s.size(), batch.size());
+    ASSERT_EQ(p.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(s[i].rate, p[i].rate) << i;
+        EXPECT_EQ(s[i].power, p[i].power) << i;
+        EXPECT_EQ(s[i].response_times, p[i].response_times) << i;
+    }
+    // The duplicate is solved once and counted as a hit, in both.
+    EXPECT_EQ(serial.stats().evaluations, 3u);
+    EXPECT_EQ(par.stats().evaluations, 3u);
+    EXPECT_EQ(serial.stats().cache_hits, par.stats().cache_hits);
+    EXPECT_EQ(serial.stats().cache_misses, par.stats().cache_misses);
+    EXPECT_EQ(par.parallelism(), 4u);
+    EXPECT_EQ(serial.parallelism(), 1u);
+}
+
+TEST_F(EvaluatorTest, IsolatedBatchMatchesSequential) {
+    serial_evaluator serial(model, utility_model{});
+    parallel_evaluator par(model, utility_model{}, {},
+                           evaluation_options{}.with_threads(4));
+    serial.begin_decision({40.0, 40.0});
+    par.begin_decision({40.0, 40.0});
+
+    std::vector<app_sizing> sizings;
+    for (const fraction cap : {0.5, 0.6}) {
+        app_sizing s(2);
+        for (auto& app : s) app.assign(3, {1, cap});
+        sizings.push_back(std::move(s));
+    }
+    const auto one = serial.evaluate_isolated(sizings[0]);
+    const auto two = serial.evaluate_isolated(sizings[1]);
+    const auto batch = par.evaluate_isolated_batch(sizings);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].perf_rate, one.perf_rate);
+    EXPECT_EQ(batch[0].response_times, one.response_times);
+    EXPECT_EQ(batch[1].perf_rate, two.perf_rate);
+    EXPECT_EQ(batch[1].response_times, two.response_times);
+    // Both engines price the same number of solves.
+    EXPECT_EQ(serial.stats().evaluations, par.stats().evaluations);
+}
+
+TEST_F(EvaluatorTest, ParallelForRunsEveryIndexExactlyOnce) {
+    parallel_evaluator par(model, utility_model{}, {},
+                           evaluation_options{}.with_threads(4));
+    for (const std::size_t count : {0u, 1u, 3u, 257u}) {
+        std::vector<int> touched(count, 0);
+        par.parallel_for(count, [&](std::size_t i) { ++touched[i]; });
+        for (std::size_t i = 0; i < count; ++i) {
+            EXPECT_EQ(touched[i], 1) << "count " << count << " index " << i;
+        }
+    }
+}
+
+TEST_F(EvaluatorTest, ParallelForPropagatesExceptions) {
+    parallel_evaluator par(model, utility_model{}, {},
+                           evaluation_options{}.with_threads(4));
+    EXPECT_THROW(par.parallel_for(64,
+                                  [&](std::size_t i) {
+                                      if (i == 13) throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    // The pool survives a throwing job.
+    std::vector<int> touched(8, 0);
+    par.parallel_for(8, [&](std::size_t i) { ++touched[i]; });
+    for (const int t : touched) EXPECT_EQ(t, 1);
+}
+
+// ---- search determinism ----------------------------------------------------
+
+// The parallel evaluator must not change a single decision: same actions,
+// bit-identical expected utility, across scenarios and workload points.
+TEST_F(EvaluatorTest, ParallelSearchIsBitIdenticalToSerial) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        const auto scn = make_rubis_scenario(
+            {.host_count = 8, .app_count = 4, .seed = seed});
+
+        search_options serial_opts;
+        search_options parallel_opts;
+        parallel_opts.evaluation.with_threads(4);
+        adaptation_search serial(scn.model, utility_model{},
+                                 cost::cost_table::paper_defaults(), serial_opts);
+        adaptation_search parallel(scn.model, utility_model{},
+                                   cost::cost_table::paper_defaults(),
+                                   parallel_opts);
+
+        for (const seconds t : {0.0, 1800.0, 3600.0}) {
+            std::vector<req_per_sec> rates;
+            for (const auto& tr : scn.traces) {
+                rates.push_back(tr.mean_rate(t, t + 120.0));
+            }
+            model_clock_meter m1, m2;
+            const auto rs = serial.find(scn.initial, rates, 600.0, 0.0, m1);
+            const auto rp = parallel.find(scn.initial, rates, 600.0, 0.0, m2);
+            EXPECT_EQ(rs.actions, rp.actions) << "seed " << seed << " t " << t;
+            EXPECT_EQ(rs.expected_utility, rp.expected_utility);
+            EXPECT_EQ(rs.ideal_utility, rp.ideal_utility);
+            EXPECT_EQ(rs.target, rp.target);
+            EXPECT_EQ(rs.stats.expansions, rp.stats.expansions);
+            EXPECT_EQ(rs.stats.generated, rp.stats.generated);
+            EXPECT_EQ(rs.stats.duration, rp.stats.duration);
+        }
+    }
+}
+
+// The search reports the engine's per-decision cache effectiveness.
+TEST_F(EvaluatorTest, SearchStatsExposeCacheCounters) {
+    adaptation_search search(model, utility_model{},
+                             cost::cost_table::paper_defaults(), {});
+    model_clock_meter meter;
+    const auto r = search.find(base(), {40.0, 40.0}, 600.0, 0.0, meter);
+    EXPECT_GT(r.stats.eval_cache_misses, 0u);
+    EXPECT_GT(r.stats.eval_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace mistral::core

@@ -47,7 +47,7 @@ TEST_F(HierarchyTest, DecisionsAreExecutable) {
     auto cfg = base();
     seconds t = 0.0;
     for (double rate : {40.0, 42.0, 55.0, 70.0}) {
-        const auto out = h.decide(t, {rate, rate, rate}, cfg, 1.0);
+        const auto out = h.decide({t, {rate, rate, rate}, cfg, 1.0});
         for (const auto& a : out.actions) {
             std::string why;
             ASSERT_TRUE(applicable(model, cfg, a, &why))
@@ -65,8 +65,8 @@ TEST_F(HierarchyTest, LevelOneActsWithinItsGroup) {
     auto cfg = base();
     // Small drift: second level's 8 req/s band does not trip after the first
     // invocation, so any actions come from level-1 controllers.
-    h.decide(0.0, {40.0, 40.0, 40.0}, cfg, 1.0);
-    const auto out = h.decide(120.0, {43.0, 40.0, 40.0}, cfg, 1.0);
+    h.decide({0.0, {40.0, 40.0, 40.0}, cfg, 1.0});
+    const auto out = h.decide({120.0, {43.0, 40.0, 40.0}, cfg, 1.0});
     for (const auto& a : out.actions) {
         const auto k = kind_of(a);
         EXPECT_NE(k, cluster::action_kind::power_on) << to_string(model, a);
@@ -79,8 +79,8 @@ TEST_F(HierarchyTest, LevelOneActsWithinItsGroup) {
 TEST_F(HierarchyTest, LevelTwoFiresOnLargeShift) {
     hierarchical_controller h(model, costs, {{0, 1, 2}, {3, 4, 5}});
     auto cfg = base();
-    h.decide(0.0, {40.0, 40.0, 40.0}, cfg, 1.0);
-    h.decide(120.0, {80.0, 40.0, 40.0}, cfg, 1.0);
+    h.decide({0.0, {40.0, 40.0, 40.0}, cfg, 1.0});
+    h.decide({120.0, {80.0, 40.0, 40.0}, cfg, 1.0});
     EXPECT_GT(h.level2_durations().count(), 1u);  // first step + the shift
 }
 
@@ -89,7 +89,7 @@ TEST_F(HierarchyTest, PerLevelDurationsAccumulate) {
     auto cfg = base();
     seconds t = 0.0;
     for (int i = 0; i < 5; ++i) {
-        h.decide(t, {40.0 + i, 40.0, 40.0}, cfg, 1.0);
+        h.decide({t, {40.0 + i, 40.0, 40.0}, cfg, 1.0});
         t += 120.0;
     }
     EXPECT_GT(h.level1_durations().count(), 0u);

@@ -55,5 +55,45 @@ TEST(WallClockMeter, BeginRestartsTheClock) {
     EXPECT_LT(m.elapsed(), 0.015);
 }
 
+TEST(ModelClockMeter, BatchChargePricesWorkNotCalendar) {
+    // The model clock deliberately ignores the worker count: a batch of 8
+    // evaluations on 4 workers advances 8 ticks either way, so self-aware
+    // decisions replay identically under serial and parallel evaluation.
+    model_clock_meter serial(0.01), parallel(0.01);
+    serial.begin();
+    parallel.begin();
+    serial.charge(8, 1);
+    parallel.charge(8, 4);
+    EXPECT_DOUBLE_EQ(serial.elapsed(), parallel.elapsed());
+    EXPECT_DOUBLE_EQ(serial.active_seconds(), serial.elapsed());
+}
+
+TEST(WallClockMeter, ActiveSecondsScaleWithConcurrency) {
+    // 8 evaluations on 4 workers occupy 2 wall slots: power self-cost is
+    // charged on 4× the calendar (every busy core), so active ≈ 4 × elapsed.
+    wall_clock_meter m(7.2);
+    m.begin();
+    m.charge(8, 4);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // active_seconds() and elapsed() read the clock at slightly different
+    // instants; compare with a loose relative tolerance.
+    const double ratio = m.active_seconds() / m.elapsed();
+    EXPECT_NEAR(ratio, 4.0, 0.05);
+}
+
+TEST(WallClockMeter, SerialChargesLeaveActiveEqualElapsed) {
+    wall_clock_meter m;
+    m.begin();
+    for (int i = 0; i < 5; ++i) m.on_expansion();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_NEAR(m.active_seconds() / m.elapsed(), 1.0, 0.01);
+}
+
+TEST(WallClockMeter, ChargeRejectsZeroWorkers) {
+    wall_clock_meter m;
+    m.begin();
+    EXPECT_THROW(m.charge(4, 0), invariant_error);
+}
+
 }  // namespace
 }  // namespace mistral::core

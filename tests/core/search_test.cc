@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/rubis.h"
+#include "cluster/translate.h"
 #include "core/planner.h"
 
 namespace mistral::core {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/rubis.h"
+#include "cluster/translate.h"
 
 namespace mistral::core {
 namespace {
@@ -61,7 +62,7 @@ TEST_F(StrategiesTest, NamesIdentifyStrategies) {
 TEST_F(StrategiesTest, MistralDecisionsAreExecutable) {
     mistral_strategy s(model, costs);
     auto cfg = base();
-    const auto out = s.decide(0.0, {40.0, 40.0}, cfg, 0.0);
+    const auto out = s.decide({0.0, {40.0, 40.0}, cfg, 0.0});
     EXPECT_TRUE(out.invoked);
     cfg = apply_all(cfg, out.actions);
     EXPECT_TRUE(is_candidate(model, cfg));
@@ -72,20 +73,20 @@ TEST_F(StrategiesTest, MistralDecisionsAreExecutable) {
 TEST_F(StrategiesTest, PerfPwrAdaptsOnAnyRateChange) {
     perf_pwr_strategy s(model);
     auto cfg = base();
-    const auto first = s.decide(0.0, {40.0, 40.0}, cfg, 0.0);
+    const auto first = s.decide({0.0, {40.0, 40.0}, cfg, 0.0});
     EXPECT_TRUE(first.invoked);
     cfg = apply_all(cfg, first.actions);
     // Identical rates: no re-optimization.
-    EXPECT_FALSE(s.decide(120.0, {40.0, 40.0}, cfg, 0.0).invoked);
+    EXPECT_FALSE(s.decide({120.0, {40.0, 40.0}, cfg, 0.0}).invoked);
     // Tiny change: immediately re-optimizes (band-0 behaviour).
-    EXPECT_TRUE(s.decide(240.0, {40.2, 40.0}, cfg, 0.0).invoked);
+    EXPECT_TRUE(s.decide({240.0, {40.2, 40.0}, cfg, 0.0}).invoked);
 }
 
 TEST_F(StrategiesTest, PerfPwrReachesCandidateConfigurations) {
     perf_pwr_strategy s(model);
     auto cfg = base();
     for (double rate : {15.0, 60.0, 85.0, 30.0}) {
-        const auto out = s.decide(0.0, {rate, rate}, cfg, 0.0);
+        const auto out = s.decide({0.0, {rate, rate}, cfg, 0.0});
         cfg = apply_all(cfg, out.actions);
         std::string why;
         EXPECT_TRUE(structurally_valid(model, cfg, &why)) << rate << ": " << why;
@@ -107,7 +108,7 @@ TEST_F(StrategiesTest, PerfCostNeverLeavesItsPools) {
     auto cfg = base();
     seconds t = 0.0;
     for (double rate : {30.0, 70.0, 90.0, 50.0}) {
-        const auto out = s.decide(t, {rate, rate}, cfg, 1.0);
+        const auto out = s.decide({t, {rate, rate}, cfg, 1.0});
         cfg = apply_all(cfg, out.actions);
         for (const auto& desc : model.vms()) {
             const auto& p = cfg.placement(desc.vm);
@@ -122,7 +123,7 @@ TEST_F(StrategiesTest, PerfCostNeverLeavesItsPools) {
 TEST_F(StrategiesTest, PerfCostNeverPowersHostsDown) {
     perf_cost_strategy s(model, costs);
     auto cfg = base();
-    const auto out = s.decide(0.0, {5.0, 5.0}, cfg, 0.0);
+    const auto out = s.decide({0.0, {5.0, 5.0}, cfg, 0.0});
     for (const auto& a : out.actions) {
         EXPECT_NE(kind_of(a), cluster::action_kind::power_off);
         EXPECT_NE(kind_of(a), cluster::action_kind::power_on);
@@ -132,7 +133,7 @@ TEST_F(StrategiesTest, PerfCostNeverPowersHostsDown) {
 TEST_F(StrategiesTest, PwrCostMeetsTargetsAfterAdaptation) {
     pwr_cost_strategy s(model, costs);
     auto cfg = base();
-    const auto out = s.decide(0.0, {60.0, 60.0}, cfg, 0.0);
+    const auto out = s.decide({0.0, {60.0, 60.0}, cfg, 0.0});
     EXPECT_TRUE(out.invoked);
     cfg = apply_all(cfg, out.actions);
     const auto pred = cluster::predict(model, cfg, {60.0, 60.0});
@@ -145,10 +146,10 @@ TEST_F(StrategiesTest, PwrCostConsolidatesWhenClearlyWorthIt) {
     pwr_cost_strategy s(model, costs);
     auto cfg = base();
     // Long stable low load: savings over the window dwarf migration costs.
-    auto out = s.decide(0.0, {5.0, 5.0}, cfg, 0.0);
+    auto out = s.decide({0.0, {5.0, 5.0}, cfg, 0.0});
     cfg = apply_all(cfg, out.actions);
     // May take a second invocation once ARMA has a long estimate.
-    out = s.decide(120.0, {5.5, 5.0}, cfg, 0.0);
+    out = s.decide({120.0, {5.5, 5.0}, cfg, 0.0});
     cfg = apply_all(cfg, out.actions);
     EXPECT_LT(cfg.active_host_count(), 4u);
 }
@@ -156,7 +157,7 @@ TEST_F(StrategiesTest, PwrCostConsolidatesWhenClearlyWorthIt) {
 TEST_F(StrategiesTest, PwrCostRepairsOverbookedHosts) {
     pwr_cost_strategy s(model, costs);
     auto cfg = base();
-    const auto out = s.decide(0.0, {80.0, 80.0}, cfg, 0.0);
+    const auto out = s.decide({0.0, {80.0, 80.0}, cfg, 0.0});
     cfg = apply_all(cfg, out.actions);
     for (std::size_t h = 0; h < model.host_count(); ++h) {
         EXPECT_LE(cfg.cap_sum(host_id{static_cast<std::int32_t>(h)}),
@@ -167,9 +168,9 @@ TEST_F(StrategiesTest, PwrCostRepairsOverbookedHosts) {
 TEST_F(StrategiesTest, PwrCostQuietWithoutBandExit) {
     pwr_cost_strategy s(model, costs);
     auto cfg = base();
-    const auto first = s.decide(0.0, {50.0, 50.0}, cfg, 0.0);
+    const auto first = s.decide({0.0, {50.0, 50.0}, cfg, 0.0});
     cfg = apply_all(cfg, first.actions);
-    const auto repeat = s.decide(120.0, {50.0, 50.0}, cfg, 0.0);
+    const auto repeat = s.decide({120.0, {50.0, 50.0}, cfg, 0.0});
     EXPECT_FALSE(repeat.invoked);
 }
 
