@@ -64,6 +64,10 @@ using host_memory = std::vector<double>;
 bool host_has_room(const cluster_model& model, const configuration& config,
                    host_id host, double extra_memory_mb,
                    const host_memory* memory, std::string* why) {
+    if (config.host_failed(host)) {
+        if (why) *why = "target host failed";
+        return false;
+    }
     if (!config.host_on(host)) {
         if (why) *why = "target host is powered off";
         return false;
@@ -175,6 +179,10 @@ bool applicable_impl(const cluster_model& model, const configuration& config,
                 return host_has_room(model, config, x.to,
                                      model.vm(x.vm).memory_mb, memory, why);
             } else if constexpr (std::is_same_v<T, power_on>) {
+                if (config.host_failed(x.host)) {
+                    if (why) *why = "host failed";
+                    return false;
+                }
                 if (config.host_on(x.host)) {
                     if (why) *why = "host already on";
                     return false;
@@ -291,8 +299,9 @@ std::vector<action> enumerate_actions(const cluster_model& model,
         for (std::size_t h = 0; h < model.host_count(); ++h) {
             const host_id host{static_cast<std::int32_t>(h)};
             if (!config.host_on(host)) {
-                // One powered-off host is as good as another.
-                if (!offered_on) {
+                // One powered-off host is as good as another — but a failed
+                // host cannot boot, so it must not consume the one offer.
+                if (!offered_on && !config.host_failed(host)) {
                     offer(power_on{host});
                     offered_on = true;
                 }

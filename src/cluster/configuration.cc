@@ -25,6 +25,7 @@ void hash_combine(std::size_t& seed, std::size_t value) {
 configuration::configuration(std::size_t vm_count, std::size_t host_count)
     : vms_(vm_count),
       hosts_on_(host_count, false),
+      hosts_failed_(host_count, false),
       host_cap_milli_(host_count, 0),
       host_vm_count_(host_count, 0) {
     MISTRAL_CHECK(vm_count > 0);
@@ -41,6 +42,18 @@ const std::optional<vm_placement>& configuration::placement(vm_id vm) const {
 bool configuration::host_on(host_id host) const {
     MISTRAL_CHECK(host.valid() && host.index() < hosts_on_.size());
     return hosts_on_[host.index()];
+}
+
+bool configuration::host_failed(host_id host) const {
+    MISTRAL_CHECK(host.valid() && host.index() < hosts_failed_.size());
+    return hosts_failed_[host.index()];
+}
+
+bool configuration::any_host_failed() const {
+    for (bool failed : hosts_failed_) {
+        if (failed) return true;
+    }
+    return false;
 }
 
 std::vector<vm_id> configuration::vms_on(host_id host) const {
@@ -124,6 +137,12 @@ void configuration::set_host_power(host_id host, bool on) {
     hosts_on_[host.index()] = on;
 }
 
+void configuration::set_host_failed(host_id host, bool failed) {
+    MISTRAL_CHECK(host.valid() && host.index() < hosts_failed_.size());
+    hosts_failed_[host.index()] = failed;
+    if (failed) hosts_on_[host.index()] = false;
+}
+
 std::size_t configuration::hash() const {
     std::size_t seed = vms_.size();
     for (const auto& p : vms_) {
@@ -135,6 +154,14 @@ std::size_t configuration::hash() const {
         }
     }
     for (bool on : hosts_on_) hash_combine(seed, on ? 2 : 1);
+    // Failure marks fold in only when some host is failed, so healthy
+    // configurations hash exactly as they did before failure tracking
+    // existed (the search's replay determinism relies on that).
+    std::size_t failed_bits = 0;
+    for (std::size_t h = 0; h < hosts_failed_.size(); ++h) {
+        if (hosts_failed_[h]) failed_bits |= std::size_t{1} << (h % 64);
+    }
+    if (failed_bits != 0) hash_combine(seed, failed_bits);
     return seed;
 }
 
@@ -142,7 +169,9 @@ std::string configuration::describe(const cluster_model& model) const {
     std::ostringstream os;
     for (std::size_t h = 0; h < hosts_on_.size(); ++h) {
         const host_id host{static_cast<std::int32_t>(h)};
-        os << model.hosts()[h].name << (hosts_on_[h] ? "[on]" : "[off]") << ":";
+        os << model.hosts()[h].name
+           << (hosts_failed_[h] ? "[failed]" : (hosts_on_[h] ? "[on]" : "[off]"))
+           << ":";
         bool first = true;
         for (std::size_t i = 0; i < vms_.size(); ++i) {
             if (vms_[i] && vms_[i]->host == host) {
@@ -160,8 +189,10 @@ std::string configuration::describe(const cluster_model& model) const {
     return os.str();
 }
 
-bool structurally_valid(const cluster_model& model, const configuration& config,
-                        std::string* why) {
+namespace {
+
+bool valid_impl(const cluster_model& model, const configuration& config,
+                bool enforce_replica_minima, std::string* why) {
     auto fail = [&](const std::string& msg) {
         if (why) *why = msg;
         return false;
@@ -169,6 +200,12 @@ bool structurally_valid(const cluster_model& model, const configuration& config,
     MISTRAL_CHECK(config.vm_count() == model.vm_count());
     MISTRAL_CHECK(config.host_count() == model.host_count());
 
+    for (std::size_t h = 0; h < model.host_count(); ++h) {
+        const host_id host{static_cast<std::int32_t>(h)};
+        if (config.host_failed(host) && config.host_on(host)) {
+            return fail("failed host powered on: " + model.hosts()[h].name);
+        }
+    }
     for (const auto& desc : model.vms()) {
         const auto& p = config.placement(desc.vm);
         if (!p) continue;
@@ -198,21 +235,35 @@ bool structurally_valid(const cluster_model& model, const configuration& config,
             return fail("memory overcommitted on " + model.hosts()[h].name);
         }
     }
-    for (std::size_t a = 0; a < model.app_count(); ++a) {
-        const app_id app{static_cast<std::int32_t>(a)};
-        for (std::size_t t = 0; t < model.app(app).tier_count(); ++t) {
-            int deployed = 0;
-            for (vm_id vm : model.tier_vms(app, t)) {
-                deployed += config.deployed(vm) ? 1 : 0;
-            }
-            const auto& tier = model.app(app).tiers()[t];
-            if (deployed < tier.min_replicas) {
-                return fail(model.app(app).name() + "/" + tier.name +
-                            " below minimum replication");
+    if (enforce_replica_minima) {
+        for (std::size_t a = 0; a < model.app_count(); ++a) {
+            const app_id app{static_cast<std::int32_t>(a)};
+            for (std::size_t t = 0; t < model.app(app).tier_count(); ++t) {
+                int deployed = 0;
+                for (vm_id vm : model.tier_vms(app, t)) {
+                    deployed += config.deployed(vm) ? 1 : 0;
+                }
+                const auto& tier = model.app(app).tiers()[t];
+                if (deployed < tier.min_replicas) {
+                    return fail(model.app(app).name() + "/" + tier.name +
+                                " below minimum replication");
+                }
             }
         }
     }
     return true;
+}
+
+}  // namespace
+
+bool structurally_valid(const cluster_model& model, const configuration& config,
+                        std::string* why) {
+    return valid_impl(model, config, /*enforce_replica_minima=*/true, why);
+}
+
+bool structurally_valid_degraded(const cluster_model& model,
+                                 const configuration& config, std::string* why) {
+    return valid_impl(model, config, /*enforce_replica_minima=*/false, why);
 }
 
 bool is_candidate(const cluster_model& model, const configuration& config,

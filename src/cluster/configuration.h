@@ -46,6 +46,11 @@ public:
     // Placement of a deployed VM; nullopt for dormant VMs.
     [[nodiscard]] const std::optional<vm_placement>& placement(vm_id vm) const;
     [[nodiscard]] bool host_on(host_id host) const;
+    // A failed host has crashed (or been fenced): it is powered off and may
+    // not be powered back on until the failure clears. Distinct from a
+    // deliberate power-off, which power_on can always reverse.
+    [[nodiscard]] bool host_failed(host_id host) const;
+    [[nodiscard]] bool any_host_failed() const;
 
     [[nodiscard]] std::vector<vm_id> vms_on(host_id host) const;
     // Number of VMs deployed on `host`; O(1) from the incremental aggregates.
@@ -65,12 +70,17 @@ public:
     void undeploy(vm_id vm);
     void set_cap(vm_id vm, fraction cpu_cap);
     void set_host_power(host_id host, bool on);
+    // Marking a host failed also forces it off (a crashed host draws no
+    // power and hosts nothing); clearing the mark leaves it off until a
+    // power_on action deliberately brings it back.
+    void set_host_failed(host_id host, bool failed);
 
     [[nodiscard]] std::size_t hash() const;
-    // Equality is over placements and host power only; the per-host
-    // aggregates are derived data.
+    // Equality is over placements, host power, and failure marks; the
+    // per-host aggregates are derived data.
     friend bool operator==(const configuration& a, const configuration& b) {
-        return a.vms_ == b.vms_ && a.hosts_on_ == b.hosts_on_;
+        return a.vms_ == b.vms_ && a.hosts_on_ == b.hosts_on_ &&
+               a.hosts_failed_ == b.hosts_failed_;
     }
 
     // Human-readable one-line summary (placements + host states).
@@ -79,6 +89,7 @@ public:
 private:
     std::vector<std::optional<vm_placement>> vms_;
     std::vector<bool> hosts_on_;
+    std::vector<bool> hosts_failed_;
     // Derived per-host aggregates, maintained by the mutators. Milli-caps are
     // exact integers (caps are rounded to 1e-3), so incremental updates can
     // never drift from a from-scratch sum.
@@ -93,6 +104,15 @@ private:
 // (when non-null) on the first violation.
 bool structurally_valid(const cluster_model& model, const configuration& config,
                         std::string* why = nullptr);
+
+// Structural validity minus the replica-minimum floor: the state a cluster
+// legitimately occupies right after a host crash killed some tier's replicas
+// and before the controller has re-deployed them. Placement, memory, slot,
+// power, and failure-mark constraints still hold; only the per-tier
+// min_replicas requirement is waived.
+bool structurally_valid_degraded(const cluster_model& model,
+                                 const configuration& config,
+                                 std::string* why = nullptr);
 
 // A candidate additionally satisfies the packing constraint: the CPU caps on
 // each host sum to at most limits().host_cpu_cap.

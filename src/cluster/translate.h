@@ -39,4 +39,27 @@ prediction predict(const cluster_model& model, const configuration& config,
                    const std::vector<req_per_sec>& rates,
                    const lqn::model_options& options = {});
 
+// Outage-tolerant prediction for configurations a host crash has degraded
+// below a tier's minimum replication. Applications with an undeployed tier
+// are *down*: they are excluded from the LQN solve (their load reaches no
+// server, so it consumes no CPU), their mean response time is reported as
+// `outage_response_time`, and `app_down[a]` marks them. With every tier
+// deployed this is exactly predict() — same solver inputs, bit-identical
+// result.
+struct outage_prediction {
+    prediction pred;
+    std::vector<bool> app_down;
+    [[nodiscard]] bool any_down() const {
+        for (bool d : app_down) {
+            if (d) return true;
+        }
+        return false;
+    }
+};
+outage_prediction predict_with_outages(const cluster_model& model,
+                                       const configuration& config,
+                                       const std::vector<req_per_sec>& rates,
+                                       const lqn::model_options& options = {},
+                                       seconds outage_response_time = 10.0);
+
 }  // namespace mistral::cluster

@@ -1,8 +1,10 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
+#include "core/planner.h"
 
 namespace mistral::core {
 
@@ -12,14 +14,18 @@ mistral_controller::mistral_controller(const cluster::cluster_model& model,
                                        std::unique_ptr<search_meter> meter)
     : model_(&model),
       options_(options),
-      search_(model, utility_model(options.utility), std::move(costs),
-              options.search),
+      utility_(options.utility),
+      costs_(std::move(costs)),
+      search_(model, utility_, costs_, options.search),
       meter_(meter ? std::move(meter) : std::make_unique<model_clock_meter>()),
       monitor_(model.app_count(), options.band_width) {
     MISTRAL_CHECK(options_.min_control_window > 0.0);
     MISTRAL_CHECK(options_.max_control_window >= options_.min_control_window);
     MISTRAL_CHECK(options_.band_width >= 0.0);
     MISTRAL_CHECK(options_.utility_history >= 1);
+    MISTRAL_CHECK(options_.reconcile.max_retries >= 0);
+    MISTRAL_CHECK(options_.reconcile.base_backoff >= 0.0);
+    MISTRAL_CHECK(options_.reconcile.backoff_factor >= 1.0);
     predictors_.reserve(model.app_count());
     for (std::size_t a = 0; a < model.app_count(); ++a) {
         predict::arma_options arma = options_.arma;
@@ -37,6 +43,16 @@ dollars mistral_controller::pessimistic_expected_utility(seconds cw) const {
         *std::min_element(utility_history_.begin(), utility_history_.end());
     // History entries are per monitoring interval; scale to the window.
     return lowest * cw / options_.utility.monitoring_interval;
+}
+
+void mistral_controller::account_faults(const decision_input& in) {
+    for (const auto& a : in.failed) {
+        ++rstats_.failed_actions;
+        const auto entry = costs_.lookup(*model_, a, in.rates);
+        rstats_.wasted_adaptation_time += entry.duration;
+        rstats_.wasted_transient_cost +=
+            entry.duration * -utility_.power_rate(std::max(0.0, entry.delta_power));
+    }
 }
 
 controller_decision mistral_controller::step(const decision_input& in) {
@@ -57,7 +73,59 @@ controller_decision mistral_controller::step(const decision_input& in) {
         predictors_[event.exceeded[i]].observe(event.completed_intervals[i]);
     }
 
-    const bool trigger = first_step_ || event.any_exceeded;
+    const auto& rec = options_.reconcile;
+    account_faults(in);
+    const bool fault_signal = !in.failed.empty() || !in.hosts_failed.empty() ||
+                              !in.hosts_recovered.empty();
+    if (!fault_signal) fault_rounds_ = 0;
+
+    // While the executor still runs a previous sequence, hold off: planning
+    // against a configuration that queued actions are about to change would
+    // race them. (The fault-free harness only calls step() when idle, so
+    // this path never fires there.)
+    if (!in.in_flight.empty()) {
+        first_step_ = false;
+        return decision;
+    }
+
+    // The base the optimizer plans from. plan_against_actual=false is the
+    // harness's documented controller mutation: plan from what the last
+    // decision intended instead of what the executor reports.
+    const cluster::configuration& base =
+        (rec.plan_against_actual || !intended_) ? in.current : *intended_;
+    if (intended_ && !(*intended_ == in.current)) ++rstats_.drift_intervals;
+
+    // Repair first: a crash that pushed a tier below its replica minimum
+    // leaves a configuration the steady-state predictors cannot even
+    // evaluate; restore structural validity before optimizing.
+    if (rec.enabled && !cluster::structurally_valid(*model_, base)) {
+        auto repair = plan_repair(*model_, base);
+        if (!repair.empty()) {
+            first_step_ = false;
+            ++rstats_.repairs;
+            decision.invoked = true;
+            decision.repair = true;
+            decision.reconciled = true;
+            decision.actions = std::move(repair);
+            intended_ = apply_plan(*model_, base, decision.actions);
+            monitor_.recenter(now, rates);
+            return decision;
+        }
+    }
+
+    // A fault signal forces a replan even inside the workload band, bounded
+    // by max_retries consecutive rounds with geometric backoff between them.
+    bool force = false;
+    if (rec.enabled && fault_signal && now + 1e-9 >= backoff_until_ &&
+        fault_rounds_ < rec.max_retries) {
+        force = true;
+        backoff_until_ =
+            now + rec.base_backoff * std::pow(rec.backoff_factor, fault_rounds_);
+        ++fault_rounds_;
+        ++rstats_.fault_replans;
+    }
+
+    const bool trigger = first_step_ || event.any_exceeded || force;
     first_step_ = false;
     if (!trigger) return decision;
 
@@ -75,14 +143,18 @@ controller_decision mistral_controller::step(const decision_input& in) {
     cw = std::min(cw, options_.max_control_window);
 
     const dollars uh = pessimistic_expected_utility(cw);
-    auto result = search_.find(in.current, rates, cw, uh, *meter_);
+    auto result = search_.find(base, rates, cw, uh, *meter_);
 
     decision.invoked = true;
+    decision.reconciled = force;
     decision.actions = std::move(result.actions);
     decision.control_window = cw;
     decision.expected_utility = result.expected_utility;
     decision.ideal_utility = result.ideal_utility;
     decision.stats = result.stats;
+    if (!decision.actions.empty()) {
+        intended_ = apply_plan(*model_, base, decision.actions);
+    }
     monitor_.recenter(now, rates);
     return decision;
 }

@@ -14,7 +14,9 @@
 // (UH), and returns the chosen action sequence.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cluster/configuration.h"
@@ -26,6 +28,26 @@
 #include "workload/monitor.h"
 
 namespace mistral::core {
+
+// Self-healing under fault injection: how the controller reconciles what it
+// intended with what the testbed reports actually happened.
+struct reconcile_options {
+    bool enabled = true;
+    // At most this many consecutive fault-triggered replans; after that the
+    // controller waits for the regular band trigger (a persistently failing
+    // action must not re-submit forever).
+    int max_retries = 3;
+    // Hold-off before the next fault-triggered replan grows geometrically:
+    // base_backoff · backoff_factor^(consecutive fault rounds). The default
+    // base of 0 disables the delay while keeping retries bounded.
+    seconds base_backoff = 0.0;
+    double backoff_factor = 2.0;
+    // Plan from the *actual* observed configuration. Setting this to false
+    // is a deliberate controller mutation for the invariant harness: the
+    // controller then plans from the configuration it last intended, and the
+    // randomized fault tests must catch the illegal actions that follow.
+    bool plan_against_actual = true;
+};
 
 struct controller_options {
     utility_params utility{};
@@ -43,6 +65,7 @@ struct controller_options {
     seconds max_control_window = 6.0 * default_monitoring_interval;
     // How many recent interval utilities feed the pessimistic UH estimate.
     int utility_history = 5;
+    reconcile_options reconcile{};
 };
 
 // One monitoring interval's observations, as handed to a controller or
@@ -58,6 +81,13 @@ struct decision_input {
     // Utility the system actually accrued over the previous interval
     // (feeds the pessimistic UH search budget).
     dollars last_interval_utility = 0.0;
+    // Fault notices from the executor since the last decision (all empty in
+    // fault-free operation; appended here so existing positional initializers
+    // of the older fields keep compiling).
+    std::vector<cluster::action> failed{};     // aborted without taking effect
+    std::vector<cluster::action> in_flight{};  // still executing or queued
+    std::vector<std::int32_t> hosts_failed{};     // crashed since last decision
+    std::vector<std::int32_t> hosts_recovered{};  // failure mark cleared
 };
 
 struct controller_decision {
@@ -67,6 +97,23 @@ struct controller_decision {
     dollars expected_utility = 0.0;
     dollars ideal_utility = 0.0;
     search_stats stats;
+    bool repair = false;      // actions are a structural repair, not a search plan
+    bool reconciled = false;  // a fault signal (not the band) forced this run
+};
+
+// Running totals of the controller's fault handling (all zero without fault
+// injection).
+struct reconcile_stats {
+    std::int64_t failed_actions = 0;  // abort notices received
+    std::int64_t fault_replans = 0;   // optimizer runs forced by fault signals
+    std::int64_t repairs = 0;         // structural repair plans issued
+    std::int64_t drift_intervals = 0; // intended != actual at a decision point
+    // Cost-table estimate of adaptation effort burnt by aborted actions:
+    // their nominal durations, and the power-side dollars of their transients
+    // (the measured utility already pays the full metered price; this ledger
+    // attributes it).
+    seconds wasted_adaptation_time = 0.0;
+    dollars wasted_transient_cost = 0.0;
 };
 
 class mistral_controller {
@@ -85,10 +132,16 @@ public:
     }
     [[nodiscard]] const controller_options& options() const { return options_; }
     [[nodiscard]] const adaptation_search& search() const { return search_; }
+    [[nodiscard]] const reconcile_stats& reconciliation() const { return rstats_; }
+    [[nodiscard]] dollars wasted_transient_cost() const {
+        return rstats_.wasted_transient_cost;
+    }
 
 private:
     const cluster::cluster_model* model_;
     controller_options options_;
+    utility_model utility_;
+    cost::cost_table costs_;  // kept for the wasted-transient ledger
     adaptation_search search_;
     std::unique_ptr<search_meter> meter_;
     wl::workload_monitor monitor_;
@@ -96,7 +149,14 @@ private:
     std::vector<dollars> utility_history_;
     bool first_step_ = true;
 
+    // Reconciliation state.
+    reconcile_stats rstats_;
+    std::optional<cluster::configuration> intended_;  // where the last plan lands
+    int fault_rounds_ = 0;          // consecutive fault-triggered replans
+    seconds backoff_until_ = 0.0;   // no fault-triggered replan before this
+
     [[nodiscard]] dollars pessimistic_expected_utility(seconds cw) const;
+    void account_faults(const decision_input& in);
 };
 
 }  // namespace mistral::core

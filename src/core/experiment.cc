@@ -80,6 +80,12 @@ run_result run_scenario(const scenario& scn, strategy& strat) {
     dollars last_utility = 0.0;
     std::size_t intervals = 0;
 
+    // Fault notices accumulated between decisions (the strategy only decides
+    // when the testbed is idle, which can span several windows).
+    std::vector<cluster::action> pending_failed;
+    std::vector<std::int32_t> pending_hosts_failed;
+    std::vector<std::int32_t> pending_hosts_recovered;
+
     for (seconds t = start; t + interval <= end + 1e-9; t += interval) {
         std::vector<req_per_sec> rates;
         rates.reserve(model.app_count());
@@ -90,7 +96,14 @@ run_result run_scenario(const scenario& scn, strategy& strat) {
         // would race the in-flight actions.
         strategy::outcome decision;
         if (!tb.busy()) {
-            decision = strat.decide({t, rates, tb.config(), last_utility});
+            decision_input din{t, rates, tb.config(), last_utility};
+            din.failed = std::move(pending_failed);
+            din.hosts_failed = std::move(pending_hosts_failed);
+            din.hosts_recovered = std::move(pending_hosts_recovered);
+            pending_failed.clear();
+            pending_hosts_failed.clear();
+            pending_hosts_recovered.clear();
+            decision = strat.decide(din);
         }
         if (decision.invoked) {
             ++out.invocations;
@@ -103,6 +116,15 @@ run_result run_scenario(const scenario& scn, strategy& strat) {
         }
 
         const auto obs = tb.advance(interval, rates);
+        pending_failed.insert(pending_failed.end(), obs.failed.begin(),
+                              obs.failed.end());
+        pending_hosts_failed.insert(pending_hosts_failed.end(),
+                                    obs.hosts_failed.begin(),
+                                    obs.hosts_failed.end());
+        pending_hosts_recovered.insert(pending_hosts_recovered.end(),
+                                       obs.hosts_recovered.begin(),
+                                       obs.hosts_recovered.end());
+        out.total_failed_actions += obs.failed.size();
 
         std::vector<seconds> targets(model.app_count());
         for (std::size_t a = 0; a < model.app_count(); ++a) {
@@ -131,6 +153,9 @@ run_result run_scenario(const scenario& scn, strategy& strat) {
                                                 tb.config().active_host_count()));
         out.series.series("actions").add(tm, static_cast<double>(decision.actions.size()));
         out.series.series("search_ms").add(tm, decision.decision_delay * 1000.0);
+        if (!obs.failed.empty()) {
+            out.series.series("failed").add(tm, static_cast<double>(obs.failed.size()));
+        }
     }
 
     out.cumulative_utility = cumulative;

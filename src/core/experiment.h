@@ -58,6 +58,10 @@ struct run_result {
     // Fraction of intervals each application missed its target.
     std::vector<double> violation_fraction;
     std::size_t total_actions = 0;
+    // Actions the testbed aborted (fault injection); a "failed" series is
+    // added to `series` only on intervals that actually saw failures, so
+    // fault-free runs produce byte-identical output.
+    std::size_t total_failed_actions = 0;
     std::size_t invocations = 0;
     running_stats search_duration;   // seconds per invocation
     dollars total_search_cost = 0.0; // $ of controller power

@@ -62,6 +62,11 @@ std::optional<cluster::configuration> pack(
     std::size_t opened = 0;
 
     auto host_allowed = [&](std::size_t app, std::size_t h) {
+        // A crashed host takes no load and cannot be booted.
+        if (reference &&
+            reference->host_failed(host_id{static_cast<std::int32_t>(h)})) {
+            return false;
+        }
         return app_hosts.empty() || app_hosts[app][h];
     };
 
@@ -125,6 +130,14 @@ std::optional<cluster::configuration> pack(
     }
 
     cluster::configuration config(model.vm_count(), model.host_count());
+    if (reference) {
+        // Carry the failure marks so `ideal == current` can hold (and the
+        // no-op fast path fire) while part of the cluster is down.
+        for (std::size_t h = 0; h < model.host_count(); ++h) {
+            const host_id host{static_cast<std::int32_t>(h)};
+            if (reference->host_failed(host)) config.set_host_failed(host, true);
+        }
+    }
     for (std::size_t h = 0; h < bins.size(); ++h) {
         if (!bins[h].open) continue;
         const host_id host{static_cast<std::int32_t>(h)};

@@ -199,6 +199,67 @@ configuration apply_plan(const cluster_model& model, configuration config,
     return config;
 }
 
+std::vector<action> plan_repair(const cluster_model& model,
+                                const configuration& config) {
+    std::vector<action> plan;
+    configuration cur = config;
+    auto emit = [&](const action& a) -> bool {
+        if (!applicable(model, cur, a)) return false;
+        cur = apply(model, cur, a);
+        plan.push_back(a);
+        return true;
+    };
+    // Roomiest healthy powered-on host that can take `vm` at `cap`; lowest
+    // index wins ties so repairs replay deterministically.
+    auto place = [&](vm_id vm, fraction cap) -> bool {
+        std::optional<host_id> best;
+        double best_free = -1.0;
+        for (std::size_t h = 0; h < model.host_count(); ++h) {
+            const host_id host{static_cast<std::int32_t>(h)};
+            if (!cur.host_on(host)) continue;
+            if (!applicable(model, cur, cluster::add_replica{vm, host, cap})) continue;
+            const double free = model.limits().host_cpu_cap - cur.cap_sum(host);
+            if (free > best_free + 1e-12) {
+                best_free = free;
+                best = host;
+            }
+        }
+        if (!best) return false;
+        return emit(cluster::add_replica{vm, *best, cap});
+    };
+    for (std::size_t a = 0; a < model.app_count(); ++a) {
+        const app_id app{static_cast<std::int32_t>(a)};
+        for (std::size_t t = 0; t < model.app(app).tier_count(); ++t) {
+            const auto& tier = model.app(app).tiers()[t];
+            int deployed = 0;
+            for (vm_id vm : model.tier_vms(app, t)) {
+                deployed += cur.deployed(vm) ? 1 : 0;
+            }
+            for (int deficit = tier.min_replicas - deployed; deficit > 0; --deficit) {
+                vm_id dormant{};
+                for (vm_id vm : model.tier_vms(app, t)) {
+                    if (!cur.deployed(vm)) {
+                        dormant = vm;
+                        break;
+                    }
+                }
+                if (!dormant.valid()) break;  // no spare replica VM exists
+                if (place(dormant, tier.min_cpu_cap)) continue;
+                // Nothing fits: bring up the first healthy powered-off host
+                // and retry once.
+                bool powered = false;
+                for (std::size_t h = 0; h < model.host_count() && !powered; ++h) {
+                    const host_id host{static_cast<std::int32_t>(h)};
+                    if (cur.host_on(host) || cur.host_failed(host)) continue;
+                    powered = emit(cluster::power_on{host});
+                }
+                if (!powered || !place(dormant, tier.min_cpu_cap)) break;
+            }
+        }
+    }
+    return plan;
+}
+
 std::vector<action> compress_plan(const cluster_model& model,
                                   const configuration& from,
                                   std::vector<action> plan) {

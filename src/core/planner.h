@@ -46,4 +46,14 @@ std::vector<cluster::action> compress_plan(const cluster::cluster_model& model,
                                            const cluster::configuration& from,
                                            std::vector<cluster::action> plan);
 
+// Plans the minimal repair for a degraded configuration (a host crash has
+// pushed some tier below its replica minimum): for every deficient tier,
+// boot dormant replicas at the tier's minimum cap onto the healthy powered-on
+// host with the most spare CPU capacity, powering on an extra healthy host
+// when nothing fits. Deterministic (lowest-index VM / host tiebreaks), every
+// prefix applicable from `config`; empty when nothing needs repair. Deficits
+// that cannot be repaired (not enough healthy capacity) are left in place.
+std::vector<cluster::action> plan_repair(const cluster::cluster_model& model,
+                                         const cluster::configuration& config);
+
 }  // namespace mistral::core

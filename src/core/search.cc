@@ -128,6 +128,15 @@ search_result adaptation_search::find(const configuration& current,
     search_result stay;
     stay.target = current;
 
+    // A degraded configuration (a host crash left a tier under its replica
+    // minimum) cannot be evaluated by the steady-state engine; the
+    // controller's reconciliation repairs it before the optimizer runs again.
+    if (!cluster::structurally_valid(model, current)) {
+        stay.stats.duration = meter.elapsed();
+        stay.stats.search_power_cost = meter.active_seconds() * search_cost_rate;
+        return stay;
+    }
+
     const auto ideal = perf_pwr_.optimize(rates, &current);
     stay.ideal_utility = ideal.feasible ? ideal.utility_rate * cw : 0.0;
     if (!ideal.feasible || ideal.ideal == current) {

@@ -135,11 +135,17 @@ cost_table cost_table::paper_defaults() {
         t.add_measurement(action_kind::migrate, 2, w,
                           {d_base * 1.1, rt_mysql, rt_mysql * 0.4, dpwr * 1.05});
         // Replica addition = migration from the pool plus DB sync overhead.
+        // The web tier never clones in steady operation (max one replica),
+        // but crash repair re-adds its VM, so it needs an entry too.
+        t.add_measurement(action_kind::add_replica, 0, w,
+                          {d_base, rt_apache * 1.1, rt_apache * 0.45, dpwr * 0.95});
         t.add_measurement(action_kind::add_replica, 1, w,
                           {d_base * 1.1, rt_tomcat * 1.1, rt_tomcat * 0.45, dpwr});
         t.add_measurement(action_kind::add_replica, 2, w,
                           {d_base * 1.25, rt_mysql * 1.15, rt_mysql * 0.45, dpwr * 1.1});
         // Removal migrates back to the pool with less pressure.
+        t.add_measurement(action_kind::remove_replica, 0, w,
+                          {d_base * 0.8, rt_apache * 0.6, rt_apache * 0.25, dpwr * 0.8});
         t.add_measurement(action_kind::remove_replica, 1, w,
                           {d_base * 0.8, rt_tomcat * 0.6, rt_tomcat * 0.25, dpwr * 0.8});
         t.add_measurement(action_kind::remove_replica, 2, w,

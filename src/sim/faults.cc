@@ -1,0 +1,110 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace mistral::sim {
+
+namespace {
+
+constexpr seconds no_event = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+bool fault_options::inert() const {
+    for (double p : failure_probability) {
+        if (p > 0.0) return false;
+    }
+    for (double p : straggler_probability) {
+        if (p > 0.0) return false;
+    }
+    return host_crashes.empty();
+}
+
+fault_options fault_options::uniform(double fail_probability,
+                                     double straggle_probability) {
+    fault_options out;
+    out.failure_probability.fill(fail_probability);
+    out.straggler_probability.fill(straggle_probability);
+    return out;
+}
+
+fault_injector::fault_injector(fault_options options, std::uint64_t seed)
+    : options_(std::move(options)), draws_(seed), inert_(options_.inert()) {
+    for (double p : options_.failure_probability) {
+        MISTRAL_CHECK_MSG(p >= 0.0 && p <= 1.0, "failure probability " << p);
+    }
+    for (double p : options_.straggler_probability) {
+        MISTRAL_CHECK_MSG(p >= 0.0 && p <= 1.0, "straggler probability " << p);
+    }
+    MISTRAL_CHECK(options_.straggler_multiplier >= 1.0);
+    MISTRAL_CHECK(options_.failure_duration_fraction >= 0.0 &&
+                  options_.failure_duration_fraction <= 1.0);
+    std::stable_sort(options_.host_crashes.begin(), options_.host_crashes.end(),
+                     [](const host_crash_event& a, const host_crash_event& b) {
+                         return a.at < b.at;
+                     });
+}
+
+fault_decision fault_injector::on_action_start(const cluster::action& a) {
+    fault_decision out;
+    if (inert_) return out;
+    const auto kind = static_cast<std::size_t>(cluster::kind_of(a));
+    // Two draws per starting action, always both, so the decision for action
+    // N never depends on which faults earlier actions happened to hit.
+    const double fail_draw = draws_.uniform();
+    const double straggle_draw = draws_.uniform();
+    if (fail_draw < options_.failure_probability[kind]) {
+        out.fail = true;
+        return out;
+    }
+    if (straggle_draw < options_.straggler_probability[kind]) {
+        out.duration_multiplier =
+            draws_.uniform(1.0, options_.straggler_multiplier);
+    }
+    return out;
+}
+
+seconds fault_injector::next_event_time() const {
+    seconds next = no_event;
+    if (next_crash_ < options_.host_crashes.size()) {
+        next = std::min(next, options_.host_crashes[next_crash_].at);
+    }
+    for (const auto& r : recoveries_) {
+        next = std::min(next, r.at);
+    }
+    return next;
+}
+
+std::vector<host_crash_event> fault_injector::take_crashes_due(seconds t) {
+    std::vector<host_crash_event> due;
+    while (next_crash_ < options_.host_crashes.size() &&
+           options_.host_crashes[next_crash_].at <= t) {
+        const auto& ev = options_.host_crashes[next_crash_];
+        due.push_back(ev);
+        if (ev.recover_after > 0.0) {
+            recoveries_.push_back({ev.at + ev.recover_after, ev.host});
+            std::stable_sort(recoveries_.begin(), recoveries_.end(),
+                             [](const pending_recovery& a, const pending_recovery& b) {
+                                 return a.at < b.at;
+                             });
+        }
+        ++next_crash_;
+    }
+    return due;
+}
+
+std::vector<std::int32_t> fault_injector::take_recoveries_due(seconds t) {
+    std::vector<std::int32_t> due;
+    auto it = recoveries_.begin();
+    while (it != recoveries_.end() && it->at <= t) {
+        due.push_back(it->host);
+        ++it;
+    }
+    recoveries_.erase(recoveries_.begin(), it);
+    return due;
+}
+
+}  // namespace mistral::sim

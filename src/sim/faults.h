@@ -1,0 +1,107 @@
+// Deterministic fault injection for the testbed simulator.
+//
+// The paper's testbed executes every adaptation action perfectly; real
+// clusters do not. The injector adds the three fault classes a production
+// controller must survive, all drawn from an explicitly seeded RNG stream so
+// every fault schedule replays bit-identically:
+//
+//  * action failures  — a starting action aborts after burning a fraction of
+//    its nominal duration (a live migration that times out, a boot that
+//    wedges); the configuration stays in its pre-action state and the
+//    wasted transient time/power is still metered.
+//  * stragglers       — a starting action takes a multiple of its nominal
+//    duration (dirty-page churn, slow disks); it still completes.
+//  * host crashes     — scheduled events: at time t a host dies, its VMs
+//    return to the dormant pool, and the host is marked *failed* (it cannot
+//    be powered back on) until an optional recovery time clears the mark.
+//
+// With every probability at zero and no scheduled crashes the injector is
+// provably inert: it draws nothing from its RNG and the testbed's behaviour
+// is byte-identical to a build without fault injection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/action.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace mistral::sim {
+
+// One slot per cluster::action_kind enumerator, indexed by
+// static_cast<std::size_t>(kind).
+inline constexpr std::size_t action_kind_count = 7;
+
+struct host_crash_event {
+    seconds at = 0.0;
+    std::int32_t host = 0;
+    // <= 0: the host never comes back. Otherwise its failure mark clears at
+    // `at + recover_after`; the host stays powered off until the controller
+    // deliberately boots it again.
+    seconds recover_after = 0.0;
+
+    friend bool operator==(const host_crash_event&, const host_crash_event&) = default;
+};
+
+struct fault_options {
+    // Per-action-kind probability that a starting action aborts.
+    std::array<double, action_kind_count> failure_probability{};
+    // Per-action-kind probability that a starting action straggles.
+    std::array<double, action_kind_count> straggler_probability{};
+    // Straggling actions take uniform[1, straggler_multiplier] × duration.
+    double straggler_multiplier = 3.0;
+    // Failing actions burn this fraction of their nominal duration (with the
+    // full transient response-time/power impact) before aborting.
+    double failure_duration_fraction = 0.5;
+    std::vector<host_crash_event> host_crashes;
+
+    [[nodiscard]] bool inert() const;
+
+    // Same probabilities for every action kind (test/demo convenience).
+    [[nodiscard]] static fault_options uniform(double fail_probability,
+                                               double straggle_probability = 0.0);
+};
+
+// The injector's verdict on an action that is about to start executing.
+struct fault_decision {
+    bool fail = false;
+    double duration_multiplier = 1.0;
+};
+
+class fault_injector {
+public:
+    fault_injector() = default;  // inert
+    fault_injector(fault_options options, std::uint64_t seed);
+
+    [[nodiscard]] bool inert() const { return inert_; }
+    [[nodiscard]] const fault_options& options() const { return options_; }
+
+    // Deterministic draw for one starting action. Inert injectors return the
+    // no-fault decision without touching the RNG.
+    fault_decision on_action_start(const cluster::action& a);
+
+    // Time of the earliest still-pending crash or recovery (infinity when
+    // none), so the caller can split its time integration exactly at fault
+    // instants.
+    [[nodiscard]] seconds next_event_time() const;
+
+    // Crash events with `at` <= t, in schedule order; each is returned once.
+    std::vector<host_crash_event> take_crashes_due(seconds t);
+    // Host indices whose recovery time has passed; each is returned once.
+    std::vector<std::int32_t> take_recoveries_due(seconds t);
+
+private:
+    fault_options options_{};
+    rng draws_{0};
+    bool inert_ = true;
+    std::size_t next_crash_ = 0;  // into options_.host_crashes (sorted by at)
+    struct pending_recovery {
+        seconds at = 0.0;
+        std::int32_t host = 0;
+    };
+    std::vector<pending_recovery> recoveries_;  // sorted by at
+};
+
+}  // namespace mistral::sim

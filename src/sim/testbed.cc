@@ -14,10 +14,16 @@ testbed::testbed(const cluster::cluster_model& model, cluster::configuration ini
       true_model_(build_true_model(model, options)),
       config_(std::move(initial)),
       options_(options),
-      noise_(options.seed ^ 0xfeedULL) {
+      noise_(options.seed ^ 0xfeedULL),
+      injector_(options.faults, options.seed ^ 0xdeadULL) {
     std::string why;
     MISTRAL_CHECK_MSG(structurally_valid(model, config_, &why),
                       "initial configuration invalid: " << why);
+    for (const auto& ev : options_.faults.host_crashes) {
+        MISTRAL_CHECK_MSG(ev.host >= 0 &&
+                              static_cast<std::size_t>(ev.host) < model.host_count(),
+                          "crash event host " << ev.host << " out of range");
+    }
 }
 
 cluster::cluster_model testbed::build_true_model(const cluster::cluster_model& nominal,
@@ -39,13 +45,19 @@ cluster::cluster_model testbed::build_true_model(const cluster::cluster_model& n
 void testbed::submit(const std::vector<cluster::action>& actions,
                      seconds initial_delay) {
     MISTRAL_CHECK(initial_delay >= 0.0);
-    // Validate the whole sequence against the configuration it will see.
+    // Project outstanding work onto the configuration the new actions will
+    // see. Already-queued actions that a fault has made inapplicable are
+    // skipped (the executor aborts them at start instead of executing them);
+    // the newly submitted sequence itself must be fully applicable.
     cluster::configuration probe = config_;
-    if (in_flight_ && in_flight_->act) {
+    if (in_flight_ && in_flight_->act && !in_flight_->doomed &&
+        cluster::applicable(*nominal_, probe, *in_flight_->act)) {
         probe = cluster::apply(*nominal_, probe, *in_flight_->act);
     }
     for (const auto& queued : queue_) {
-        if (queued.act) probe = cluster::apply(*nominal_, probe, *queued.act);
+        if (queued.act && cluster::applicable(*nominal_, probe, *queued.act)) {
+            probe = cluster::apply(*nominal_, probe, *queued.act);
+        }
     }
     if (initial_delay > 0.0) queue_.push_back({std::nullopt, initial_delay});
     for (const auto& a : actions) {
@@ -58,10 +70,12 @@ std::size_t testbed::pending_actions() const {
     return queue_.size() + (in_flight_ ? 1 : 0);
 }
 
-const cluster::prediction& testbed::steady_state(
+const cluster::outage_prediction& testbed::steady_state(
     const std::vector<req_per_sec>& rates) const {
     if (!steady_rates_ || *steady_rates_ != rates) {
-        steady_ = cluster::predict(true_model_, config_, rates, options_.true_lqn);
+        steady_ = cluster::predict_with_outages(true_model_, config_, rates,
+                                                options_.true_lqn,
+                                                options_.outage_response_time);
         steady_rates_ = rates;
     }
     return steady_;
@@ -69,12 +83,50 @@ const cluster::prediction& testbed::steady_state(
 
 cluster::prediction testbed::ground_truth(const cluster::configuration& config,
                                           const std::vector<req_per_sec>& rates) const {
-    return cluster::predict(true_model_, config, rates, options_.true_lqn);
+    return cluster::predict_with_outages(true_model_, config, rates,
+                                         options_.true_lqn,
+                                         options_.outage_response_time)
+        .pred;
 }
 
 action_transient testbed::transient_of(const cluster::action& a,
                                        const std::vector<req_per_sec>& rates) const {
     return ground_truth_transient(true_model_, config_, a, rates, options_.transients);
+}
+
+bool testbed::deliver_fault_events(seconds local, observation& out,
+                                   double& wasted) {
+    if (injector_.inert()) return false;
+    bool changed = false;
+    for (const auto& ev : injector_.take_crashes_due(local + 1e-9)) {
+        const host_id host{ev.host};
+        if (config_.host_failed(host)) continue;  // already down
+        // The crash takes every VM on the host with it; the replicas return
+        // to the dormant pool and the host cannot boot until it recovers.
+        for (const auto& desc : nominal_->vms()) {
+            const auto& p = config_.placement(desc.vm);
+            if (p && p->host == host) config_.undeploy(desc.vm);
+        }
+        config_.set_host_failed(host, true);
+        out.hosts_failed.push_back(ev.host);
+        changed = true;
+        // An executing action the crash has invalidated aborts on the spot;
+        // the time it already burnt this window was adaptation for nothing.
+        if (in_flight_ && in_flight_->act && !in_flight_->doomed &&
+            !cluster::applicable(*nominal_, config_, *in_flight_->act)) {
+            out.failed.push_back(*in_flight_->act);
+            wasted += in_flight_->window_elapsed;
+            in_flight_.reset();
+        }
+    }
+    for (std::int32_t h : injector_.take_recoveries_due(local + 1e-9)) {
+        const host_id host{h};
+        if (!config_.host_failed(host)) continue;
+        config_.set_host_failed(host, false);  // stays powered off
+        out.hosts_recovered.push_back(h);
+        changed = true;
+    }
+    return changed;
 }
 
 observation testbed::advance(seconds dt, const std::vector<req_per_sec>& rates) {
@@ -90,38 +142,66 @@ observation testbed::advance(seconds dt, const std::vector<req_per_sec>& rates) 
     std::vector<double> rt_integral(nominal_->app_count(), 0.0);
     double power_integral = 0.0;
     double adapting = 0.0;
+    double wasted = 0.0;
     seconds remaining_window = dt;
+    if (in_flight_) in_flight_->window_elapsed = 0.0;
 
     while (remaining_window > 1e-12) {
+        const seconds local = now_ + (dt - remaining_window);
+        if (deliver_fault_events(local, out, wasted)) invalidate_steady();
         // Start the next queued item if the pipeline is free.
         if (!in_flight_ && !queue_.empty()) {
             const auto item = queue_.front();
             queue_.pop_front();
+            if (item.act && !cluster::applicable(*nominal_, config_, *item.act)) {
+                // A fault broke the chain this action assumed (a failed
+                // predecessor or a crashed host); it aborts immediately.
+                out.failed.push_back(*item.act);
+                continue;
+            }
             in_flight lane;
             lane.act = item.act;
             if (item.act) {
                 lane.transient = ground_truth_transient(true_model_, config_, *item.act,
                                                         rates, options_.transients);
                 lane.remaining = lane.transient.duration;
+                const fault_decision verdict = injector_.on_action_start(*item.act);
+                if (verdict.fail) {
+                    // Burns part of its nominal duration (with full transient
+                    // impact), then aborts without changing the configuration.
+                    lane.doomed = true;
+                    lane.remaining *= options_.faults.failure_duration_fraction;
+                } else {
+                    lane.remaining *= verdict.duration_multiplier;
+                }
             } else {
                 lane.transient.delta_rt.assign(nominal_->app_count(), 0.0);
                 lane.remaining = item.wait;
             }
             in_flight_ = std::move(lane);
         }
-        const seconds step = in_flight_
-                                 ? std::min(remaining_window, in_flight_->remaining)
-                                 : remaining_window;
+        seconds step = in_flight_
+                           ? std::min(remaining_window, in_flight_->remaining)
+                           : remaining_window;
+        // Split the integration exactly at the next crash/recovery instant.
+        const seconds next_event = injector_.next_event_time();
+        if (next_event - local < step) {
+            step = std::max(next_event - local, 0.0);
+        }
         const auto& steady = steady_state(rates);
         for (std::size_t a = 0; a < nominal_->app_count(); ++a) {
-            double rt = steady.perf.apps[a].mean_response_time;
+            double rt = steady.pred.perf.apps[a].mean_response_time;
             if (in_flight_) rt += in_flight_->transient.delta_rt[a];
             rt_integral[a] += rt * step;
         }
-        double power = steady.power;
+        double power = steady.pred.power;
         if (in_flight_) {
             power += in_flight_->transient.delta_power;
-            if (in_flight_->act) adapting += step;  // waits are not adaptation
+            if (in_flight_->act) {
+                adapting += step;  // waits are not adaptation
+                in_flight_->window_elapsed += step;
+                if (in_flight_->doomed) wasted += step;
+            }
         }
         power_integral += power * step;
 
@@ -130,9 +210,13 @@ observation testbed::advance(seconds dt, const std::vector<req_per_sec>& rates) 
             in_flight_->remaining -= step;
             if (in_flight_->remaining <= 1e-12) {
                 if (in_flight_->act) {
-                    config_ = cluster::apply(*nominal_, config_, *in_flight_->act);
-                    out.completed.push_back(*in_flight_->act);
-                    invalidate_steady();
+                    if (in_flight_->doomed) {
+                        out.failed.push_back(*in_flight_->act);
+                    } else {
+                        config_ = cluster::apply(*nominal_, config_, *in_flight_->act);
+                        out.completed.push_back(*in_flight_->act);
+                        invalidate_steady();
+                    }
                 }
                 in_flight_.reset();
             }
@@ -141,6 +225,7 @@ observation testbed::advance(seconds dt, const std::vector<req_per_sec>& rates) 
     now_ += dt;
     out.time = now_;
     out.adapting_fraction = adapting / dt;
+    out.wasted_fraction = wasted / dt;
 
     // Metered values: window means plus measurement noise.
     for (std::size_t a = 0; a < nominal_->app_count(); ++a) {
@@ -152,11 +237,15 @@ observation testbed::advance(seconds dt, const std::vector<req_per_sec>& rates) 
         0.0, power_integral / dt * (1.0 + noise_.normal(0.0, options_.power_noise)));
 
     const auto& steady = steady_state(rates);
-    out.host_utilization = steady.perf.host_utilization;
+    out.host_utilization = steady.pred.perf.host_utilization;
     for (std::size_t a = 0; a < nominal_->app_count(); ++a) {
-        for (const auto& tier : steady.perf.apps[a].tiers) {
+        for (const auto& tier : steady.pred.perf.apps[a].tiers) {
             out.app_cpu_usage[a] += tier.cpu_usage;
         }
+    }
+    if (in_flight_ && in_flight_->act) out.in_flight.push_back(*in_flight_->act);
+    for (const auto& q : queue_) {
+        if (q.act) out.in_flight.push_back(*q.act);
     }
     return out;
 }

@@ -22,6 +22,7 @@
 #include "cluster/translate.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "sim/faults.h"
 #include "sim/transients.h"
 
 namespace mistral::sim {
@@ -42,6 +43,12 @@ struct testbed_options {
                                 .dom0_baseline = 0.025,
                                 .network_hop = 0.0022};
     transient_model transients{};
+    // Fault injection (inert by default: all probabilities zero, no crashes —
+    // the testbed then behaves byte-identically to a fault-free build).
+    fault_options faults{};
+    // Response time reported for an application a host crash has left with an
+    // undeployed tier (its requests time out rather than queue).
+    seconds outage_response_time = 10.0;
 };
 
 // One observation window's measurements.
@@ -55,6 +62,13 @@ struct observation {
     std::vector<double> app_cpu_usage;       // physical CPUs consumed per app
     fraction adapting_fraction = 0.0;        // share of window spent adapting
     std::vector<cluster::action> completed;  // actions finished in the window
+    // Fault-injection signals (all empty / zero when the injector is inert).
+    std::vector<cluster::action> failed;     // actions aborted in the window
+    std::vector<cluster::action> in_flight;  // still outstanding at window end
+                                             // (executing first, then queued)
+    std::vector<std::int32_t> hosts_failed;     // crashed in the window
+    std::vector<std::int32_t> hosts_recovered;  // failure mark cleared
+    fraction wasted_fraction = 0.0;  // share of window burnt on doomed actions
 };
 
 class testbed {
@@ -73,9 +87,13 @@ public:
     // Queues actions for sequential execution; they start consuming time at
     // the next advance(). Actions are validated against the configuration
     // they will fire from (earlier queued actions included) — submitting an
-    // inapplicable sequence throws. `initial_delay` models the controller's
-    // decision time: the system idles in its old configuration for that long
-    // before the first action starts (Section IV's decision-delay cost).
+    // inapplicable sequence throws. Under fault injection a queued action may
+    // *become* inapplicable (a failed predecessor or a host crash breaks the
+    // chain); the projection skips such actions because the executor will
+    // abort them at start rather than execute them. `initial_delay` models
+    // the controller's decision time: the system idles in its old
+    // configuration for that long before the first action starts
+    // (Section IV's decision-delay cost).
     void submit(const std::vector<cluster::action>& actions,
                 seconds initial_delay = 0.0);
     [[nodiscard]] bool busy() const { return in_flight_.has_value() || !queue_.empty(); }
@@ -102,6 +120,7 @@ private:
     cluster::configuration config_;
     testbed_options options_;
     rng noise_;
+    fault_injector injector_;
     seconds now_ = 0.0;
 
     // A queued item is either a real action or a pure wait (decision delay).
@@ -113,14 +132,23 @@ private:
         std::optional<cluster::action> act;  // nullopt: waiting, no transients
         action_transient transient;
         seconds remaining = 0.0;
+        bool doomed = false;            // injector failed it at start
+        seconds window_elapsed = 0.0;   // execution time within this window
     };
     std::optional<in_flight> in_flight_;
     std::deque<queued_item> queue_;
 
-    // Cached steady-state ground truth for the current configuration.
+    // Crash/recovery delivery at local time `local`; returns true if the
+    // configuration changed. Time already burnt this window by an executing
+    // action the crash aborts is added to `wasted`.
+    bool deliver_fault_events(seconds local, observation& out, double& wasted);
+
+    // Cached steady-state ground truth for the current configuration
+    // (outage-aware: crashed-out applications report outage_response_time).
     mutable std::optional<std::vector<req_per_sec>> steady_rates_;
-    mutable cluster::prediction steady_;
-    const cluster::prediction& steady_state(const std::vector<req_per_sec>& rates) const;
+    mutable cluster::outage_prediction steady_;
+    const cluster::outage_prediction& steady_state(
+        const std::vector<req_per_sec>& rates) const;
     void invalidate_steady() const { steady_rates_.reset(); }
 
     static cluster::cluster_model build_true_model(const cluster::cluster_model& nominal,

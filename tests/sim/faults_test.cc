@@ -1,0 +1,334 @@
+// Fault injector unit tests and testbed fault semantics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/rubis.h"
+#include "common/check.h"
+#include "sim/faults.h"
+#include "sim/testbed.h"
+
+namespace mistral {
+namespace {
+
+using cluster::action;
+
+cluster::cluster_model make_model(std::size_t hosts, std::size_t apps) {
+    std::vector<apps::application_spec> specs;
+    for (std::size_t a = 0; a < apps; ++a) {
+        specs.push_back(apps::rubis_browsing("R" + std::to_string(a)));
+    }
+    return cluster::cluster_model(cluster::uniform_hosts(hosts), std::move(specs));
+}
+
+cluster::configuration base_config(const cluster::cluster_model& model) {
+    cluster::configuration c(model.vm_count(), model.host_count());
+    for (std::size_t h = 0; h < model.host_count(); ++h) {
+        c.set_host_power(host_id{static_cast<std::int32_t>(h)}, true);
+    }
+    const std::size_t per_app =
+        std::max<std::size_t>(1, model.host_count() / model.app_count());
+    for (std::size_t a = 0; a < model.app_count(); ++a) {
+        const app_id app{static_cast<std::int32_t>(a)};
+        for (std::size_t t = 0; t < model.app(app).tier_count(); ++t) {
+            const std::size_t h = (a * per_app + t % per_app) % model.host_count();
+            c.deploy(model.tier_vms(app, t)[0],
+                     host_id{static_cast<std::int32_t>(h)}, 0.4);
+        }
+    }
+    return c;
+}
+
+// ---- fault_options / fault_injector --------------------------------------
+
+TEST(FaultInjector, DefaultOptionsAreInert) {
+    EXPECT_TRUE(sim::fault_options{}.inert());
+    EXPECT_TRUE(sim::fault_options::uniform(0.0).inert());
+    EXPECT_FALSE(sim::fault_options::uniform(0.1).inert());
+    EXPECT_FALSE(sim::fault_options::uniform(0.0, 0.1).inert());
+    sim::fault_options crashes_only;
+    crashes_only.host_crashes.push_back({.at = 10.0, .host = 0});
+    EXPECT_FALSE(crashes_only.inert());
+}
+
+TEST(FaultInjector, InertInjectorNeverFaults) {
+    sim::fault_injector inj(sim::fault_options{}, 7);
+    EXPECT_TRUE(inj.inert());
+    const action a = cluster::power_on{host_id{0}};
+    for (int i = 0; i < 100; ++i) {
+        const auto d = inj.on_action_start(a);
+        EXPECT_FALSE(d.fail);
+        EXPECT_EQ(d.duration_multiplier, 1.0);
+    }
+    EXPECT_TRUE(inj.take_crashes_due(1e9).empty());
+    EXPECT_TRUE(inj.take_recoveries_due(1e9).empty());
+}
+
+TEST(FaultInjector, SameSeedReplaysBitIdentically) {
+    const auto opts = sim::fault_options::uniform(0.3, 0.3);
+    sim::fault_injector a(opts, 99);
+    sim::fault_injector b(opts, 99);
+    const action act = cluster::power_on{host_id{0}};
+    bool any_fail = false;
+    bool any_straggle = false;
+    for (int i = 0; i < 300; ++i) {
+        const auto da = a.on_action_start(act);
+        const auto db = b.on_action_start(act);
+        ASSERT_EQ(da.fail, db.fail);
+        ASSERT_EQ(da.duration_multiplier, db.duration_multiplier);
+        any_fail |= da.fail;
+        any_straggle |= da.duration_multiplier > 1.0;
+    }
+    EXPECT_TRUE(any_fail);
+    EXPECT_TRUE(any_straggle);
+}
+
+TEST(FaultInjector, CrashScheduleDeliversEachEventOnce) {
+    sim::fault_options opts;
+    opts.host_crashes.push_back({.at = 50.0, .host = 1, .recover_after = 100.0});
+    opts.host_crashes.push_back({.at = 20.0, .host = 0});
+    sim::fault_injector inj(opts, 1);
+    EXPECT_NEAR(inj.next_event_time(), 20.0, 1e-12);
+
+    auto due = inj.take_crashes_due(30.0);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0].host, 0);
+    EXPECT_NEAR(inj.next_event_time(), 50.0, 1e-12);
+
+    due = inj.take_crashes_due(60.0);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0].host, 1);
+    // Host 1's recovery is now pending at 150 s.
+    EXPECT_NEAR(inj.next_event_time(), 150.0, 1e-12);
+    EXPECT_TRUE(inj.take_recoveries_due(149.0).empty());
+    const auto rec = inj.take_recoveries_due(150.0);
+    ASSERT_EQ(rec.size(), 1u);
+    EXPECT_EQ(rec[0], 1);
+    EXPECT_TRUE(inj.take_crashes_due(1e9).empty());
+}
+
+TEST(FaultInjector, RejectsInvalidOptions) {
+    EXPECT_THROW(sim::fault_injector(sim::fault_options::uniform(1.5), 1),
+                 invariant_error);
+    sim::fault_options bad;
+    bad.straggler_probability.fill(0.1);
+    bad.straggler_multiplier = 0.5;
+    EXPECT_THROW(sim::fault_injector(bad, 1), invariant_error);
+}
+
+// ---- testbed fault semantics ----------------------------------------------
+
+TEST(TestbedFaults, ZeroProbabilityIsByteIdenticalToDefault) {
+    const auto model = make_model(3, 1);
+    const auto config = base_config(model);
+    sim::testbed plain(model, config, {});
+    sim::testbed_options with_knobs;
+    with_knobs.faults = sim::fault_options::uniform(0.0, 0.0);
+    sim::testbed faulted(model, config, with_knobs);
+
+    const auto mig = cluster::migrate{model.tier_vms(app_id{0}, 2)[0], host_id{0}};
+    plain.submit({mig});
+    faulted.submit({mig});
+    for (int i = 0; i < 8; ++i) {
+        const auto a = plain.advance(60.0, {40.0});
+        const auto b = faulted.advance(60.0, {40.0});
+        ASSERT_EQ(a.response_time, b.response_time);  // bit-identical doubles
+        ASSERT_EQ(a.power, b.power);
+        ASSERT_EQ(a.completed.size(), b.completed.size());
+        ASSERT_TRUE(b.failed.empty());
+        ASSERT_TRUE(b.hosts_failed.empty());
+        ASSERT_EQ(b.wasted_fraction, 0.0);
+    }
+    EXPECT_EQ(plain.config(), faulted.config());
+}
+
+TEST(TestbedFaults, FailedActionLeavesConfigurationUnchanged) {
+    const auto model = make_model(3, 1);
+    const auto config = base_config(model);
+    sim::testbed_options opts;
+    opts.faults = sim::fault_options::uniform(1.0);  // every action aborts
+    sim::testbed tb(model, config, opts);
+
+    const auto mig = cluster::migrate{model.tier_vms(app_id{0}, 2)[0], host_id{0}};
+    tb.submit({mig});
+    sim::observation obs;
+    while (tb.busy()) obs = tb.advance(60.0, {40.0});
+    ASSERT_EQ(obs.failed.size(), 1u);
+    EXPECT_TRUE(obs.completed.empty());
+    EXPECT_EQ(tb.config(), config);  // pre-action state, exactly
+    EXPECT_GT(obs.wasted_fraction, 0.0);
+    std::string why;
+    EXPECT_TRUE(structurally_valid(model, tb.config(), &why)) << why;
+}
+
+TEST(TestbedFaults, FailedActionDoomsDependentQueuedActions) {
+    const auto model = make_model(3, 1);
+    const auto config = base_config(model);
+    sim::testbed_options opts;
+    opts.faults = sim::fault_options::uniform(1.0);
+    sim::testbed tb(model, config, opts);
+
+    // add_replica then increase_cpu of the added VM: when the add aborts,
+    // the increase must abort too (its VM is still dormant). Tier 1 (app)
+    // allows two replicas, so it has a dormant VM to add.
+    const auto& tier_vms = model.tier_vms(app_id{0}, 1);
+    vm_id spare{};
+    for (vm_id vm : tier_vms) {
+        if (!config.deployed(vm)) {
+            spare = vm;
+            break;
+        }
+    }
+    ASSERT_TRUE(spare.valid());
+    const auto cap = model.tier_spec_of(spare).min_cpu_cap;
+    tb.submit({cluster::add_replica{spare, host_id{2}, cap},
+               cluster::increase_cpu{spare}});
+    std::size_t failed = 0;
+    while (tb.busy()) failed += tb.advance(60.0, {40.0}).failed.size();
+    EXPECT_EQ(failed, 2u);
+    EXPECT_EQ(tb.config(), config);
+}
+
+TEST(TestbedFaults, StragglerDelaysCompletionButStillApplies) {
+    const auto model = make_model(3, 1);
+    const auto config = base_config(model);
+    const auto mig = cluster::migrate{model.tier_vms(app_id{0}, 2)[0], host_id{0}};
+
+    auto windows_to_complete = [&](sim::testbed_options opts) {
+        sim::testbed tb(model, config, opts);
+        tb.submit({mig});
+        int n = 0;
+        while (tb.busy()) {
+            tb.advance(10.0, {40.0});
+            ++n;
+        }
+        return n;
+    };
+    sim::testbed_options straggle;
+    straggle.faults = sim::fault_options::uniform(0.0, 1.0);
+    straggle.faults.straggler_multiplier = 4.0;
+    const int plain = windows_to_complete({});
+    const int slow = windows_to_complete(straggle);
+    EXPECT_GT(slow, plain);
+
+    // The straggling action still completes and applies.
+    sim::testbed tb(model, config, straggle);
+    tb.submit({mig});
+    std::size_t completed = 0;
+    while (tb.busy()) completed += tb.advance(60.0, {40.0}).completed.size();
+    EXPECT_EQ(completed, 1u);
+    EXPECT_NE(tb.config(), config);
+}
+
+TEST(TestbedFaults, HostCrashUndeploysAndFencesUntilRecovery) {
+    const auto model = make_model(3, 1);
+    const auto config = base_config(model);
+    // Find a host with at least one VM.
+    host_id victim{0};
+    for (std::size_t h = 0; h < model.host_count(); ++h) {
+        if (config.vm_count_on(host_id{static_cast<std::int32_t>(h)}) > 0) {
+            victim = host_id{static_cast<std::int32_t>(h)};
+            break;
+        }
+    }
+    sim::testbed_options opts;
+    opts.faults.host_crashes.push_back(
+        {.at = 90.0, .host = victim.value, .recover_after = 120.0});
+    sim::testbed tb(model, config, opts);
+
+    auto obs = tb.advance(120.0, {40.0});
+    ASSERT_EQ(obs.hosts_failed.size(), 1u);
+    EXPECT_EQ(obs.hosts_failed[0], victim.value);
+    EXPECT_TRUE(tb.config().host_failed(victim));
+    EXPECT_FALSE(tb.config().host_on(victim));
+    EXPECT_EQ(tb.config().vm_count_on(victim), 0u);
+    std::string why;
+    EXPECT_TRUE(structurally_valid_degraded(model, tb.config(), &why)) << why;
+    EXPECT_FALSE(applicable(model, tb.config(), cluster::power_on{victim}));
+
+    // Recovery at 210 s clears the mark; the host stays off but can boot.
+    obs = tb.advance(120.0, {40.0});
+    ASSERT_EQ(obs.hosts_recovered.size(), 1u);
+    EXPECT_EQ(obs.hosts_recovered[0], victim.value);
+    EXPECT_FALSE(tb.config().host_failed(victim));
+    EXPECT_FALSE(tb.config().host_on(victim));
+    EXPECT_TRUE(applicable(model, tb.config(), cluster::power_on{victim}));
+}
+
+TEST(TestbedFaults, CrashedOutApplicationReportsOutageResponseTime) {
+    const auto model = make_model(3, 1);
+    auto config = base_config(model);
+    // Consolidate every VM of the app onto host 0 so one crash downs it all.
+    for (const auto& desc : model.vms()) {
+        const auto& p = config.placement(desc.vm);
+        if (!p || p->host == host_id{0}) continue;
+        const cluster::action m = cluster::migrate{desc.vm, host_id{0}};
+        ASSERT_TRUE(applicable(model, config, m));
+        config = apply(model, config, m);
+    }
+    sim::testbed_options opts;
+    opts.faults.host_crashes.push_back({.at = 30.0, .host = 0});
+    opts.outage_response_time = 25.0;
+    sim::testbed tb(model, config, opts);
+    const auto obs = tb.advance(120.0, {40.0});
+    // 3/4 of the window at outage RT dominates the mean.
+    EXPECT_GT(obs.response_time[0], 10.0);
+    EXPECT_GT(obs.power, 0.0);  // surviving hosts still draw idle power
+}
+
+// In-flight reporting at the window boundary: a sequence that spans windows
+// is visible in every observation until it completes (the fix this PR locks
+// down: partially-executed sequences were previously silent).
+TEST(TestbedFaults, InFlightActionsReportedAtWindowBoundary) {
+    const auto model = make_model(3, 1);
+    const auto config = base_config(model);
+    sim::testbed tb(model, config, {});  // no faults: reporting is unconditional
+
+    const auto mig = cluster::migrate{model.tier_vms(app_id{0}, 2)[0], host_id{0}};
+    const auto tune = cluster::increase_cpu{model.tier_vms(app_id{0}, 2)[0]};
+    tb.submit({mig, tune}, /*initial_delay=*/5.0);
+
+    // Window 1 ends mid-migration: both actions still outstanding, executing
+    // one first.
+    auto obs = tb.advance(10.0, {40.0});
+    ASSERT_EQ(obs.in_flight.size(), 2u);
+    EXPECT_EQ(kind_of(obs.in_flight[0]), cluster::action_kind::migrate);
+    EXPECT_EQ(kind_of(obs.in_flight[1]), cluster::action_kind::increase_cpu);
+    EXPECT_TRUE(obs.completed.empty());
+    EXPECT_TRUE(tb.busy());
+
+    // Drain: once everything completed, nothing is in flight.
+    while (tb.busy()) obs = tb.advance(60.0, {40.0});
+    EXPECT_TRUE(obs.in_flight.empty());
+    EXPECT_EQ(tb.pending_actions(), 0u);
+}
+
+TEST(TestbedFaults, WastedFractionNeverExceedsAdaptingFraction) {
+    const auto model = make_model(3, 1);
+    const auto config = base_config(model);
+    sim::testbed_options opts;
+    opts.seed = 11;
+    opts.faults = sim::fault_options::uniform(0.5, 0.3);
+    sim::testbed tb(model, config, opts);
+    const auto mig = cluster::migrate{model.tier_vms(app_id{0}, 2)[0], host_id{0}};
+    for (int i = 0; i < 20; ++i) {
+        if (!tb.busy()) {
+            // Re-submit whichever direction is currently legal.
+            for (const auto& a : enumerate_actions(model, tb.config())) {
+                if (kind_of(a) == cluster::action_kind::migrate) {
+                    tb.submit({a});
+                    break;
+                }
+            }
+        }
+        const auto obs = tb.advance(45.0, {40.0});
+        ASSERT_GE(obs.wasted_fraction, 0.0);
+        ASSERT_LE(obs.wasted_fraction, obs.adapting_fraction + 1e-9);
+        ASSERT_LE(obs.adapting_fraction, 1.0 + 1e-9);
+    }
+    (void)mig;
+}
+
+}  // namespace
+}  // namespace mistral
