@@ -6,16 +6,32 @@
 // the measured cost table so that every figure comes from the same system.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "apps/rubis.h"
 #include "common/table_printer.h"
 #include "core/experiment.h"
 #include "cost/table.h"
+#include "obs/journal.h"
 #include "sim/cost_campaign.h"
 
 namespace mistral::bench {
+
+// Observability: set MISTRAL_JOURNAL=<path> and any bench that passes this
+// into its scenario_options.sink streams the run's journal (decision /
+// search / interval / fault events) to that JSONL file. Returns nullptr when
+// the variable is unset, which is the zero-overhead null sink — bench output
+// is byte-identical either way.
+inline obs::sink* journal_from_env() {
+    static const std::unique_ptr<obs::jsonl_file_sink> sink = [] {
+        const char* path = std::getenv("MISTRAL_JOURNAL");
+        return path ? std::make_unique<obs::jsonl_file_sink>(path) : nullptr;
+    }();
+    return sink.get();
+}
 
 // The offline-measured cost table used by all controller benches (Fig. 7's
 // campaign at moderate resolution). Cached across calls within a binary.

@@ -1,0 +1,122 @@
+// Observability: journaling a faulty run and reconciling the journal.
+//
+// Runs the flash-crowd fault scenario with a JSONL journal and a metrics
+// registry attached, then treats the journal as the source of truth: it
+// parses every line back and checks that the per-interval utility records
+// sum to the run's final cumulative utility, that the decision records match
+// the controller's invocation count, and that the wasted-adaptation ledger
+// in the last decision record equals the controller's final ledger. This is
+// the property that makes the journal useful for post-mortems — it is not a
+// log, it is the run's accounting, replayable line by line.
+//
+// Build & run:  ./build/examples/observability
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.h"
+#include "cost/table.h"
+#include "obs/json.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "workload/generators.h"
+
+using namespace mistral;
+
+int main() {
+    const std::string journal_path = "observability_journal.jsonl";
+    obs::metrics_registry registry;
+    obs::jsonl_file_sink sink(journal_path, &registry);
+
+    // The fault_scenario workload, driven through the experiment harness so
+    // the harness's own "interval" records land in the journal too.
+    wl::generator_options gen;
+    gen.duration = 2.0 * 3600.0;
+    gen.noise = 0.02;
+    core::scenario_options opts;
+    opts.host_count = 3;
+    opts.app_count = 1;
+    opts.traces = {wl::flash_crowd_trace("crowd", 15.0, 80.0,
+                                         /*crowd_at=*/2400.0, /*ramp=*/600.0,
+                                         /*hold=*/1800.0, gen)};
+    opts.testbed.faults = sim::fault_options::uniform(/*fail=*/0.2,
+                                                      /*straggle=*/0.2);
+    opts.testbed.faults.host_crashes.push_back(
+        {.at = 1800.0, .host = 2, .recover_after = 1200.0});
+    opts.sink = &sink;
+    auto scn = core::make_rubis_scenario(opts);
+
+    core::controller_options copts;
+    copts.sink = &sink;  // decision + search + evaluator hooks
+    core::mistral_strategy mistral(scn.model, cost::cost_table::paper_defaults(),
+                                   copts);
+
+    const auto run = core::run_scenario(scn, mistral);
+    sink.flush();
+
+    core::print_run_summary(run, std::cout);
+
+    // One decision record, verbatim — the schema DESIGN.md §10 documents.
+    std::ifstream in(journal_path);
+    std::string line, sample;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        if (sample.empty() && line.find("\"type\":\"decision\"") != std::string::npos &&
+            line.find("\"invoked\":true") != std::string::npos) {
+            sample = line;
+        }
+    }
+    std::cout << "\nJournal: " << lines << " events in " << journal_path << "\n";
+    std::cout << "\nSample decision record:\n" << sample << "\n";
+
+    std::cout << "\nMetrics (Prometheus text format, excerpt):\n";
+    registry.write_prometheus(std::cout);
+
+    // Reconciliation: the journal must re-derive the run's accounting.
+    in.clear();
+    in.seekg(0);
+    double utility_sum = 0.0;
+    double last_cum = 0.0;
+    std::size_t invoked_decisions = 0;
+    double last_wasted_seconds = 0.0;
+    double last_wasted_dollars = 0.0;
+    while (std::getline(in, line)) {
+        const auto v = obs::json::value::parse(line);
+        const auto& type = v.find("type")->as_text();
+        if (type == "interval") {
+            utility_sum += v.find("utility")->as_number();
+            last_cum = v.find("cum_utility")->as_number();
+        } else if (type == "decision") {
+            if (v.find("invoked")->as_bool()) ++invoked_decisions;
+            last_wasted_seconds = v.find("wasted_seconds")->as_number();
+            last_wasted_dollars = v.find("wasted_dollars")->as_number();
+        }
+    }
+    const auto& ledger = mistral.controller().reconciliation();
+    const auto close = [](double a, double b) { return std::abs(a - b) < 1e-9; };
+    const bool utilities_match = close(utility_sum, run.cumulative_utility) &&
+                                 close(last_cum, run.cumulative_utility);
+    const bool decisions_match = invoked_decisions == run.invocations;
+    const bool ledger_matches = close(last_wasted_seconds,
+                                      ledger.wasted_adaptation_time) &&
+                                close(last_wasted_dollars,
+                                      ledger.wasted_transient_cost);
+
+    std::cout << "\nReconciliation against the run's final accounting:\n"
+              << std::fixed << std::setprecision(4)
+              << "  sum of interval utilities : $" << utility_sum
+              << " (run: $" << run.cumulative_utility << ") "
+              << (utilities_match ? "OK" : "MISMATCH") << "\n"
+              << "  invoked decision records  : " << invoked_decisions
+              << " (run: " << run.invocations << ") "
+              << (decisions_match ? "OK" : "MISMATCH") << "\n"
+              << "  wasted-adaptation ledger  : " << last_wasted_seconds
+              << " s / $" << last_wasted_dollars << " (controller: "
+              << ledger.wasted_adaptation_time << " s / $"
+              << ledger.wasted_transient_cost << ") "
+              << (ledger_matches ? "OK" : "MISMATCH") << "\n";
+    return (utilities_match && decisions_match && ledger_matches) ? 0 : 1;
+}

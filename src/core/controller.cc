@@ -3,22 +3,37 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cluster/action.h"
 #include "common/check.h"
 #include "core/planner.h"
+#include "obs/journal.h"
 
 namespace mistral::core {
+
+namespace {
+
+// The search (and through it the evaluation engine) inherits the
+// controller's observability sink unless the caller wired its own.
+controller_options inherit_search_sink(controller_options options) {
+    if (options.search.sink == nullptr) {
+        options.search.sink = options.sink;
+    }
+    return options;
+}
+
+}  // namespace
 
 mistral_controller::mistral_controller(const cluster::cluster_model& model,
                                        cost::cost_table costs,
                                        controller_options options,
                                        std::unique_ptr<search_meter> meter)
     : model_(&model),
-      options_(options),
-      utility_(options.utility),
+      options_(inherit_search_sink(std::move(options))),
+      utility_(options_.utility),
       costs_(std::move(costs)),
-      search_(model, utility_, costs_, options.search),
+      search_(model, utility_, costs_, options_.search),
       meter_(meter ? std::move(meter) : std::make_unique<model_clock_meter>()),
-      monitor_(model.app_count(), options.band_width) {
+      monitor_(model.app_count(), options_.band_width) {
     MISTRAL_CHECK(options_.min_control_window > 0.0);
     MISTRAL_CHECK(options_.max_control_window >= options_.min_control_window);
     MISTRAL_CHECK(options_.band_width >= 0.0);
@@ -30,6 +45,26 @@ mistral_controller::mistral_controller(const cluster::cluster_model& model,
     for (std::size_t a = 0; a < model.app_count(); ++a) {
         predict::arma_options arma = options_.arma;
         predictors_.emplace_back(arma);
+    }
+    if (auto* reg = obs::metrics_of(options_.sink)) {
+        obs_decisions_ = reg->register_counter(
+            "mistral_controller_decisions_total",
+            "Optimizer invocations (first-step, band, or fault triggers)");
+        obs_repairs_ = reg->register_counter(
+            "mistral_controller_repairs_total",
+            "Structural repair plans issued after host crashes");
+        obs_fault_replans_ = reg->register_counter(
+            "mistral_controller_fault_replans_total",
+            "Replans forced by fault signals inside the workload band");
+        obs_failed_actions_ = reg->register_counter(
+            "mistral_controller_failed_actions_total",
+            "Action abort notices received from the executor");
+        obs_wasted_seconds_ = reg->register_gauge(
+            "mistral_controller_wasted_adaptation_seconds",
+            "Wasted-adaptation ledger: nominal duration of aborted actions");
+        obs_wasted_dollars_ = reg->register_gauge(
+            "mistral_controller_wasted_transient_dollars",
+            "Wasted-adaptation ledger: power-side cost of aborted transients");
     }
 }
 
@@ -48,10 +83,15 @@ dollars mistral_controller::pessimistic_expected_utility(seconds cw) const {
 void mistral_controller::account_faults(const decision_input& in) {
     for (const auto& a : in.failed) {
         ++rstats_.failed_actions;
+        obs_failed_actions_.add();
         const auto entry = costs_.lookup(*model_, a, in.rates);
         rstats_.wasted_adaptation_time += entry.duration;
         rstats_.wasted_transient_cost +=
             entry.duration * -utility_.power_rate(std::max(0.0, entry.delta_power));
+    }
+    if (!in.failed.empty()) {
+        obs_wasted_seconds_.set(rstats_.wasted_adaptation_time);
+        obs_wasted_dollars_.set(rstats_.wasted_transient_cost);
     }
 }
 
@@ -60,6 +100,44 @@ controller_decision mistral_controller::step(const decision_input& in) {
     const auto& rates = in.rates;
     MISTRAL_CHECK(rates.size() == model_->app_count());
     controller_decision decision;
+
+    // One journal record per step (including holds and in-band no-ops), so a
+    // journal reader sees every interval's predicted-vs-realized state.
+    bool drift = false;
+    dollars budget = 0.0;
+    auto emit_decision = [&](const char* trigger) {
+        if (!obs::journaling(options_.sink)) return;
+        std::vector<std::string> names;
+        names.reserve(decision.actions.size());
+        for (const auto& a : decision.actions) {
+            names.push_back(cluster::to_string(*model_, a));
+        }
+        obs::event e("decision", now);
+        e.text("trigger", trigger)
+            .boolean("invoked", decision.invoked)
+            .boolean("repair", decision.repair)
+            .boolean("reconciled", decision.reconciled)
+            .num("cw", decision.control_window)
+            .num("budget", budget)
+            .num("expected_utility", decision.expected_utility)
+            .num("ideal_utility", decision.ideal_utility)
+            .num("realized_utility", in.last_interval_utility)
+            .text_list("actions", std::move(names))
+            .integer("expansions",
+                     static_cast<std::int64_t>(decision.stats.expansions))
+            .integer("generated",
+                     static_cast<std::int64_t>(decision.stats.generated))
+            .boolean("pruned", decision.stats.pruned)
+            .num("search_duration", decision.stats.duration)
+            .num("search_power_cost", decision.stats.search_power_cost)
+            .integer("failed_actions",
+                     static_cast<std::int64_t>(in.failed.size()))
+            .integer("fault_rounds", fault_rounds_)
+            .boolean("drift", drift)
+            .num("wasted_seconds", rstats_.wasted_adaptation_time)
+            .num("wasted_dollars", rstats_.wasted_transient_cost);
+        options_.sink->record(e);
+    };
 
     if (!first_step_) {
         utility_history_.push_back(in.last_interval_utility);
@@ -85,6 +163,7 @@ controller_decision mistral_controller::step(const decision_input& in) {
     // this path never fires there.)
     if (!in.in_flight.empty()) {
         first_step_ = false;
+        emit_decision("hold");
         return decision;
     }
 
@@ -93,7 +172,10 @@ controller_decision mistral_controller::step(const decision_input& in) {
     // decision intended instead of what the executor reports.
     const cluster::configuration& base =
         (rec.plan_against_actual || !intended_) ? in.current : *intended_;
-    if (intended_ && !(*intended_ == in.current)) ++rstats_.drift_intervals;
+    if (intended_ && !(*intended_ == in.current)) {
+        ++rstats_.drift_intervals;
+        drift = true;
+    }
 
     // Repair first: a crash that pushed a tier below its replica minimum
     // leaves a configuration the steady-state predictors cannot even
@@ -103,12 +185,15 @@ controller_decision mistral_controller::step(const decision_input& in) {
         if (!repair.empty()) {
             first_step_ = false;
             ++rstats_.repairs;
+            obs_decisions_.add();
+            obs_repairs_.add();
             decision.invoked = true;
             decision.repair = true;
             decision.reconciled = true;
             decision.actions = std::move(repair);
             intended_ = apply_plan(*model_, base, decision.actions);
             monitor_.recenter(now, rates);
+            emit_decision("repair");
             return decision;
         }
     }
@@ -123,11 +208,19 @@ controller_decision mistral_controller::step(const decision_input& in) {
             now + rec.base_backoff * std::pow(rec.backoff_factor, fault_rounds_);
         ++fault_rounds_;
         ++rstats_.fault_replans;
+        obs_fault_replans_.add();
     }
 
     const bool trigger = first_step_ || event.any_exceeded || force;
+    const char* trigger_name = first_step_          ? "first"
+                               : force              ? "fault"
+                               : event.any_exceeded ? "band"
+                                                    : "none";
     first_step_ = false;
-    if (!trigger) return decision;
+    if (!trigger) {
+        emit_decision("none");
+        return decision;
+    }
 
     // Control window: the most conservative (shortest) of the predictions
     // for the applications that just moved, floored at one interval.
@@ -143,9 +236,10 @@ controller_decision mistral_controller::step(const decision_input& in) {
     cw = std::min(cw, options_.max_control_window);
 
     const dollars uh = pessimistic_expected_utility(cw);
-    auto result = search_.find(base, rates, cw, uh, *meter_);
+    auto result = search_.find(base, rates, cw, uh, *meter_, now);
 
     decision.invoked = true;
+    obs_decisions_.add();
     decision.reconciled = force;
     decision.actions = std::move(result.actions);
     decision.control_window = cw;
@@ -156,6 +250,8 @@ controller_decision mistral_controller::step(const decision_input& in) {
         intended_ = apply_plan(*model_, base, decision.actions);
     }
     monitor_.recenter(now, rates);
+    budget = uh;
+    emit_decision(trigger_name);
     return decision;
 }
 

@@ -66,6 +66,12 @@ struct controller_options {
     // How many recent interval utilities feed the pessimistic UH estimate.
     int utility_history = 5;
     reconcile_options reconcile{};
+    // Observability hook (obs/journal.h): when journaling, the controller
+    // emits one "decision" record per step — trigger, predicted vs realized
+    // utility, plan, search self-cost, wasted-adaptation ledger — and wires
+    // the same sink into the search and evaluation engine unless those set
+    // their own. nullptr (the default) is the zero-overhead null sink.
+    obs::sink* sink = nullptr;
 };
 
 // One monitoring interval's observations, as handed to a controller or
@@ -154,6 +160,14 @@ private:
     std::optional<cluster::configuration> intended_;  // where the last plan lands
     int fault_rounds_ = 0;          // consecutive fault-triggered replans
     seconds backoff_until_ = 0.0;   // no fault-triggered replan before this
+
+    // Disabled one-branch no-ops unless options_.sink carries a registry.
+    obs::counter obs_decisions_;
+    obs::counter obs_repairs_;
+    obs::counter obs_fault_replans_;
+    obs::counter obs_failed_actions_;
+    obs::gauge obs_wasted_seconds_;
+    obs::gauge obs_wasted_dollars_;
 
     [[nodiscard]] dollars pessimistic_expected_utility(seconds cw) const;
     void account_faults(const decision_input& in);

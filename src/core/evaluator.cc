@@ -6,6 +6,7 @@
 #include "cluster/translate.h"
 #include "common/check.h"
 #include "lqn/solver.h"
+#include "obs/journal.h"
 
 namespace mistral::core {
 
@@ -92,6 +93,14 @@ serial_evaluator::serial_evaluator(const cluster::cluster_model& model,
     MISTRAL_CHECK(options_.threads >= 1 && options_.threads <= 256);
     MISTRAL_CHECK(options_.memo_capacity >= 1);
     MISTRAL_CHECK(options_.rate_quantum >= 0.0);
+    if (auto* reg = obs::metrics_of(options_.sink)) {
+        obs_solves_ = reg->register_counter(
+            "mistral_eval_solves_total", "LQN solves actually performed");
+        obs_memo_hits_ = reg->register_counter(
+            "mistral_eval_memo_hits_total", "memoized evaluations reused");
+        obs_memo_misses_ = reg->register_counter(
+            "mistral_eval_memo_misses_total", "evaluations that missed the memo");
+    }
 }
 
 void serial_evaluator::begin_decision(const std::vector<req_per_sec>& rates) {
@@ -130,10 +139,13 @@ steady_utility serial_evaluator::evaluate(const cluster::configuration& config) 
     MISTRAL_CHECK_MSG(!rates_.empty(), "begin_decision() before evaluate()");
     if (const auto* hit = memo_.find(config)) {
         ++stats_.cache_hits;
+        obs_memo_hits_.add();
         return *hit;
     }
     ++stats_.cache_misses;
     ++stats_.evaluations;
+    obs_memo_misses_.add();
+    obs_solves_.add();
     steady_utility value = compute(config);
     memo_.insert(config, value);
     return value;
@@ -179,6 +191,7 @@ isolated_perf serial_evaluator::compute_isolated(const app_sizing& s) const {
 isolated_perf serial_evaluator::evaluate_isolated(const app_sizing& s) {
     MISTRAL_CHECK_MSG(!rates_.empty(), "begin_decision() before evaluate_isolated()");
     ++stats_.evaluations;
+    obs_solves_.add();
     return compute_isolated(s);
 }
 
@@ -316,6 +329,7 @@ std::vector<isolated_perf> parallel_evaluator::evaluate_isolated_batch(
     MISTRAL_CHECK_MSG(!rates_.empty(),
                       "begin_decision() before evaluate_isolated_batch()");
     stats_.evaluations += sizings.size();
+    obs_solves_.add(static_cast<std::int64_t>(sizings.size()));
     std::vector<isolated_perf> out(sizings.size());
     parallel_for(sizings.size(),
                  [&](std::size_t i) { out[i] = compute_isolated(sizings[i]); });
@@ -336,6 +350,7 @@ std::vector<steady_utility> parallel_evaluator::evaluate_batch(
     for (std::size_t i = 0; i < configs.size(); ++i) {
         if (const auto* hit = memo_.find(configs[i])) {
             ++stats_.cache_hits;
+            obs_memo_hits_.add();
             out[i] = *hit;
             resolved[i] = true;
             continue;
@@ -343,14 +358,17 @@ std::vector<steady_utility> parallel_evaluator::evaluate_batch(
         const auto [it, inserted] = first_seen.emplace(configs[i], i);
         if (inserted) {
             ++stats_.cache_misses;
+            obs_memo_misses_.add();
             work.push_back(i);
         } else {
             // Duplicate within the batch: solved once, copied below.
             ++stats_.cache_hits;
+            obs_memo_hits_.add();
         }
     }
     if (!work.empty()) {
         stats_.evaluations += work.size();
+        obs_solves_.add(static_cast<std::int64_t>(work.size()));
         parallel_for(work.size(),
                      [&](std::size_t j) { out[work[j]] = compute(configs[work[j]]); });
         // Publish in input order (deterministic LRU insertion order).

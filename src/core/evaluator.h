@@ -39,6 +39,11 @@
 #include "cluster/model.h"
 #include "core/utility.h"
 #include "lqn/model.h"
+#include "obs/metrics.h"
+
+namespace mistral::obs {
+class sink;
+}
 
 namespace mistral::core {
 
@@ -86,6 +91,11 @@ struct evaluation_options {
     // rates within the same grid cell share entries, so a reused value may
     // be stale by up to one quantum of workload movement. Must be ≥ 0.
     req_per_sec rate_quantum = 0.0;
+    // Observability hook (journal.h). nullptr — the default null sink — makes
+    // every recording site a single branch; when the sink carries a metrics
+    // registry, the evaluator registers solve/memo counters in it and records
+    // them with relaxed atomic adds on the hot path.
+    obs::sink* sink = nullptr;
 
     evaluation_options& with_threads(std::size_t n) {
         threads = n;
@@ -245,6 +255,12 @@ protected:
     std::vector<seconds> targets_;
     eval_memo memo_;
     evaluation_stats stats_;
+    // Disabled (one-branch no-op) handles unless options_.sink carries a
+    // metrics registry. Recorded alongside stats_, which stays the exact
+    // per-instance source of truth; the registry aggregates across instances.
+    obs::counter obs_solves_;
+    obs::counter obs_memo_hits_;
+    obs::counter obs_memo_misses_;
 };
 
 // Fixed-thread-pool implementation: evaluate_batch distributes cache misses

@@ -4,6 +4,7 @@
 
 #include "apps/rubis.h"
 #include "common/check.h"
+#include "obs/journal.h"
 #include "workload/generators.h"
 
 namespace mistral::core {
@@ -64,7 +65,9 @@ run_result run_scenario(const scenario& scn, strategy& strat) {
     MISTRAL_CHECK(interval > 0.0);
     MISTRAL_CHECK(scn.traces.size() == model.app_count());
 
-    sim::testbed tb(model, scn.initial, scn.options.testbed);
+    sim::testbed_options tb_options = scn.options.testbed;
+    if (tb_options.sink == nullptr) tb_options.sink = scn.options.sink;
+    sim::testbed tb(model, scn.initial, tb_options);
     const utility_model util{scn.options.utility};
 
     run_result out;
@@ -153,8 +156,33 @@ run_result run_scenario(const scenario& scn, strategy& strat) {
                                                 tb.config().active_host_count()));
         out.series.series("actions").add(tm, static_cast<double>(decision.actions.size()));
         out.series.series("search_ms").add(tm, decision.decision_delay * 1000.0);
+        // The controller's per-interval self-cost (its own power, in $): the
+        // wall-time side is search_ms above; together they attribute the
+        // decision overhead Eq. 3 charges to the interval that paid it.
+        out.series.series("search_cost").add(tm, decision.decision_power_cost);
         if (!obs.failed.empty()) {
             out.series.series("failed").add(tm, static_cast<double>(obs.failed.size()));
+        }
+        out.total_wasted_seconds += obs.wasted_fraction * obs.window;
+
+        if (obs::journaling(scn.options.sink)) {
+            obs::event e("interval", tm);
+            e.num_list("rates", rates)
+                .num_list("rt", obs.response_time)
+                .num("power", obs.power)
+                .num("utility", u)
+                .num("cum_utility", cumulative)
+                .integer("hosts", static_cast<std::int64_t>(
+                                      tb.config().active_host_count()))
+                .boolean("invoked", decision.invoked)
+                .integer("actions",
+                         static_cast<std::int64_t>(decision.actions.size()))
+                .integer("failed", static_cast<std::int64_t>(obs.failed.size()))
+                .num("adapting_fraction", obs.adapting_fraction)
+                .num("wasted_fraction", obs.wasted_fraction)
+                .num("search_seconds", decision.decision_delay)
+                .num("search_cost", decision.decision_power_cost);
+            scn.options.sink->record(e);
         }
     }
 
@@ -164,6 +192,23 @@ run_result run_scenario(const scenario& scn, strategy& strat) {
         for (auto& v : out.violation_fraction) v /= static_cast<double>(intervals);
     }
     return out;
+}
+
+void print_run_summary(const run_result& result, std::ostream& out) {
+    out << "== " << result.strategy_name << " ==\n";
+    out << "  cumulative utility  $" << result.cumulative_utility << "\n";
+    out << "  mean power          " << result.mean_power << " W\n";
+    for (std::size_t a = 0; a < result.violation_fraction.size(); ++a) {
+        out << "  violations app" << a << "     "
+            << result.violation_fraction[a] * 100.0 << " %\n";
+    }
+    out << "  invocations         " << result.invocations << "\n";
+    out << "  actions             " << result.total_actions << " ("
+        << result.total_failed_actions << " failed)\n";
+    out << "  search time         " << result.search_duration.mean()
+        << " s mean over " << result.search_duration.count() << " decisions\n";
+    out << "  search power cost   $" << result.total_search_cost << "\n";
+    out << "  wasted adaptation   " << result.total_wasted_seconds << " s\n";
 }
 
 }  // namespace mistral::core

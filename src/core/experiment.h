@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,10 @@
 #include "core/strategies.h"
 #include "sim/testbed.h"
 #include "workload/trace.h"
+
+namespace mistral::obs {
+class sink;
+}
 
 namespace mistral::core {
 
@@ -34,6 +39,12 @@ struct scenario_options {
     // Traces per application; when empty, the Fig. 4 workloads are generated
     // (truncated/cycled to app_count).
     std::vector<wl::trace> traces;
+    // Observability hook (obs/journal.h): forwarded to the testbed (unless it
+    // set its own) and used by the harness itself to emit one "interval"
+    // record per monitoring interval — measured utility, power, actions,
+    // failures, self-cost — so a journal reconciles against the run's final
+    // accounting. nullptr (the default) is the zero-overhead null sink.
+    obs::sink* sink = nullptr;
 };
 
 struct scenario {
@@ -65,10 +76,17 @@ struct run_result {
     std::size_t invocations = 0;
     running_stats search_duration;   // seconds per invocation
     dollars total_search_cost = 0.0; // $ of controller power
+    // Testbed-reported seconds burnt on adaptations that never took effect
+    // (doomed executions and crash-aborted transients); 0 without faults.
+    seconds total_wasted_seconds = 0.0;
 };
 
 // Runs `strat` over the scenario, one fresh testbed per call (same seed ⇒
 // identical ground truth across strategies).
 run_result run_scenario(const scenario& scn, strategy& strat);
+
+// Human-readable end-of-run accounting (examples and ad-hoc tooling): the
+// cumulative utility, power, adaptation and self-cost totals of one run.
+void print_run_summary(const run_result& result, std::ostream& out);
 
 }  // namespace mistral::core

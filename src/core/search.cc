@@ -11,6 +11,8 @@
 #include "cluster/translate.h"
 #include "common/check.h"
 #include "core/planner.h"
+#include "obs/journal.h"
+#include "obs/profile.h"
 
 namespace mistral::core {
 
@@ -18,6 +20,15 @@ namespace {
 
 using cluster::action;
 using cluster::configuration;
+
+// The evaluation engine inherits the search's observability sink unless the
+// caller wired a different one explicitly.
+search_options inherit_eval_sink(search_options options) {
+    if (options.evaluation.sink == nullptr) {
+        options.evaluation.sink = options.sink;
+    }
+    return options;
+}
 
 struct vertex {
     configuration config;
@@ -71,8 +82,8 @@ std::vector<host_id> affected_hosts(const configuration& config, const action& a
 adaptation_search::adaptation_search(const cluster::cluster_model& model,
                                      utility_model utility, cost::cost_table costs,
                                      search_options options)
-    : adaptation_search(model, utility, std::move(costs), std::move(options),
-                        nullptr) {}
+    : adaptation_search(model, utility, std::move(costs),
+                        inherit_eval_sink(std::move(options)), nullptr) {}
 
 adaptation_search::adaptation_search(const cluster::cluster_model& model,
                                      utility_model utility, cost::cost_table costs,
@@ -105,12 +116,24 @@ adaptation_search::adaptation_search(const cluster::cluster_model& model,
     if (!options_.host_scope.empty()) {
         MISTRAL_CHECK(options_.host_scope.size() == model.host_count());
     }
+    if (auto* reg = obs::metrics_of(options_.sink)) {
+        obs_expansions_ = reg->register_counter(
+            "mistral_search_expansions_total",
+            "A* vertices expanded across all decisions");
+        obs_generated_ = reg->register_counter(
+            "mistral_search_generated_total",
+            "A* children generated across all decisions");
+        obs_duration_ = reg->register_histogram(
+            "mistral_search_duration_seconds",
+            {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0},
+            "Meter-elapsed duration of each adaptation search");
+    }
 }
 
 search_result adaptation_search::find(const configuration& current,
                                       const std::vector<req_per_sec>& rates,
                                       seconds cw, dollars expected_utility,
-                                      search_meter& meter) const {
+                                      search_meter& meter, seconds now) const {
     const auto& model = *model_;
     MISTRAL_CHECK(rates.size() == model.app_count());
     MISTRAL_CHECK(cw > 0.0);
@@ -128,12 +151,54 @@ search_result adaptation_search::find(const configuration& current,
     search_result stay;
     stay.target = current;
 
+    // Per-decision profile: per-depth expansion/meter-time attribution plus
+    // the budget and memo state at finish. Entirely skipped (one branch per
+    // expansion) when no journaling sink is attached.
+    const bool profiling = obs::journaling(options_.sink);
+    obs::search_profile prof;
+    int prof_pending_depth = -1;   // depth whose meter span is still open
+    seconds prof_span_start = 0.0;
+    auto note_depth = [&](int depth, double expanded, seconds spent) {
+        const auto d = static_cast<std::size_t>(depth);
+        if (prof.depth_expansions.size() <= d) {
+            prof.depth_expansions.resize(d + 1, 0.0);
+            prof.depth_meter_time.resize(d + 1, 0.0);
+        }
+        prof.depth_expansions[d] += expanded;
+        prof.depth_meter_time[d] += spent;
+    };
+    auto emit_profile = [&](const search_result& r) {
+        obs_duration_.observe(r.stats.duration);
+        if (!profiling) return;
+        if (prof_pending_depth >= 0) {
+            note_depth(prof_pending_depth, 1.0,
+                       meter.elapsed() - prof_span_start);
+            prof_pending_depth = -1;
+        }
+        prof.control_window = cw;
+        prof.budget = expected_utility;
+        prof.duration = r.stats.duration;
+        prof.active_seconds = meter.active_seconds();
+        prof.power_cost = r.stats.search_power_cost;
+        prof.expansions = static_cast<std::int64_t>(r.stats.expansions);
+        prof.generated = static_cast<std::int64_t>(r.stats.generated);
+        prof.pruned = r.stats.pruned;
+        prof.eval_hits = static_cast<std::int64_t>(r.stats.eval_cache_hits);
+        prof.eval_misses = static_cast<std::int64_t>(r.stats.eval_cache_misses);
+        prof.meter = meter.kind();
+        prof.plan_actions = static_cast<std::int64_t>(r.actions.size());
+        prof.expected_utility = r.expected_utility;
+        prof.ideal_utility = r.ideal_utility;
+        options_.sink->record(prof.to_event(now));
+    };
+
     // A degraded configuration (a host crash left a tier under its replica
     // minimum) cannot be evaluated by the steady-state engine; the
     // controller's reconciliation repairs it before the optimizer runs again.
     if (!cluster::structurally_valid(model, current)) {
         stay.stats.duration = meter.elapsed();
         stay.stats.search_power_cost = meter.active_seconds() * search_cost_rate;
+        emit_profile(stay);
         return stay;
     }
 
@@ -142,6 +207,7 @@ search_result adaptation_search::find(const configuration& current,
     if (!ideal.feasible || ideal.ideal == current) {
         stay.stats.duration = meter.elapsed();
         stay.stats.search_power_cost = meter.active_seconds() * search_cost_rate;
+        emit_profile(stay);
         return stay;
     }
     const double ideal_rate = ideal.utility_rate;
@@ -384,6 +450,7 @@ search_result adaptation_search::find(const configuration& current,
         if (terminal_index < 0) {
             search_result out = stay;
             out.stats = stats;
+            emit_profile(out);
             return out;
         }
         search_result out;
@@ -404,6 +471,7 @@ search_result adaptation_search::find(const configuration& current,
         // legitimately (a revisit with better accrued value), but executing
         // them buys nothing.
         out.actions = compress_plan(model, current, std::move(path));
+        emit_profile(out);
         return out;
     };
 
@@ -443,6 +511,7 @@ search_result adaptation_search::find(const configuration& current,
                 !applicable(model, v.config, a) || !allowed(v.config, a)) {
                 break;
             }
+            const seconds seed_start = profiling ? meter.elapsed() : 0.0;
             meter.on_expansion();
             vertex c = draft_child(v, at, engine.evaluate(v.config),
                                    occupancy(v.config), a);
@@ -454,6 +523,14 @@ search_result adaptation_search::find(const configuration& current,
             add_terminal(static_cast<std::size_t>(idx));
             at = static_cast<std::size_t>(idx);
             ++stats.generated;
+            obs_generated_.add();
+            // Seeded steps are charged like expansions; attribute their meter
+            // time to the child's depth (without counting an expansion) so
+            // the route's cost shows up in the profile.
+            if (profiling) {
+                note_depth(vertices[at].depth, 0.0,
+                           meter.elapsed() - seed_start);
+            }
         }
     }
 
@@ -470,8 +547,19 @@ search_result adaptation_search::find(const configuration& current,
         }
 
         ++stats.expansions;
+        obs_expansions_.add();
         const seconds now_elapsed = meter.elapsed();
         const seconds now_active = meter.active_seconds();
+        if (profiling) {
+            // Everything the meter charged since the previous expansion
+            // belongs to that expansion; open a span for this one.
+            if (prof_pending_depth >= 0) {
+                note_depth(prof_pending_depth, 1.0,
+                           now_elapsed - prof_span_start);
+            }
+            prof_pending_depth = v.depth;
+            prof_span_start = now_elapsed;
+        }
         ut += (now_elapsed - last_elapsed) * current_rate;
         upwr_t += (now_active - last_active) * search_cost_rate;
         uh -= (now_elapsed - last_elapsed) * uh_rate;
@@ -539,6 +627,7 @@ search_result adaptation_search::find(const configuration& current,
             }
         }
         stats.generated += children.size();
+        obs_generated_.add(static_cast<std::int64_t>(children.size()));
 
         if (prune_mode && !children.empty()) {
             stats.pruned = true;

@@ -38,6 +38,11 @@
 #include "core/search_meter.h"
 #include "core/utility.h"
 #include "cost/table.h"
+#include "obs/metrics.h"
+
+namespace mistral::obs {
+class sink;
+}
 
 namespace mistral::core {
 
@@ -83,6 +88,13 @@ struct search_options {
     // in-scope hosts, and only power-cycles in-scope hosts (Section II-C's
     // first-level controllers manage "a small number of machines").
     std::vector<bool> host_scope;
+    // Observability hook (obs/journal.h): when journaling, every find() emits
+    // one "search" profile event (obs/profile.h) — per-depth expansion counts
+    // and meter time, memo hit rate, budget/pruning state — and the search
+    // registers hot-path counters in the sink's metrics registry. nullptr
+    // (the default null sink) keeps the search byte-identical to an
+    // uninstrumented build.
+    obs::sink* sink = nullptr;
 };
 
 struct search_stats {
@@ -125,11 +137,14 @@ public:
     // over the control window `cw`. `expected_utility` is the self-aware
     // budget UH ($ over the window; pass the lowest recently achieved
     // utility, scaled to the window). The meter is begun, charged per
-    // expansion, and read for the self-cost accounting.
+    // expansion, and read for the self-cost accounting. `now` is the
+    // simulation timestamp stamped onto the journal's "search" event; it has
+    // no effect on the decision.
     [[nodiscard]] search_result find(const cluster::configuration& current,
                                      const std::vector<req_per_sec>& rates,
                                      seconds cw, dollars expected_utility,
-                                     search_meter& meter) const;
+                                     search_meter& meter,
+                                     seconds now = 0.0) const;
 
 private:
     const cluster::cluster_model* model_;
@@ -138,6 +153,10 @@ private:
     search_options options_;
     std::shared_ptr<utility_evaluator> evaluator_;
     perf_pwr_optimizer perf_pwr_;
+    // Disabled one-branch no-ops unless options_.sink carries a registry.
+    obs::counter obs_expansions_;
+    obs::counter obs_generated_;
+    obs::histogram obs_duration_;
 };
 
 }  // namespace mistral::core

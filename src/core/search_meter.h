@@ -54,6 +54,10 @@ public:
     // Extra power one busy worker draws while searching. The paper's
     // Fig. 10a measures up to 12 % over a 60 W idle host ≈ 7 W.
     [[nodiscard]] virtual watts search_power() const = 0;
+    // Which time model produced the numbers — the search profiler records it
+    // so a journal reader knows whether durations are reproducible
+    // ("model_clock") or wall time ("wall_clock").
+    [[nodiscard]] virtual const char* kind() const { return "custom"; }
 };
 
 class wall_clock_meter final : public search_meter {
@@ -65,6 +69,7 @@ public:
     [[nodiscard]] seconds elapsed() const override;
     [[nodiscard]] seconds active_seconds() const override;
     [[nodiscard]] watts search_power() const override { return power_; }
+    [[nodiscard]] const char* kind() const override { return "wall_clock"; }
 
 private:
     watts power_;
@@ -89,8 +94,10 @@ public:
         return per_expansion_ * static_cast<double>(expansions_);
     }
     [[nodiscard]] watts search_power() const override { return power_; }
+    [[nodiscard]] const char* kind() const override { return "model_clock"; }
 
     [[nodiscard]] std::size_t expansions() const { return expansions_; }
+    [[nodiscard]] seconds per_expansion() const { return per_expansion_; }
 
 private:
     seconds per_expansion_;

@@ -1,0 +1,146 @@
+// Structured event journal: decision records, testbed/fault events, search
+// profiles, all behind one sink interface.
+//
+// Every instrumented component (controller, search, evaluator, testbed,
+// experiment harness) takes a non-owning `obs::sink*` that defaults to
+// nullptr — the null sink. Hook sites guard with `journaling(sink)` before
+// building an event, so with observability off a hook costs one branch and
+// default behavior/outputs stay byte-identical to a build without the
+// subsystem. The sink also hands out the metrics registry (metrics.h), so
+// one pointer wires both the journal and the metrics of a component.
+//
+// Events have a *stable schema* (see DESIGN.md §10): a `type` tag, a
+// timestamp `t` (simulation seconds), and typed fields emitted in a fixed
+// order per type. `jsonl_sink` serializes each event as one JSON line via
+// the shared round-trip number formatter, so a journal can be parsed back
+// (json.h) and reconciled against the run's final accounting — the
+// round-trip is tested field-for-field and string-for-string.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mistral::obs {
+
+// One journal entry. Fields keep their insertion order; the builder methods
+// return *this so hook sites read as one expression.
+struct event {
+    enum class field_kind { number, integer, boolean, text, number_list, text_list };
+
+    struct field {
+        std::string key;
+        field_kind kind = field_kind::number;
+        double num = 0.0;
+        std::int64_t integer = 0;
+        bool boolean = false;
+        std::string text;
+        std::vector<double> numbers;
+        std::vector<std::string> texts;
+    };
+
+    std::string type;
+    double time = 0.0;
+    std::vector<field> fields;
+
+    event(std::string type_tag, double t) : type(std::move(type_tag)), time(t) {}
+
+    event& num(std::string_view key, double v);
+    event& integer(std::string_view key, std::int64_t v);
+    event& boolean(std::string_view key, bool v);
+    event& text(std::string_view key, std::string v);
+    event& num_list(std::string_view key, std::vector<double> v);
+    event& text_list(std::string_view key, std::vector<std::string> v);
+
+    [[nodiscard]] const field* find(std::string_view key) const;
+};
+
+// One event as a single JSON line (no trailing newline): `{"type":...,"t":...,
+// <fields in order>}`.
+[[nodiscard]] std::string to_json_line(const event& e);
+
+// The hook interface. `enabled()` gates journal emission; `metrics()` is the
+// registry hooks register their handles in (nullptr = metrics off).
+class sink {
+public:
+    virtual ~sink() = default;
+
+    [[nodiscard]] virtual bool enabled() const = 0;
+    virtual void record(const event& e) = 0;
+    [[nodiscard]] virtual metrics_registry* metrics() { return nullptr; }
+};
+
+// Should this hook build and record an event? The one-branch disabled path.
+[[nodiscard]] inline bool journaling(const sink* s) {
+    return s != nullptr && s->enabled();
+}
+
+// Registry reachable through an optional sink (nullptr when either is off).
+[[nodiscard]] inline metrics_registry* metrics_of(sink* s) {
+    return s != nullptr ? s->metrics() : nullptr;
+}
+
+// Explicit do-nothing sink, for callers that want a non-null default object.
+class null_sink final : public sink {
+public:
+    [[nodiscard]] bool enabled() const override { return false; }
+    void record(const event&) override {}
+};
+
+// Writes one JSON line per event to a caller-owned stream.
+class jsonl_sink : public sink {
+public:
+    explicit jsonl_sink(std::ostream& out, metrics_registry* metrics = nullptr)
+        : out_(&out), metrics_(metrics) {}
+
+    [[nodiscard]] bool enabled() const override { return true; }
+    void record(const event& e) override { *out_ << to_json_line(e) << '\n'; }
+    [[nodiscard]] metrics_registry* metrics() override { return metrics_; }
+
+private:
+    std::ostream* out_;
+    metrics_registry* metrics_;
+};
+
+// jsonl_sink that owns the file it writes.
+class jsonl_file_sink final : public sink {
+public:
+    explicit jsonl_file_sink(const std::string& path,
+                             metrics_registry* metrics = nullptr);
+
+    [[nodiscard]] bool enabled() const override { return true; }
+    void record(const event& e) override { out_ << to_json_line(e) << '\n'; }
+    [[nodiscard]] metrics_registry* metrics() override { return metrics_; }
+    void flush() { out_.flush(); }
+
+private:
+    std::ofstream out_;
+    metrics_registry* metrics_;
+};
+
+// Retains every event in memory (tests, in-process reconciliation).
+class memory_sink final : public sink {
+public:
+    explicit memory_sink(metrics_registry* metrics = nullptr)
+        : metrics_(metrics) {}
+
+    [[nodiscard]] bool enabled() const override { return true; }
+    void record(const event& e) override { events_.push_back(e); }
+    [[nodiscard]] metrics_registry* metrics() override { return metrics_; }
+
+    [[nodiscard]] const std::vector<event>& events() const { return events_; }
+    [[nodiscard]] std::size_t count(std::string_view type) const;
+    void clear() { events_.clear(); }
+
+private:
+    std::vector<event> events_;
+    metrics_registry* metrics_;
+};
+
+}  // namespace mistral::obs

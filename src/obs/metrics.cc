@@ -1,0 +1,172 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace mistral::obs {
+
+namespace detail {
+
+std::size_t histogram_cells::bucket_index(double v) const {
+    if (v != v) return bounds.size();  // NaN → overflow
+    const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+    return static_cast<std::size_t>(it - bounds.begin());
+}
+
+}  // namespace detail
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+    if (name.empty()) return false;
+    auto head = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+               c == ':';
+    };
+    if (!head(name[0])) return false;
+    for (const char c : name.substr(1)) {
+        if (!head(c) && !(c >= '0' && c <= '9')) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+std::int64_t histogram::count() const {
+    if (!cells_) return 0;
+    std::int64_t total = 0;
+    for (const auto& c : cells_->counts) {
+        total += c.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+double histogram::sum() const {
+    return cells_ ? cells_->sum.load(std::memory_order_relaxed) : 0.0;
+}
+
+std::int64_t histogram::bucket_count(std::size_t i) const {
+    if (!cells_ || i >= cells_->counts.size()) return 0;
+    return cells_->counts[i].load(std::memory_order_relaxed);
+}
+
+metrics_registry::row* metrics_registry::find_or_insert(kind k,
+                                                        std::string_view name,
+                                                        std::string_view help) {
+    MISTRAL_CHECK_MSG(valid_metric_name(name),
+                      "invalid metric name '" << name << "'");
+    const auto it = index_.find(std::string(name));
+    if (it != index_.end()) {
+        MISTRAL_CHECK_MSG(it->second->k == k,
+                          "metric '" << name << "' re-registered as a different kind");
+        return it->second;
+    }
+    rows_.emplace_back();
+    row& r = rows_.back();
+    r.k = k;
+    r.name = std::string(name);
+    r.help = std::string(help);
+    index_.emplace(r.name, &r);
+    return &r;
+}
+
+counter metrics_registry::register_counter(std::string_view name,
+                                           std::string_view help) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counter(&find_or_insert(kind::counter, name, help)->count);
+}
+
+gauge metrics_registry::register_gauge(std::string_view name,
+                                       std::string_view help) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return gauge(&find_or_insert(kind::gauge, name, help)->level);
+}
+
+histogram metrics_registry::register_histogram(std::string_view name,
+                                               std::vector<double> bounds,
+                                               std::string_view help) {
+    MISTRAL_CHECK_MSG(!bounds.empty(), "histogram '" << name << "' needs bounds");
+    for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+        MISTRAL_CHECK_MSG(bounds[i] < bounds[i + 1],
+                          "histogram '" << name
+                                        << "' bounds must be strictly increasing");
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    row* r = find_or_insert(kind::histogram, name, help);
+    if (r->cells.counts.empty()) {
+        r->cells.bounds = std::move(bounds);
+        for (std::size_t i = 0; i <= r->cells.bounds.size(); ++i) {
+            r->cells.counts.emplace_back(0);
+        }
+    } else {
+        MISTRAL_CHECK_MSG(r->cells.bounds == bounds,
+                          "histogram '" << name
+                                        << "' re-registered with different bounds");
+    }
+    return histogram(&r->cells);
+}
+
+std::int64_t metrics_registry::counter_value(std::string_view name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(std::string(name));
+    if (it == index_.end() || it->second->k != kind::counter) return 0;
+    return it->second->count.load(std::memory_order_relaxed);
+}
+
+double metrics_registry::gauge_value(std::string_view name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(std::string(name));
+    if (it == index_.end() || it->second->k != kind::gauge) return 0.0;
+    return it->second->level.load(std::memory_order_relaxed);
+}
+
+std::size_t metrics_registry::size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return rows_.size();
+}
+
+void metrics_registry::write_prometheus(std::ostream& out) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& r : rows_) {
+        if (!r.help.empty()) {
+            out << "# HELP " << r.name << ' ' << r.help << '\n';
+        }
+        switch (r.k) {
+            case kind::counter:
+                out << "# TYPE " << r.name << " counter\n"
+                    << r.name << ' '
+                    << r.count.load(std::memory_order_relaxed) << '\n';
+                break;
+            case kind::gauge:
+                out << "# TYPE " << r.name << " gauge\n"
+                    << r.name << ' '
+                    << format_number(r.level.load(std::memory_order_relaxed))
+                    << '\n';
+                break;
+            case kind::histogram: {
+                out << "# TYPE " << r.name << " histogram\n";
+                std::int64_t cumulative = 0;
+                for (std::size_t i = 0; i < r.cells.bounds.size(); ++i) {
+                    cumulative +=
+                        r.cells.counts[i].load(std::memory_order_relaxed);
+                    out << r.name << "_bucket{le=\""
+                        << format_number(r.cells.bounds[i]) << "\"} "
+                        << cumulative << '\n';
+                }
+                cumulative += r.cells.counts[r.cells.bounds.size()].load(
+                    std::memory_order_relaxed);
+                out << r.name << "_bucket{le=\"+Inf\"} " << cumulative << '\n'
+                    << r.name << "_sum "
+                    << format_number(
+                           r.cells.sum.load(std::memory_order_relaxed))
+                    << '\n'
+                    << r.name << "_count " << cumulative << '\n';
+                break;
+            }
+        }
+    }
+}
+
+}  // namespace mistral::obs

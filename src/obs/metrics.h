@@ -1,0 +1,157 @@
+// Metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// The controller's hot paths (A* expansions, LQN solves) cannot afford a
+// mutex or an allocation per sample, and with observability off they must
+// cost nothing at all. The registry therefore splits the lifecycle:
+//
+//  * registration (cold) — name → handle, under a mutex, once per component
+//    construction. Handles are small value types pointing at registry-owned
+//    atomic cells whose addresses are stable for the registry's lifetime.
+//  * recording (hot)     — one relaxed atomic add through the handle. A
+//    default-constructed handle is *disabled*: recording through it is a
+//    single branch on a null pointer — no lock, no allocation, no virtual
+//    call — which is the cost every hook pays when observability is off
+//    (bench/micro_obs.cc measures both paths).
+//
+// Histograms use fixed bucket bounds chosen at registration (Prometheus `le`
+// semantics: bucket i counts samples ≤ bounds[i], plus a +Inf overflow), so
+// observing is bound lookup + two atomic adds, still allocation-free.
+//
+// `write_prometheus` dumps the whole registry in the Prometheus text
+// exposition format, in registration order, using the shared round-trip
+// number formatter (json.h) so dumps are stable across runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mistral::obs {
+
+class metrics_registry;
+
+// Monotonic counter. Default-constructed handles are disabled no-ops.
+class counter {
+public:
+    counter() = default;
+
+    void add(std::int64_t n = 1) const {
+        if (cell_) cell_->fetch_add(n, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t value() const {
+        return cell_ ? cell_->load(std::memory_order_relaxed) : 0;
+    }
+    [[nodiscard]] bool live() const { return cell_ != nullptr; }
+
+private:
+    friend class metrics_registry;
+    explicit counter(std::atomic<std::int64_t>* cell) : cell_(cell) {}
+    std::atomic<std::int64_t>* cell_ = nullptr;
+};
+
+// Last-write-wins instantaneous value.
+class gauge {
+public:
+    gauge() = default;
+
+    void set(double v) const {
+        if (cell_) cell_->store(v, std::memory_order_relaxed);
+    }
+    [[nodiscard]] double value() const {
+        return cell_ ? cell_->load(std::memory_order_relaxed) : 0.0;
+    }
+    [[nodiscard]] bool live() const { return cell_ != nullptr; }
+
+private:
+    friend class metrics_registry;
+    explicit gauge(std::atomic<double>* cell) : cell_(cell) {}
+    std::atomic<double>* cell_ = nullptr;
+};
+
+namespace detail {
+struct histogram_cells {
+    std::vector<double> bounds;  // strictly increasing upper bounds (`le`)
+    // bounds.size() + 1 cells; the last is the +Inf overflow bucket.
+    std::deque<std::atomic<std::int64_t>> counts;
+    std::atomic<double> sum{0.0};
+
+    [[nodiscard]] std::size_t bucket_index(double v) const;
+};
+}  // namespace detail
+
+// Fixed-bucket histogram. A sample lands in the first bucket whose upper
+// bound is ≥ the value (so a sample exactly on a bound belongs to that
+// bound's bucket); larger samples land in the +Inf overflow. NaN samples
+// count in the overflow bucket and are excluded from the sum.
+class histogram {
+public:
+    histogram() = default;
+
+    void observe(double v) const {
+        if (!cells_) return;
+        cells_->counts[cells_->bucket_index(v)].fetch_add(
+            1, std::memory_order_relaxed);
+        if (v == v) cells_->sum.fetch_add(v, std::memory_order_relaxed);
+    }
+    [[nodiscard]] bool live() const { return cells_ != nullptr; }
+    [[nodiscard]] std::int64_t count() const;
+    [[nodiscard]] double sum() const;
+    // Non-cumulative count of bucket i (i == bounds.size() is the overflow).
+    [[nodiscard]] std::int64_t bucket_count(std::size_t i) const;
+
+private:
+    friend class metrics_registry;
+    explicit histogram(detail::histogram_cells* cells) : cells_(cells) {}
+    detail::histogram_cells* cells_ = nullptr;
+};
+
+// The registry. Thread-safe; registration is idempotent — re-registering a
+// name returns the existing handle (the kind, and for histograms the bounds,
+// must match, or registration throws invariant_error). Names must match the
+// Prometheus charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+class metrics_registry {
+public:
+    metrics_registry() = default;
+    metrics_registry(const metrics_registry&) = delete;
+    metrics_registry& operator=(const metrics_registry&) = delete;
+
+    counter register_counter(std::string_view name, std::string_view help = "");
+    gauge register_gauge(std::string_view name, std::string_view help = "");
+    histogram register_histogram(std::string_view name,
+                                 std::vector<double> bounds,
+                                 std::string_view help = "");
+
+    // Current value by name (tests and summaries); 0 when unregistered.
+    [[nodiscard]] std::int64_t counter_value(std::string_view name) const;
+    [[nodiscard]] double gauge_value(std::string_view name) const;
+
+    // Prometheus text exposition format, in registration order.
+    void write_prometheus(std::ostream& out) const;
+
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    enum class kind { counter, gauge, histogram };
+    struct row {
+        kind k = kind::counter;
+        std::string name;
+        std::string help;
+        std::atomic<std::int64_t> count{0};   // counter
+        std::atomic<double> level{0.0};       // gauge
+        detail::histogram_cells cells;        // histogram
+    };
+
+    mutable std::mutex mutex_;
+    std::deque<row> rows_;  // deque: row addresses are stable
+    std::unordered_map<std::string, row*> index_;
+
+    row* find_or_insert(kind k, std::string_view name, std::string_view help);
+};
+
+}  // namespace mistral::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/journal.h"
 #include "sim/perturb.h"
 
 namespace mistral::sim {
@@ -23,6 +24,22 @@ testbed::testbed(const cluster::cluster_model& model, cluster::configuration ini
         MISTRAL_CHECK_MSG(ev.host >= 0 &&
                               static_cast<std::size_t>(ev.host) < model.host_count(),
                           "crash event host " << ev.host << " out of range");
+    }
+    if (auto* reg = obs::metrics_of(options_.sink)) {
+        obs_started_ = reg->register_counter(
+            "mistral_testbed_actions_started_total",
+            "Adaptation actions the executor began running");
+        obs_completed_ = reg->register_counter(
+            "mistral_testbed_actions_completed_total",
+            "Adaptation actions that took effect");
+        obs_failed_ = reg->register_counter(
+            "mistral_testbed_actions_failed_total",
+            "Adaptation actions aborted (injected, chain break, or crash)");
+        obs_crashes_ = reg->register_counter("mistral_testbed_host_crashes_total",
+                                             "Host crash events delivered");
+        obs_recoveries_ = reg->register_counter(
+            "mistral_testbed_host_recoveries_total",
+            "Host recovery events delivered");
     }
 }
 
@@ -109,6 +126,11 @@ bool testbed::deliver_fault_events(seconds local, observation& out,
         }
         config_.set_host_failed(host, true);
         out.hosts_failed.push_back(ev.host);
+        obs_crashes_.add();
+        if (obs::journaling(options_.sink)) {
+            options_.sink->record(
+                obs::event("host_crash", local).integer("host", ev.host));
+        }
         changed = true;
         // An executing action the crash has invalidated aborts on the spot;
         // the time it already burnt this window was adaptation for nothing.
@@ -116,6 +138,15 @@ bool testbed::deliver_fault_events(seconds local, observation& out,
             !cluster::applicable(*nominal_, config_, *in_flight_->act)) {
             out.failed.push_back(*in_flight_->act);
             wasted += in_flight_->window_elapsed;
+            obs_failed_.add();
+            if (obs::journaling(options_.sink)) {
+                options_.sink->record(
+                    obs::event("action_fail", local)
+                        .text("action",
+                              cluster::to_string(*nominal_, *in_flight_->act))
+                        .text("reason", "host_crash")
+                        .num("burnt", in_flight_->window_elapsed));
+            }
             in_flight_.reset();
         }
     }
@@ -124,6 +155,11 @@ bool testbed::deliver_fault_events(seconds local, observation& out,
         if (!config_.host_failed(host)) continue;
         config_.set_host_failed(host, false);  // stays powered off
         out.hosts_recovered.push_back(h);
+        obs_recoveries_.add();
+        if (obs::journaling(options_.sink)) {
+            options_.sink->record(
+                obs::event("host_recover", local).integer("host", h));
+        }
         changed = true;
     }
     return changed;
@@ -157,6 +193,14 @@ observation testbed::advance(seconds dt, const std::vector<req_per_sec>& rates) 
                 // A fault broke the chain this action assumed (a failed
                 // predecessor or a crashed host); it aborts immediately.
                 out.failed.push_back(*item.act);
+                obs_failed_.add();
+                if (obs::journaling(options_.sink)) {
+                    options_.sink->record(
+                        obs::event("action_fail", local)
+                            .text("action", cluster::to_string(*nominal_, *item.act))
+                            .text("reason", "inapplicable")
+                            .num("burnt", 0.0));
+                }
                 continue;
             }
             in_flight lane;
@@ -173,6 +217,14 @@ observation testbed::advance(seconds dt, const std::vector<req_per_sec>& rates) 
                     lane.remaining *= options_.faults.failure_duration_fraction;
                 } else {
                     lane.remaining *= verdict.duration_multiplier;
+                }
+                obs_started_.add();
+                if (obs::journaling(options_.sink)) {
+                    options_.sink->record(
+                        obs::event("action_start", local)
+                            .text("action", cluster::to_string(*nominal_, *item.act))
+                            .num("duration", lane.remaining)
+                            .boolean("doomed", lane.doomed));
                 }
             } else {
                 lane.transient.delta_rt.assign(nominal_->app_count(), 0.0);
@@ -210,11 +262,28 @@ observation testbed::advance(seconds dt, const std::vector<req_per_sec>& rates) 
             in_flight_->remaining -= step;
             if (in_flight_->remaining <= 1e-12) {
                 if (in_flight_->act) {
+                    const seconds at = now_ + (dt - remaining_window);
                     if (in_flight_->doomed) {
                         out.failed.push_back(*in_flight_->act);
+                        obs_failed_.add();
+                        if (obs::journaling(options_.sink)) {
+                            options_.sink->record(
+                                obs::event("action_fail", at)
+                                    .text("action", cluster::to_string(
+                                                        *nominal_, *in_flight_->act))
+                                    .text("reason", "injected")
+                                    .num("burnt", in_flight_->window_elapsed));
+                        }
                     } else {
                         config_ = cluster::apply(*nominal_, config_, *in_flight_->act);
                         out.completed.push_back(*in_flight_->act);
+                        obs_completed_.add();
+                        if (obs::journaling(options_.sink)) {
+                            options_.sink->record(
+                                obs::event("action_finish", at)
+                                    .text("action", cluster::to_string(
+                                                        *nominal_, *in_flight_->act)));
+                        }
                         invalidate_steady();
                     }
                 }

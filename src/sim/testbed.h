@@ -22,8 +22,13 @@
 #include "cluster/translate.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 #include "sim/faults.h"
 #include "sim/transients.h"
+
+namespace mistral::obs {
+class sink;
+}
 
 namespace mistral::sim {
 
@@ -49,6 +54,11 @@ struct testbed_options {
     // Response time reported for an application a host crash has left with an
     // undeployed tier (its requests time out rather than queue).
     seconds outage_response_time = 10.0;
+    // Observability hook (obs/journal.h): when journaling, the executor emits
+    // action_start / action_finish / action_fail and host_crash /
+    // host_recover events at their simulation instants. nullptr (the
+    // default) keeps execution byte-identical to an uninstrumented build.
+    obs::sink* sink = nullptr;
 };
 
 // One observation window's measurements.
@@ -137,6 +147,13 @@ private:
     };
     std::optional<in_flight> in_flight_;
     std::deque<queued_item> queue_;
+
+    // Disabled one-branch no-ops unless options_.sink carries a registry.
+    obs::counter obs_started_;
+    obs::counter obs_completed_;
+    obs::counter obs_failed_;
+    obs::counter obs_crashes_;
+    obs::counter obs_recoveries_;
 
     // Crash/recovery delivery at local time `local`; returns true if the
     // configuration changed. Time already burnt this window by an executing

@@ -1,0 +1,161 @@
+#include "obs/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace mistral::obs {
+namespace {
+
+TEST(Json, FormatNumberRoundTrips) {
+    const double values[] = {0.0,   1.0,    -1.0,       0.1,  1.0 / 3.0,
+                             1e300, 1e-300, 1234.56789, -0.25};
+    for (const double v : values) {
+        const std::string s = format_number(v);
+        EXPECT_EQ(json::value::parse(s).as_number(), v) << s;
+    }
+    EXPECT_EQ(format_number(5.0), "5");
+    EXPECT_EQ(format_number(0.25), "0.25");
+}
+
+TEST(Json, NonFiniteNumbersEmitQuotedMarkers) {
+    EXPECT_EQ(format_number(std::numeric_limits<double>::quiet_NaN()),
+              "\"nan\"");
+    EXPECT_EQ(format_number(std::numeric_limits<double>::infinity()),
+              "\"inf\"");
+    EXPECT_EQ(format_number(-std::numeric_limits<double>::infinity()),
+              "\"-inf\"");
+    // They stay parseable — as strings, since JSON has no non-finite numbers.
+    EXPECT_EQ(json::value::parse("\"nan\"").as_text(), "nan");
+}
+
+TEST(Json, QuoteEscapes) {
+    EXPECT_EQ(quote("plain"), "\"plain\"");
+    EXPECT_EQ(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    EXPECT_EQ(quote("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+    EXPECT_EQ(json::value::parse(quote("a\"b\\c\n")).as_text(), "a\"b\\c\n");
+}
+
+TEST(Json, ParserCoversJournalSubset) {
+    const auto v = json::value::parse(
+        R"({"type":"x","t":1.5,"n":null,"b":true,"list":[1,2.5,-3],"s":"hi","o":{"k":"v"}})");
+    EXPECT_EQ(v.find("type")->as_text(), "x");
+    EXPECT_EQ(v.find("t")->as_number(), 1.5);
+    EXPECT_TRUE(v.find("n")->is_null());
+    EXPECT_TRUE(v.find("b")->as_bool());
+    const auto& list = v.find("list")->items();
+    ASSERT_EQ(list.size(), 3u);
+    EXPECT_EQ(list[1].as_number(), 2.5);
+    EXPECT_EQ(list[2].as_number(), -3.0);
+    EXPECT_EQ(v.find("o")->find("k")->as_text(), "v");
+    EXPECT_EQ(v.find("absent"), nullptr);
+    // Member order is preserved, so dump() is the identity on parsed text.
+    EXPECT_EQ(v.members().front().first, "type");
+}
+
+TEST(Json, MalformedInputThrows) {
+    EXPECT_THROW(json::value::parse(""), invariant_error);
+    EXPECT_THROW(json::value::parse("{"), invariant_error);
+    EXPECT_THROW(json::value::parse("{\"a\":1,}"), invariant_error);
+    EXPECT_THROW(json::value::parse("[1 2]"), invariant_error);
+    EXPECT_THROW(json::value::parse("tru"), invariant_error);
+    EXPECT_THROW(json::value::parse("{} trailing"), invariant_error);
+}
+
+// The tentpole round-trip contract: emit → parse → compare field-for-field,
+// and re-dumping the parsed value reproduces the emitted line byte-for-byte.
+TEST(Journal, EventRoundTripsThroughJsonl) {
+    event e("decision", 321.0625);
+    e.text("trigger", "band")
+        .boolean("invoked", true)
+        .boolean("pruned", false)
+        .num("cw", 300.5)
+        .num("expected_utility", -12.25)
+        .integer("expansions", 842)
+        .num_list("depth_time", {0.0, 0.125, 2.5})
+        .text_list("actions", {"migrate vm1 -> host2", "power_off \"h3\""});
+
+    const std::string line = to_json_line(e);
+    const auto v = json::value::parse(line);
+
+    EXPECT_EQ(v.find("type")->as_text(), "decision");
+    EXPECT_EQ(v.find("t")->as_number(), 321.0625);
+    EXPECT_EQ(v.find("trigger")->as_text(), "band");
+    EXPECT_TRUE(v.find("invoked")->as_bool());
+    EXPECT_FALSE(v.find("pruned")->as_bool());
+    EXPECT_EQ(v.find("cw")->as_number(), 300.5);
+    EXPECT_EQ(v.find("expected_utility")->as_number(), -12.25);
+    EXPECT_EQ(v.find("expansions")->as_number(), 842.0);
+    const auto& depth = v.find("depth_time")->items();
+    ASSERT_EQ(depth.size(), 3u);
+    EXPECT_EQ(depth[0].as_number(), 0.0);
+    EXPECT_EQ(depth[1].as_number(), 0.125);
+    EXPECT_EQ(depth[2].as_number(), 2.5);
+    const auto& acts = v.find("actions")->items();
+    ASSERT_EQ(acts.size(), 2u);
+    EXPECT_EQ(acts[0].as_text(), "migrate vm1 -> host2");
+    EXPECT_EQ(acts[1].as_text(), "power_off \"h3\"");
+
+    // String identity: parse ∘ dump is the identity on journal lines.
+    EXPECT_EQ(v.dump(), line);
+}
+
+TEST(Journal, EventFindReturnsTypedFields) {
+    event e("x", 0.0);
+    e.num("a", 1.5).integer("b", 7);
+    ASSERT_NE(e.find("a"), nullptr);
+    EXPECT_EQ(e.find("a")->num, 1.5);
+    EXPECT_EQ(e.find("b")->integer, 7);
+    EXPECT_EQ(e.find("zzz"), nullptr);
+}
+
+TEST(Journal, NullSinkAndGuards) {
+    null_sink off;
+    EXPECT_FALSE(off.enabled());
+    EXPECT_EQ(off.metrics(), nullptr);
+    EXPECT_FALSE(journaling(nullptr));
+    EXPECT_FALSE(journaling(&off));
+    EXPECT_EQ(metrics_of(nullptr), nullptr);
+    EXPECT_EQ(metrics_of(&off), nullptr);
+
+    memory_sink on;
+    EXPECT_TRUE(journaling(&on));
+    metrics_registry reg;
+    memory_sink with_metrics(&reg);
+    EXPECT_EQ(metrics_of(&with_metrics), &reg);
+}
+
+TEST(Journal, JsonlSinkWritesOneLinePerEvent) {
+    std::ostringstream out;
+    jsonl_sink sink(out);
+    sink.record(event("a", 1.0));
+    event b("b", 2.0);
+    b.integer("n", 3);
+    sink.record(b);
+    EXPECT_EQ(out.str(),
+              "{\"type\":\"a\",\"t\":1}\n"
+              "{\"type\":\"b\",\"t\":2,\"n\":3}\n");
+}
+
+TEST(Journal, MemorySinkRetainsAndCounts) {
+    memory_sink sink;
+    sink.record(event("a", 1.0));
+    sink.record(event("b", 2.0));
+    sink.record(event("a", 3.0));
+    EXPECT_EQ(sink.events().size(), 3u);
+    EXPECT_EQ(sink.count("a"), 2u);
+    EXPECT_EQ(sink.count("b"), 1u);
+    EXPECT_EQ(sink.count("c"), 0u);
+    sink.clear();
+    EXPECT_EQ(sink.events().size(), 0u);
+}
+
+}  // namespace
+}  // namespace mistral::obs

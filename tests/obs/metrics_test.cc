@@ -1,0 +1,171 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mistral::obs {
+namespace {
+
+TEST(Metrics, DisabledHandlesAreNoOps) {
+    const counter c;
+    const gauge g;
+    const histogram h;
+    EXPECT_FALSE(c.live());
+    EXPECT_FALSE(g.live());
+    EXPECT_FALSE(h.live());
+    c.add();
+    c.add(100);
+    g.set(3.5);
+    h.observe(1.0);
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_EQ(g.value(), 0.0);
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.bucket_count(0), 0);
+}
+
+TEST(Metrics, CounterAndGaugeRecord) {
+    metrics_registry reg;
+    const counter c = reg.register_counter("requests_total");
+    const gauge g = reg.register_gauge("queue_depth");
+    EXPECT_TRUE(c.live());
+    c.add();
+    c.add(4);
+    g.set(2.0);
+    g.set(7.5);  // last write wins
+    EXPECT_EQ(c.value(), 5);
+    EXPECT_EQ(g.value(), 7.5);
+    EXPECT_EQ(reg.counter_value("requests_total"), 5);
+    EXPECT_EQ(reg.gauge_value("queue_depth"), 7.5);
+    // Lookups of absent or wrong-kind names read 0, not throw.
+    EXPECT_EQ(reg.counter_value("absent"), 0);
+    EXPECT_EQ(reg.counter_value("queue_depth"), 0);
+    EXPECT_EQ(reg.gauge_value("requests_total"), 0.0);
+}
+
+TEST(Metrics, RegistrationIsIdempotentByName) {
+    metrics_registry reg;
+    const counter a = reg.register_counter("shared_total");
+    const counter b = reg.register_counter("shared_total");
+    a.add(2);
+    b.add(3);
+    EXPECT_EQ(a.value(), 5);  // both handles hit the same cell
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, KindAndBoundsMismatchesThrow) {
+    metrics_registry reg;
+    reg.register_counter("taken");
+    EXPECT_THROW(reg.register_gauge("taken"), invariant_error);
+    EXPECT_THROW(reg.register_histogram("taken", {1.0}), invariant_error);
+    reg.register_histogram("lat", {1.0, 2.0});
+    EXPECT_THROW(reg.register_histogram("lat", {1.0, 3.0}), invariant_error);
+    const histogram again = reg.register_histogram("lat", {1.0, 2.0});
+    EXPECT_TRUE(again.live());
+}
+
+TEST(Metrics, NameValidation) {
+    metrics_registry reg;
+    EXPECT_THROW(reg.register_counter(""), invariant_error);
+    EXPECT_THROW(reg.register_counter("has space"), invariant_error);
+    EXPECT_THROW(reg.register_counter("0leading"), invariant_error);
+    EXPECT_THROW(reg.register_counter("dash-ed"), invariant_error);
+    EXPECT_TRUE(reg.register_counter("_ok:name_1").live());
+}
+
+TEST(Metrics, HistogramBadBoundsThrow) {
+    metrics_registry reg;
+    EXPECT_THROW(reg.register_histogram("h", {}), invariant_error);
+    EXPECT_THROW(reg.register_histogram("h", {1.0, 1.0}), invariant_error);
+    EXPECT_THROW(reg.register_histogram("h", {2.0, 1.0}), invariant_error);
+}
+
+TEST(Metrics, HistogramBucketBoundaryEdges) {
+    metrics_registry reg;
+    const histogram h = reg.register_histogram("lat_seconds", {1.0, 2.0, 5.0});
+
+    h.observe(0.5);   // below first bound → bucket 0
+    h.observe(-3.0);  // negative → still bucket 0 (le="1")
+    h.observe(1.0);   // exactly on a bound → that bound's bucket
+    h.observe(1.0000001);  // just above → next bucket
+    h.observe(2.0);   // on the middle bound
+    h.observe(5.0);   // on the last bound
+    h.observe(5.0001);  // past the last bound → +Inf overflow
+    EXPECT_EQ(h.bucket_count(0), 3);  // 0.5, -3, 1.0
+    EXPECT_EQ(h.bucket_count(1), 2);  // 1.0000001, 2.0
+    EXPECT_EQ(h.bucket_count(2), 1);  // 5.0
+    EXPECT_EQ(h.bucket_count(3), 1);  // 5.0001
+    EXPECT_EQ(h.count(), 7);
+    EXPECT_NEAR(h.sum(), 0.5 - 3.0 + 1.0 + 1.0000001 + 2.0 + 5.0 + 5.0001, 1e-12);
+    EXPECT_EQ(h.bucket_count(4), 0);  // out of range reads 0
+}
+
+TEST(Metrics, HistogramNanGoesToOverflowAndSkipsSum) {
+    metrics_registry reg;
+    const histogram h = reg.register_histogram("nan_seconds", {1.0});
+    h.observe(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.bucket_count(0), 0);
+    EXPECT_EQ(h.bucket_count(1), 1);  // overflow bucket
+    EXPECT_EQ(h.count(), 1);
+    EXPECT_EQ(h.sum(), 0.0);  // NaN excluded so the sum stays meaningful
+}
+
+TEST(Metrics, ConcurrentAddsDoNotLoseSamples) {
+    metrics_registry reg;
+    const counter c = reg.register_counter("contended_total");
+    const histogram h = reg.register_histogram("contended_seconds", {0.5});
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i) {
+                c.add();
+                h.observe(0.25);
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+    EXPECT_EQ(h.count(), kThreads * kPerThread);
+    EXPECT_EQ(h.bucket_count(0), kThreads * kPerThread);
+}
+
+TEST(Metrics, PrometheusDumpFormat) {
+    metrics_registry reg;
+    const counter c = reg.register_counter("req_total", "requests served");
+    const gauge g = reg.register_gauge("depth");  // no help → no HELP line
+    const histogram h =
+        reg.register_histogram("lat_seconds", {0.25, 1.0}, "latency");
+    c.add(3);
+    g.set(1.5);
+    h.observe(0.25);
+    h.observe(0.5);
+    h.observe(9.0);
+
+    std::ostringstream out;
+    reg.write_prometheus(out);
+    EXPECT_EQ(out.str(),
+              "# HELP req_total requests served\n"
+              "# TYPE req_total counter\n"
+              "req_total 3\n"
+              "# TYPE depth gauge\n"
+              "depth 1.5\n"
+              "# HELP lat_seconds latency\n"
+              "# TYPE lat_seconds histogram\n"
+              "lat_seconds_bucket{le=\"0.25\"} 1\n"
+              "lat_seconds_bucket{le=\"1\"} 2\n"
+              "lat_seconds_bucket{le=\"+Inf\"} 3\n"
+              "lat_seconds_sum 9.75\n"
+              "lat_seconds_count 3\n");
+}
+
+}  // namespace
+}  // namespace mistral::obs
