@@ -1,25 +1,35 @@
 // Microbenchmark: one adaptation-search invocation.
 //
-// Two modes:
+// Three modes:
 //
-//  * Default: a threads ∈ {1,2,4,8} × cluster-size sweep of full self-aware
-//    decisions, written to BENCH_search.json. Per cell: measured wall-clock
-//    decision latency, the meter-modeled latency, and the eval cache hit
-//    rate. The meter prices decision *work* identically in every cell (the
-//    model-clock contract), so all cells of one size perform bit-identical
-//    decisions; the modeled latency then applies the meter's batched
-//    concurrency accounting — a charge of n evaluations on w workers
-//    occupies ⌈n/w⌉ wall slots — to that fixed work. The wall-clock column
-//    only reflects parallel execution when the host actually has cores to
-//    run the workers on (host_cpus is recorded alongside for that reason);
-//    the modeled column is hardware-independent and is what later PRs
-//    regress against.
+//  * Default: a delta-evaluation {on, off} × threads ∈ {1,2,4,8} ×
+//    cluster-size sweep of full self-aware decisions, written to
+//    BENCH_search.json. Per cell: measured wall-clock decision latency, the
+//    meter-modeled latency, the eval cache hit rate, the per-app sub-solve
+//    cache hit rate, and the LQN sub-solves actually paid per decision. The
+//    meter prices decision *work* identically in every cell (the model-clock
+//    contract), so all cells of one size perform bit-identical decisions —
+//    including across the delta on/off axis, which is the benchmark's A/B
+//    column: same decision, fewer sub-solves. The modeled latency applies
+//    the meter's batched concurrency accounting — a charge of n evaluations
+//    on w workers occupies ⌈n/w⌉ wall slots — to that fixed work. The
+//    wall-clock column only reflects parallel execution when the host
+//    actually has cores to run the workers on (host_cpus is recorded
+//    alongside for that reason); the modeled column is hardware-independent
+//    and is what later PRs regress against.
+//
+//  * --smoke: the CI gate. Runs the 8-host/4-app cell with delta evaluation
+//    on and off, fails if the chosen plans or utilities differ bit-wise, if
+//    the decision utility deviates from the committed golden value, or if
+//    delta evaluation does not cut LQN sub-solves by at least 2×. Perf
+//    numbers are printed but never gated (CI hardware varies).
 //
 //  * With any --benchmark* flag: the registered google-benchmark
 //    microbenchmarks run instead (e.g. --benchmark_filter=search).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -90,27 +100,34 @@ struct sweep_cell {
     std::size_t hosts = 0;
     std::size_t apps = 0;
     std::size_t threads = 0;
+    bool delta = true;
     double mean_ms = 0.0;     // measured wall clock
     double modeled_ms = 0.0;  // serial wall time × slots / charges
     double hit_rate = 0.0;
+    double app_hit_rate = 0.0;
+    std::size_t lqn_solves = 0;  // per-app sub-solves paid per decision
     std::size_t charges = 0;
     std::size_t slots = 0;
 };
 
-sweep_cell run_cell(std::size_t apps, std::size_t threads, int reps) {
+sweep_cell run_cell(std::size_t apps, std::size_t threads, bool delta, int reps) {
     auto scn = core::make_rubis_scenario(
         {.host_count = 2 * apps, .app_count = apps});
     core::search_options opts;
-    opts.evaluation.with_threads(threads);
+    opts.evaluation.with_threads(threads).with_delta_eval(delta);
     const core::adaptation_search search(scn.model, core::utility_model{},
                                          cost::cost_table::paper_defaults(),
                                          opts);
     std::vector<req_per_sec> rates(apps, 60.0);
 
-    sweep_cell cell{2 * apps, apps, threads, 0.0, 0.0, 0.0, 0, 0};
+    sweep_cell cell;
+    cell.hosts = 2 * apps;
+    cell.apps = apps;
+    cell.threads = threads;
+    cell.delta = delta;
     double total_ms = 0.0;
     for (int r = -1; r < reps; ++r) {  // rep −1 warms everything but the memo
-        search.evaluator().reset_memo();
+        search.evaluator().reset_memo();  // clears memo AND the app cache
         slot_meter meter;
         const auto t0 = std::chrono::steady_clock::now();
         const auto result = search.find(scn.initial, rates, 600.0, 0.0, meter);
@@ -118,7 +135,10 @@ sweep_cell run_cell(std::size_t apps, std::size_t threads, int reps) {
         benchmark::DoNotOptimize(result);
         if (r < 0) continue;
         total_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
-        cell.hit_rate = search.evaluator().stats().hit_rate();
+        const auto& es = search.evaluator().stats();
+        cell.hit_rate = es.hit_rate();
+        cell.app_hit_rate = es.app_hit_rate();
+        cell.lqn_solves = es.app_solves;
         cell.charges = meter.charges();
         cell.slots = meter.slots();
     }
@@ -130,22 +150,26 @@ int run_sweep(const char* path) {
     constexpr int kReps = 3;
     std::vector<sweep_cell> cells;
     for (const std::size_t apps : {2, 4}) {
-        double serial_ms = 0.0;
-        for (const std::size_t threads : {1, 2, 4, 8}) {
-            cells.push_back(run_cell(apps, threads, kReps));
-            auto& c = cells.back();
-            if (threads == 1) serial_ms = c.mean_ms;
-            // All cells of one size charge identical work; the modeled
-            // latency spreads the serial cell's measured time over this
-            // cell's wall slots.
-            c.modeled_ms = serial_ms * static_cast<double>(c.slots) /
-                           static_cast<double>(c.charges);
-            std::printf(
-                "hosts=%zu apps=%zu threads=%zu  wall %8.2f ms  modeled "
-                "%8.2f ms (x%.2f)  hit_rate=%.3f\n",
-                c.hosts, c.apps, c.threads, c.mean_ms, c.modeled_ms,
-                static_cast<double>(c.charges) / static_cast<double>(c.slots),
-                c.hit_rate);
+        for (const bool delta : {true, false}) {
+            double serial_ms = 0.0;
+            for (const std::size_t threads : {1, 2, 4, 8}) {
+                cells.push_back(run_cell(apps, threads, delta, kReps));
+                auto& c = cells.back();
+                if (threads == 1) serial_ms = c.mean_ms;
+                // All cells of one size charge identical work; the modeled
+                // latency spreads the serial cell's measured time over this
+                // cell's wall slots.
+                c.modeled_ms = serial_ms * static_cast<double>(c.slots) /
+                               static_cast<double>(c.charges);
+                std::printf(
+                    "hosts=%zu apps=%zu threads=%zu delta=%d  wall %8.2f ms  "
+                    "modeled %8.2f ms (x%.2f)  hit_rate=%.3f  "
+                    "app_hit_rate=%.3f  lqn_solves=%zu\n",
+                    c.hosts, c.apps, c.threads, c.delta ? 1 : 0, c.mean_ms,
+                    c.modeled_ms,
+                    static_cast<double>(c.charges) / static_cast<double>(c.slots),
+                    c.hit_rate, c.app_hit_rate, c.lqn_solves);
+            }
         }
     }
 
@@ -162,13 +186,16 @@ int run_sweep(const char* path) {
         const auto& c = cells[i];
         std::fprintf(f,
                      "    {\"hosts\": %zu, \"apps\": %zu, \"threads\": %zu, "
+                     "\"delta_eval\": %s, "
                      "\"mean_decision_ms\": %.3f, \"modeled_decision_ms\": %.3f, "
                      "\"modeled_speedup\": %.3f, \"eval_charges\": %zu, "
-                     "\"eval_slots\": %zu, \"cache_hit_rate\": %.4f}%s\n",
-                     c.hosts, c.apps, c.threads, c.mean_ms, c.modeled_ms,
+                     "\"eval_slots\": %zu, \"cache_hit_rate\": %.4f, "
+                     "\"app_cache_hit_rate\": %.4f, \"lqn_solves\": %zu}%s\n",
+                     c.hosts, c.apps, c.threads, c.delta ? "true" : "false",
+                     c.mean_ms, c.modeled_ms,
                      static_cast<double>(c.charges) / static_cast<double>(c.slots),
-                     c.charges, c.slots, c.hit_rate,
-                     i + 1 < cells.size() ? "," : "");
+                     c.charges, c.slots, c.hit_rate, c.app_hit_rate,
+                     c.lqn_solves, i + 1 < cells.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -176,11 +203,84 @@ int run_sweep(const char* path) {
     return 0;
 }
 
+// CI bench-smoke gate. Decision correctness is asserted bit-wise; timings
+// are printed for the log but never gated.
+int run_smoke() {
+    // Golden expected utility of the 8-host / 4-app / 60 req/s self-aware
+    // decision (deterministic; independent of threads and delta_eval). Update
+    // only when a PR deliberately changes decision semantics.
+    constexpr double kGoldenUtility = 20.293492001125777;
+    constexpr double kTolerance = 1e-9;  // relative
+
+    auto scn = core::make_rubis_scenario({.host_count = 8, .app_count = 4});
+    const std::vector<req_per_sec> rates(4, 60.0);
+
+    struct outcome {
+        core::search_result result;
+        std::size_t lqn_solves = 0;
+        double wall_ms = 0.0;
+    };
+    auto run = [&](bool delta) {
+        core::search_options opts;
+        opts.evaluation.with_delta_eval(delta);
+        const core::adaptation_search search(scn.model, core::utility_model{},
+                                             cost::cost_table::paper_defaults(),
+                                             opts);
+        core::model_clock_meter meter;
+        const auto t0 = std::chrono::steady_clock::now();
+        outcome o;
+        o.result = search.find(scn.initial, rates, 600.0, 0.0, meter);
+        const auto t1 = std::chrono::steady_clock::now();
+        o.lqn_solves = search.evaluator().stats().app_solves;
+        o.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+        return o;
+    };
+
+    const auto on = run(true);
+    const auto off = run(false);
+    std::printf("smoke: delta=on  %8.2f ms  lqn_solves=%zu  eu=%.17g\n",
+                on.wall_ms, on.lqn_solves, on.result.expected_utility);
+    std::printf("smoke: delta=off %8.2f ms  lqn_solves=%zu  eu=%.17g\n",
+                off.wall_ms, off.lqn_solves, off.result.expected_utility);
+
+    int failures = 0;
+    auto fail = [&](const char* what) {
+        std::fprintf(stderr, "smoke FAILED: %s\n", what);
+        ++failures;
+    };
+    if (on.result.actions != off.result.actions) {
+        fail("chosen plans differ between delta on and off");
+    }
+    if (on.result.expected_utility != off.result.expected_utility) {
+        fail("expected utility is not bit-identical between delta on and off");
+    }
+    if (on.result.target != off.result.target) {
+        fail("target configurations differ between delta on and off");
+    }
+    const double deviation =
+        std::abs(on.result.expected_utility - kGoldenUtility) /
+        std::abs(kGoldenUtility);
+    if (!(deviation <= kTolerance)) {
+        std::fprintf(stderr, "smoke FAILED: utility %.17g deviates from golden "
+                             "%.17g (rel %.3g > %.1g)\n",
+                     on.result.expected_utility, kGoldenUtility, deviation,
+                     kTolerance);
+        ++failures;
+    }
+    if (on.lqn_solves * 2 > off.lqn_solves) {
+        fail("delta evaluation saved less than 2x in LQN sub-solves");
+    }
+    if (failures == 0) std::printf("smoke OK\n");
+    return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]).rfind("--benchmark", 0) == 0) {
+        const std::string arg(argv[i]);
+        if (arg == "--smoke") return run_smoke();
+        if (arg.rfind("--benchmark", 0) == 0) {
             benchmark::Initialize(&argc, argv);
             benchmark::RunSpecifiedBenchmarks();
             return 0;

@@ -237,6 +237,13 @@ configuration apply(const cluster_model& model, const configuration& config,
             }
         },
         a);
+#ifndef NDEBUG
+    // Debug-build invariant: the incremental Zobrist hash must equal a full
+    // recompute after every edge expansion (the sanitize-labeled randomized
+    // hash test exercises the same property in release builds).
+    MISTRAL_CHECK_MSG(next.verify_hash(),
+                      "incremental hash diverged applying " << to_string(model, a));
+#endif
     return next;
 }
 

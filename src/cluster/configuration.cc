@@ -16,8 +16,47 @@ std::int32_t milli(fraction cap) {
     return static_cast<std::int32_t>(std::llround(cap * 1000.0));
 }
 
-void hash_combine(std::size_t& seed, std::size_t value) {
-    seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+// splitmix64 finalizer: the Zobrist key generator. A true Zobrist table over
+// (vm × host × 1000 milli-caps) would be megabytes per model; hashing the
+// packed slot through a strong mixer gives statistically independent keys
+// without any table, and stays a pure function so every configuration with
+// equal state carries an equal hash.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+// Key families get distinct salts so e.g. host 3 powered on can never cancel
+// a placement key by accident.
+constexpr std::uint64_t kPlacementSalt = 0xa0761d6478bd642fULL;
+constexpr std::uint64_t kHostOnSalt = 0xe7037ed1a0b428dbULL;
+constexpr std::uint64_t kHostFailedSalt = 0x8ebc6af09c88c6e3ULL;
+
+// Placement keys pack (vm, host, milli-cap) into one word: vm and host are
+// int32 indices and milli-caps lie in [1, 1000], so 20 bits each is ample.
+std::uint64_t placement_key(std::size_t vm, std::size_t host, std::int32_t m) {
+    return mix64(kPlacementSalt ^ (static_cast<std::uint64_t>(vm) << 40) ^
+                 (static_cast<std::uint64_t>(host) << 20) ^
+                 static_cast<std::uint64_t>(m));
+}
+
+std::uint64_t host_on_key(std::size_t host) {
+    return mix64(kHostOnSalt ^ host);
+}
+
+std::uint64_t host_failed_key(std::size_t host) {
+    return mix64(kHostFailedSalt ^ host);
+}
+
+// Hash of the empty configuration: derived from the shape so differently
+// sized configurations (never equal) rarely collide. Zero for the
+// default-constructed (zero-sized) configuration, matching its member
+// initializer.
+std::uint64_t base_hash(std::size_t vm_count, std::size_t host_count) {
+    if (vm_count == 0 && host_count == 0) return 0;
+    return mix64((static_cast<std::uint64_t>(vm_count) << 32) ^ host_count);
 }
 
 }  // namespace
@@ -27,7 +66,8 @@ configuration::configuration(std::size_t vm_count, std::size_t host_count)
       hosts_on_(host_count, false),
       hosts_failed_(host_count, false),
       host_cap_milli_(host_count, 0),
-      host_vm_count_(host_count, 0) {
+      host_vm_count_(host_count, 0),
+      zobrist_(base_hash(vm_count, host_count)) {
     MISTRAL_CHECK(vm_count > 0);
     MISTRAL_CHECK(host_count > 0);
 }
@@ -106,11 +146,13 @@ void configuration::deploy(vm_id vm, host_id host, fraction cpu_cap) {
     if (const auto& old = vms_[vm.index()]) {  // re-deploy moves the VM
         host_cap_milli_[old->host.index()] -= milli(old->cpu_cap);
         host_vm_count_[old->host.index()] -= 1;
+        zobrist_ ^= placement_key(vm.index(), old->host.index(), milli(old->cpu_cap));
     }
     const fraction cap = round_cap(cpu_cap);
     vms_[vm.index()] = vm_placement{host, cap};
     host_cap_milli_[host.index()] += milli(cap);
     host_vm_count_[host.index()] += 1;
+    zobrist_ ^= placement_key(vm.index(), host.index(), milli(cap));
 }
 
 void configuration::undeploy(vm_id vm) {
@@ -118,6 +160,7 @@ void configuration::undeploy(vm_id vm) {
     if (const auto& old = vms_[vm.index()]) {
         host_cap_milli_[old->host.index()] -= milli(old->cpu_cap);
         host_vm_count_[old->host.index()] -= 1;
+        zobrist_ ^= placement_key(vm.index(), old->host.index(), milli(old->cpu_cap));
     }
     vms_[vm.index()].reset();
 }
@@ -129,40 +172,48 @@ void configuration::set_cap(vm_id vm, fraction cpu_cap) {
     auto& p = *vms_[vm.index()];
     const fraction cap = round_cap(cpu_cap);
     host_cap_milli_[p.host.index()] += milli(cap) - milli(p.cpu_cap);
+    zobrist_ ^= placement_key(vm.index(), p.host.index(), milli(p.cpu_cap)) ^
+                placement_key(vm.index(), p.host.index(), milli(cap));
     p.cpu_cap = cap;
 }
 
 void configuration::set_host_power(host_id host, bool on) {
     MISTRAL_CHECK(host.valid() && host.index() < hosts_on_.size());
+    // Toggle the key only on an actual transition: XOR-ing on every call
+    // would corrupt the hash under idempotent writes.
+    if (hosts_on_[host.index()] != on) zobrist_ ^= host_on_key(host.index());
     hosts_on_[host.index()] = on;
 }
 
 void configuration::set_host_failed(host_id host, bool failed) {
     MISTRAL_CHECK(host.valid() && host.index() < hosts_failed_.size());
+    if (hosts_failed_[host.index()] != failed) {
+        zobrist_ ^= host_failed_key(host.index());
+    }
     hosts_failed_[host.index()] = failed;
-    if (failed) hosts_on_[host.index()] = false;
+    if (failed && hosts_on_[host.index()]) {
+        zobrist_ ^= host_on_key(host.index());
+        hosts_on_[host.index()] = false;
+    }
 }
 
-std::size_t configuration::hash() const {
-    std::size_t seed = vms_.size();
-    for (const auto& p : vms_) {
-        if (p) {
-            hash_combine(seed, static_cast<std::size_t>(p->host.value) + 1);
-            hash_combine(seed, static_cast<std::size_t>(std::llround(p->cpu_cap * 1000.0)));
-        } else {
-            hash_combine(seed, 0);
+std::uint64_t configuration::recompute_hash() const {
+    std::uint64_t h = base_hash(vms_.size(), hosts_on_.size());
+    for (std::size_t i = 0; i < vms_.size(); ++i) {
+        if (const auto& p = vms_[i]) {
+            h ^= placement_key(i, p->host.index(), milli(p->cpu_cap));
         }
     }
-    for (bool on : hosts_on_) hash_combine(seed, on ? 2 : 1);
-    // Failure marks fold in only when some host is failed, so healthy
-    // configurations hash exactly as they did before failure tracking
-    // existed (the search's replay determinism relies on that).
-    std::size_t failed_bits = 0;
-    for (std::size_t h = 0; h < hosts_failed_.size(); ++h) {
-        if (hosts_failed_[h]) failed_bits |= std::size_t{1} << (h % 64);
+    for (std::size_t i = 0; i < hosts_on_.size(); ++i) {
+        if (hosts_on_[i]) h ^= host_on_key(i);
     }
-    if (failed_bits != 0) hash_combine(seed, failed_bits);
-    return seed;
+    // Failure keys fold in only for failed hosts, so a configuration whose
+    // failure marks have all cleared hashes exactly like one that never
+    // failed (the search's replay determinism relies on that).
+    for (std::size_t i = 0; i < hosts_failed_.size(); ++i) {
+        if (hosts_failed_[i]) h ^= host_failed_key(i);
+    }
+    return h;
 }
 
 std::string configuration::describe(const cluster_model& model) const {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -75,7 +76,20 @@ public:
     // power_on action deliberately brings it back.
     void set_host_failed(host_id host, bool failed);
 
-    [[nodiscard]] std::size_t hash() const;
+    // O(1): returns the incrementally maintained Zobrist hash. Every mutator
+    // XORs the affected placement/power/failure keys in and out, so probing a
+    // memo or vertex map never pays the O(VMs + hosts) key walk the A* search
+    // used to rebuild on every generated child. `verify_hash()` (and the
+    // debug assertion in cluster::apply) proves the incremental value equals
+    // a from-scratch recompute.
+    [[nodiscard]] std::size_t hash() const {
+        return static_cast<std::size_t>(zobrist_);
+    }
+    // From-scratch recomputation of the incremental hash — the debug-build
+    // invariant and the randomized hash tests compare against this.
+    [[nodiscard]] std::uint64_t recompute_hash() const;
+    // True when the incremental hash matches the from-scratch value.
+    [[nodiscard]] bool verify_hash() const { return zobrist_ == recompute_hash(); }
     // Equality is over placements, host power, and failure marks; the
     // per-host aggregates are derived data.
     friend bool operator==(const configuration& a, const configuration& b) {
@@ -95,6 +109,12 @@ private:
     // never drift from a from-scratch sum.
     std::vector<std::int32_t> host_cap_milli_;
     std::vector<std::int32_t> host_vm_count_;
+    // Incremental Zobrist hash: XOR of one pseudo-random 64-bit key per
+    // (vm, host, milli-cap) placement, per powered-on host, and per failure
+    // mark, over a size-derived base. XOR updates are self-inverse, so every
+    // mutator maintains it in O(1) and a cleared failure mark restores the
+    // exact healthy hash (the search's replay determinism relies on that).
+    std::uint64_t zobrist_ = 0;
 };
 
 // Constraints that every configuration — candidate or intermediate — must

@@ -18,11 +18,20 @@ eval_memo::eval_memo(std::size_t capacity) : capacity_(capacity) {
 
 std::vector<std::int64_t> eval_memo::quantize(
     const std::vector<req_per_sec>& rates, req_per_sec quantum) {
+    // A NaN rate would silently poison every key it touches (NaN never
+    // compares equal, llround is UB); a negative rate is a caller bug that a
+    // grid key would round into a plausible-looking cell.
+    for (const req_per_sec r : rates) {
+        MISTRAL_CHECK_MSG(std::isfinite(r) && r >= 0.0,
+                          "request rates must be finite and non-negative");
+    }
     std::vector<std::int64_t> key;
     key.reserve(rates.size());
     if (quantum <= 0.0) {
         // Exact keys: the rate's bit pattern, so only identical workload
-        // vectors share entries.
+        // vectors share entries. quantum == 0 therefore guarantees a hit can
+        // only ever return a value computed under the *identical* workload
+        // vector — the delta path's bit-identity proof leans on this.
         for (const req_per_sec r : rates) {
             std::int64_t bits;
             static_assert(sizeof(bits) == sizeof(r));
@@ -80,6 +89,71 @@ void eval_memo::clear() {
     hits_ = misses_ = evictions_ = 0;
 }
 
+// ---- app_solve_cache -------------------------------------------------------
+
+app_solve_cache::app_solve_cache(std::size_t capacity) : capacity_(capacity) {
+    MISTRAL_CHECK(capacity >= 1);
+}
+
+const lqn::app_result* app_solve_cache::find(const app_signature& sig) {
+    const auto it = index_.find(sig);
+    if (it == index_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return &it->second->second;
+}
+
+void app_solve_cache::insert(app_signature sig, lqn::app_result value) {
+    const auto it = index_.find(sig);
+    if (it != index_.end()) {
+        it->second->second = std::move(value);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(std::move(sig), std::move(value));
+    index_.emplace(lru_.front().first, lru_.begin());
+    while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+void app_solve_cache::clear() {
+    lru_.clear();
+    index_.clear();
+    hits_ = misses_ = evictions_ = 0;
+}
+
+app_signature make_app_signature(std::size_t app, std::int64_t rate_key,
+                                 const lqn::app_deployment& dep,
+                                 const std::vector<double>& inflation) {
+    app_signature sig;
+    std::size_t n = 2;
+    for (const auto& tier : dep.tiers) n += 1 + 2 * tier.replicas.size();
+    sig.words.reserve(n);
+    sig.words.push_back(app);
+    sig.words.push_back(static_cast<std::uint64_t>(rate_key));
+    for (const auto& tier : dep.tiers) {
+        sig.words.push_back(tier.replicas.size());
+        for (const auto& rep : tier.replicas) {
+            // Caps are multiples of 1e-3 (configuration rounds on write), so
+            // the milli count pins the cap's exact double bits; inflation is
+            // an arbitrary double and is keyed by bit pattern directly.
+            sig.words.push_back(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(std::llround(rep.cpu_cap * 1000.0))));
+            std::uint64_t bits;
+            static_assert(sizeof(bits) == sizeof(double));
+            __builtin_memcpy(&bits, &inflation[rep.host], sizeof(bits));
+            sig.words.push_back(bits);
+        }
+    }
+    return sig;
+}
+
 // ---- serial_evaluator ------------------------------------------------------
 
 serial_evaluator::serial_evaluator(const cluster::cluster_model& model,
@@ -89,17 +163,26 @@ serial_evaluator::serial_evaluator(const cluster::cluster_model& model,
       utility_(utility),
       lqn_(lqn),
       options_(options),
-      memo_(options.memo_capacity) {
+      memo_(options.memo_capacity),
+      app_cache_(options.app_cache_capacity) {
     MISTRAL_CHECK(options_.threads >= 1 && options_.threads <= 256);
     MISTRAL_CHECK(options_.memo_capacity >= 1);
     MISTRAL_CHECK(options_.rate_quantum >= 0.0);
+    MISTRAL_CHECK(options_.app_cache_capacity >= 1);
     if (auto* reg = obs::metrics_of(options_.sink)) {
         obs_solves_ = reg->register_counter(
-            "mistral_eval_solves_total", "LQN solves actually performed");
+            "mistral_eval_solves_total", "configuration evaluations not served by the memo");
         obs_memo_hits_ = reg->register_counter(
             "mistral_eval_memo_hits_total", "memoized evaluations reused");
         obs_memo_misses_ = reg->register_counter(
             "mistral_eval_memo_misses_total", "evaluations that missed the memo");
+        obs_app_solves_ = reg->register_counter(
+            "mistral_eval_app_solves_total", "per-app LQN sub-solves performed");
+        obs_app_hits_ = reg->register_counter(
+            "mistral_eval_app_cache_hits_total", "per-app sub-solves reused");
+        obs_app_misses_ = reg->register_counter(
+            "mistral_eval_app_cache_misses_total",
+            "per-app sub-solves that missed the cache");
     }
 }
 
@@ -112,17 +195,30 @@ void serial_evaluator::begin_decision(const std::vector<req_per_sec>& rates) {
             model_->app(app_id{static_cast<std::int32_t>(a)})
                 .target_response_time(rates[a]));
     }
+    // The per-app elements of the quantized key feed app signatures; the
+    // app cache itself is *not* cleared — rates are part of its keys, so
+    // sub-solves persist across decisions and re-hit when the workload
+    // returns to a previously seen (quantized) level.
+    rate_key_ = eval_memo::quantize(rates, options_.rate_quantum);
     memo_.bind_rates(rates, options_.rate_quantum);
 }
 
 steady_utility serial_evaluator::compute(const cluster::configuration& config) const {
-    const auto pred = cluster::predict(*model_, config, rates_, lqn_);
+    const auto solved = lqn::solve(cluster::to_lqn(*model_, config, rates_),
+                                   model_->host_count(), lqn_);
+    return assemble(config, solved.apps, solved.host_utilization);
+}
+
+steady_utility serial_evaluator::assemble(
+    const cluster::configuration& config,
+    const std::vector<lqn::app_result>& apps,
+    const std::vector<fraction>& host_utilization) const {
     steady_utility out;
-    out.power = pred.power;
-    out.power_rate = utility_.power_rate(pred.power);
+    out.power = cluster::predicted_power(*model_, config, host_utilization);
+    out.power_rate = utility_.power_rate(out.power);
     out.response_times.reserve(model_->app_count());
     for (std::size_t a = 0; a < model_->app_count(); ++a) {
-        const seconds rt = pred.perf.apps[a].mean_response_time;
+        const seconds rt = apps[a].mean_response_time;
         out.response_times.push_back(rt);
         out.perf_rate += utility_.perf_rate(rates_[a], rt, targets_[a]);
         if (rt > targets_[a]) out.meets_targets = false;
@@ -130,9 +226,38 @@ steady_utility serial_evaluator::compute(const cluster::configuration& config) c
     // steady_rate() accumulates power-first; summing the components here
     // instead would drift by an ulp and is a different number to callers
     // that compare utilities at 1e-12.
-    out.rate = utility_.steady_rate(rates_, out.response_times, targets_, pred.power);
+    out.rate = utility_.steady_rate(rates_, out.response_times, targets_, out.power);
     out.candidate = is_candidate(*model_, config);
     return out;
+}
+
+steady_utility serial_evaluator::solve_config(const cluster::configuration& config) {
+    if (!options_.delta_eval) {
+        // Whole-configuration solve; charge one sub-solve per app so "LQN
+        // solves per decision" stays comparable with the delta path.
+        stats_.app_solves += model_->app_count();
+        obs_app_solves_.add(static_cast<std::int64_t>(model_->app_count()));
+        return compute(config);
+    }
+    const auto deps = cluster::to_lqn(*model_, config, rates_);
+    const auto loads = lqn::compute_host_loads(deps, model_->host_count(), lqn_);
+    std::vector<lqn::app_result> apps(deps.size());
+    for (std::size_t a = 0; a < deps.size(); ++a) {
+        auto sig = make_app_signature(a, rate_key_[a], deps[a], loads.inflation);
+        if (const auto* hit = app_cache_.find(sig)) {
+            ++stats_.app_cache_hits;
+            obs_app_hits_.add();
+            apps[a] = *hit;
+            continue;
+        }
+        ++stats_.app_cache_misses;
+        ++stats_.app_solves;
+        obs_app_misses_.add();
+        obs_app_solves_.add();
+        apps[a] = lqn::solve_app(deps[a], loads.inflation, lqn_);
+        app_cache_.insert(std::move(sig), apps[a]);
+    }
+    return assemble(config, apps, loads.utilization);
 }
 
 steady_utility serial_evaluator::evaluate(const cluster::configuration& config) {
@@ -146,7 +271,7 @@ steady_utility serial_evaluator::evaluate(const cluster::configuration& config) 
     ++stats_.evaluations;
     obs_memo_misses_.add();
     obs_solves_.add();
-    steady_utility value = compute(config);
+    steady_utility value = solve_config(config);
     memo_.insert(config, value);
     return value;
 }
@@ -205,6 +330,7 @@ std::vector<isolated_perf> serial_evaluator::evaluate_isolated_batch(
 
 void serial_evaluator::reset_memo() {
     memo_.clear();
+    app_cache_.clear();
     stats_ = {};
 }
 
@@ -369,8 +495,16 @@ std::vector<steady_utility> parallel_evaluator::evaluate_batch(
     if (!work.empty()) {
         stats_.evaluations += work.size();
         obs_solves_.add(static_cast<std::int64_t>(work.size()));
-        parallel_for(work.size(),
-                     [&](std::size_t j) { out[work[j]] = compute(configs[work[j]]); });
+        if (options_.delta_eval) {
+            solve_work_delta(configs, work, out);
+        } else {
+            stats_.app_solves += work.size() * model_->app_count();
+            obs_app_solves_.add(
+                static_cast<std::int64_t>(work.size() * model_->app_count()));
+            parallel_for(work.size(), [&](std::size_t j) {
+                out[work[j]] = compute(configs[work[j]]);
+            });
+        }
         // Publish in input order (deterministic LRU insertion order).
         for (const std::size_t i : work) {
             memo_.insert(configs[i], out[i]);
@@ -382,6 +516,85 @@ std::vector<steady_utility> parallel_evaluator::evaluate_batch(
         out[i] = out[first_seen.at(configs[i])];
     }
     return out;
+}
+
+void parallel_evaluator::solve_work_delta(
+    const std::vector<cluster::configuration>& configs,
+    const std::vector<std::size_t>& work, std::vector<steady_utility>& out) {
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    const std::size_t app_count = model_->app_count();
+
+    // Phase A (calling thread): translate each missed configuration, probe
+    // the app cache, and dedupe signatures pending within the batch. A
+    // pending hit is counted as a cache hit — the serial order would have
+    // inserted that signature's sub-solve before re-probing it — so hit and
+    // miss totals match the serial evaluator exactly.
+    struct delta_plan {
+        std::vector<lqn::app_deployment> deps;
+        lqn::host_loads loads;
+        std::vector<lqn::app_result> apps;   // cache hits filled here
+        std::vector<std::size_t> source;     // sub-job index, or npos if filled
+    };
+    struct sub_job {
+        std::size_t plan = 0;
+        std::size_t app = 0;
+    };
+    std::vector<delta_plan> plans(work.size());
+    std::vector<sub_job> jobs;
+    std::vector<app_signature> job_sigs;
+    std::unordered_map<app_signature, std::size_t, app_signature_hash> pending;
+    for (std::size_t p = 0; p < work.size(); ++p) {
+        auto& plan = plans[p];
+        plan.deps = cluster::to_lqn(*model_, configs[work[p]], rates_);
+        plan.loads = lqn::compute_host_loads(plan.deps, model_->host_count(), lqn_);
+        plan.apps.resize(app_count);
+        plan.source.assign(app_count, npos);
+        for (std::size_t a = 0; a < app_count; ++a) {
+            auto sig = make_app_signature(a, rate_key_[a], plan.deps[a],
+                                          plan.loads.inflation);
+            if (const auto* hit = app_cache_.find(sig)) {
+                ++stats_.app_cache_hits;
+                obs_app_hits_.add();
+                plan.apps[a] = *hit;
+                continue;
+            }
+            if (const auto it = pending.find(sig); it != pending.end()) {
+                ++stats_.app_cache_hits;
+                obs_app_hits_.add();
+                plan.source[a] = it->second;
+                continue;
+            }
+            ++stats_.app_cache_misses;
+            ++stats_.app_solves;
+            obs_app_misses_.add();
+            obs_app_solves_.add();
+            plan.source[a] = jobs.size();
+            pending.emplace(sig, jobs.size());
+            jobs.push_back({p, a});
+            job_sigs.push_back(std::move(sig));
+        }
+    }
+
+    // Phase B (pool): the sub-solves are pure per-index work.
+    std::vector<lqn::app_result> solved(jobs.size());
+    parallel_for(jobs.size(), [&](std::size_t j) {
+        const auto& job = jobs[j];
+        solved[j] = lqn::solve_app(plans[job.plan].deps[job.app],
+                                   plans[job.plan].loads.inflation, lqn_);
+    });
+
+    // Phase C (calling thread): publish sub-solves in miss order — the order
+    // the serial evaluator inserts them — then assemble every plan.
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        app_cache_.insert(std::move(job_sigs[j]), solved[j]);
+    }
+    for (std::size_t p = 0; p < work.size(); ++p) {
+        auto& plan = plans[p];
+        for (std::size_t a = 0; a < app_count; ++a) {
+            if (plan.source[a] != npos) plan.apps[a] = solved[plan.source[a]];
+        }
+        out[work[p]] = assemble(configs[work[p]], plan.apps, plan.loads.utilization);
+    }
 }
 
 // ---- factory ---------------------------------------------------------------

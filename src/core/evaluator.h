@@ -21,6 +21,17 @@
 // instead of re-solving the LQN. See DESIGN.md "Utility evaluation engine"
 // for the caching contract — what may be reused within a control window, and
 // why cross-window reuse is bounded by the rate quantum.
+//
+// Below the memo sits *delta evaluation* (`app_solve_cache`, on by default):
+// the steady utility is a sum of per-app performance terms plus per-host
+// power, and an app's LQN sub-solve depends only on its own resource
+// signature — its replicas' caps, the inflation factors of the hosts they
+// occupy, and its (quantized) request rate. Adjacent search vertices differ
+// by one action touching 1–2 apps, so evaluating a neighbor re-solves only
+// the perturbed apps and reuses cached sub-solves for the rest. The cache
+// persists across decisions (bounded LRU); results are bit-identical to full
+// evaluation because the signature captures, bit-exactly, every input the
+// sub-solve reads. See DESIGN.md "Incremental evaluation".
 #pragma once
 
 #include <atomic>
@@ -39,6 +50,7 @@
 #include "cluster/model.h"
 #include "core/utility.h"
 #include "lqn/model.h"
+#include "lqn/solver.h"
 #include "obs/metrics.h"
 
 namespace mistral::obs {
@@ -91,6 +103,16 @@ struct evaluation_options {
     // rates within the same grid cell share entries, so a reused value may
     // be stale by up to one quantum of workload movement. Must be ≥ 0.
     req_per_sec rate_quantum = 0.0;
+    // Delta evaluation: memo misses re-solve only the applications whose
+    // resource signature changed, reusing cached per-app sub-solves for the
+    // rest (bit-identical to a full solve — see the header comment). Off
+    // forces a whole-configuration LQN solve per miss; the A/B reference for
+    // benchmarks and the bit-identity tests.
+    bool delta_eval = true;
+    // Per-app sub-solve entries kept (LRU). Must be ≥ 1. Entries are small
+    // (one app_result) and the cache persists across decisions, so it is
+    // sized an order of magnitude above the memo.
+    std::size_t app_cache_capacity = 65536;
     // Observability hook (journal.h). nullptr — the default null sink — makes
     // every recording site a single branch; when the sink carries a metrics
     // registry, the evaluator registers solve/memo counters in it and records
@@ -109,18 +131,39 @@ struct evaluation_options {
         rate_quantum = q;
         return *this;
     }
+    evaluation_options& with_delta_eval(bool on) {
+        delta_eval = on;
+        return *this;
+    }
+    evaluation_options& with_app_cache_capacity(std::size_t n) {
+        app_cache_capacity = n;
+        return *this;
+    }
 };
 
 struct evaluation_stats {
-    std::size_t evaluations = 0;  // LQN solves actually performed
+    std::size_t evaluations = 0;  // configuration evaluations not served by the memo
     std::size_t cache_hits = 0;
     std::size_t cache_misses = 0;
     std::size_t evictions = 0;
     std::size_t batches = 0;      // evaluate_batch calls
+    // Per-app sub-solve accounting. The full (delta_eval off) path counts
+    // app_count sub-solves per whole-configuration solve, so "LQN solves per
+    // decision" is comparable across modes; app cache hits/misses accrue only
+    // on the delta path.
+    std::size_t app_solves = 0;
+    std::size_t app_cache_hits = 0;
+    std::size_t app_cache_misses = 0;
 
     [[nodiscard]] double hit_rate() const {
         const auto total = cache_hits + cache_misses;
         return total > 0 ? static_cast<double>(cache_hits) /
+                               static_cast<double>(total)
+                         : 0.0;
+    }
+    [[nodiscard]] double app_hit_rate() const {
+        const auto total = app_cache_hits + app_cache_misses;
+        return total > 0 ? static_cast<double>(app_cache_hits) /
                                static_cast<double>(total)
                          : 0.0;
     }
@@ -162,6 +205,66 @@ private:
     std::unordered_map<cluster::configuration, std::list<entry>::iterator> index_;
     std::size_t hits_ = 0, misses_ = 0, evictions_ = 0;
 };
+
+// Resource signature of one application's LQN sub-solve: every input
+// lqn::solve_app reads, packed bit-exactly into 64-bit words — the app index,
+// its quantized rate key, and per tier the replica count followed by each
+// replica's milli-cap and the bit pattern of its host's inflation factor.
+// Two deployments with equal signatures (at rate quantum 0) produce
+// bit-identical sub-solves, which is what makes cache reuse sound. Host
+// identity enters only through the inflation value: an app migrated between
+// equally-inflated hosts keys the same, deliberately.
+struct app_signature {
+    std::vector<std::uint64_t> words;
+
+    friend bool operator==(const app_signature&, const app_signature&) = default;
+};
+
+struct app_signature_hash {
+    std::size_t operator()(const app_signature& s) const noexcept {
+        std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ s.words.size();
+        for (const std::uint64_t w : s.words) {
+            h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+// LRU cache of per-application LQN sub-solves, keyed by app_signature.
+// Unlike eval_memo it is *not* cleared when the workload moves: the rate is
+// part of the key, so entries for other rates simply stop matching and age
+// out — which is what lets sub-solves persist across controller decisions.
+class app_solve_cache {
+public:
+    explicit app_solve_cache(std::size_t capacity);
+
+    // nullptr on miss. The pointer is invalidated by the next insert.
+    [[nodiscard]] const lqn::app_result* find(const app_signature& sig);
+    void insert(app_signature sig, lqn::app_result value);
+    void clear();
+
+    [[nodiscard]] std::size_t size() const { return lru_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] std::size_t hits() const { return hits_; }
+    [[nodiscard]] std::size_t misses() const { return misses_; }
+    [[nodiscard]] std::size_t evictions() const { return evictions_; }
+
+private:
+    using entry = std::pair<app_signature, lqn::app_result>;
+    std::size_t capacity_;
+    std::list<entry> lru_;  // front = most recently used
+    std::unordered_map<app_signature, std::list<entry>::iterator,
+                       app_signature_hash>
+        index_;
+    std::size_t hits_ = 0, misses_ = 0, evictions_ = 0;
+};
+
+// The signature of app `a` within a translated deployment (exposed for
+// tests). `rate_key` is the app's element of eval_memo::quantize;
+// `inflation` is lqn::compute_host_loads(...).inflation.
+[[nodiscard]] app_signature make_app_signature(
+    std::size_t app, std::int64_t rate_key, const lqn::app_deployment& dep,
+    const std::vector<double>& inflation);
 
 // The pluggable engine interface. Implementations are bound to one decision
 // context at a time via begin_decision(); evaluate/evaluate_batch results are
@@ -246,6 +349,17 @@ protected:
     // worker threads concurrently.
     [[nodiscard]] steady_utility compute(const cluster::configuration& config) const;
     [[nodiscard]] isolated_perf compute_isolated(const app_sizing& s) const;
+    // Folds per-app solve results and host utilizations into a steady_utility
+    // with exactly compute()'s accounting (power first, then the per-app
+    // perf terms in app order). Pure.
+    [[nodiscard]] steady_utility assemble(
+        const cluster::configuration& config,
+        const std::vector<lqn::app_result>& apps,
+        const std::vector<fraction>& host_utilization) const;
+    // One memo-missed evaluation: the delta path (app-cache probes +
+    // sub-solves for the misses) when options_.delta_eval, a full compute()
+    // otherwise. Updates app-cache state and stats; calling-thread only.
+    [[nodiscard]] steady_utility solve_config(const cluster::configuration& config);
 
     const cluster::cluster_model* model_;
     utility_model utility_;
@@ -253,7 +367,11 @@ protected:
     evaluation_options options_;
     std::vector<req_per_sec> rates_;
     std::vector<seconds> targets_;
+    // Per-app elements of the bound decision's quantized rate key (set by
+    // begin_decision; what app signatures embed).
+    std::vector<std::int64_t> rate_key_;
     eval_memo memo_;
+    app_solve_cache app_cache_;  // persists across decisions
     evaluation_stats stats_;
     // Disabled (one-branch no-op) handles unless options_.sink carries a
     // metrics registry. Recorded alongside stats_, which stays the exact
@@ -261,6 +379,9 @@ protected:
     obs::counter obs_solves_;
     obs::counter obs_memo_hits_;
     obs::counter obs_memo_misses_;
+    obs::counter obs_app_solves_;
+    obs::counter obs_app_hits_;
+    obs::counter obs_app_misses_;
 };
 
 // Fixed-thread-pool implementation: evaluate_batch distributes cache misses
@@ -288,6 +409,15 @@ public:
     }
 
 private:
+    // Delta-evaluation staging for evaluate_batch: probes the app cache for
+    // every memo-missed configuration on the calling thread (deduplicating
+    // signatures pending within the batch exactly as the serial
+    // insert-then-probe order would), sub-solves the missing signatures
+    // across the pool, publishes them in miss order, and assembles.
+    void solve_work_delta(const std::vector<cluster::configuration>& configs,
+                          const std::vector<std::size_t>& work,
+                          std::vector<steady_utility>& out);
+
     void worker_loop();
     // Claims and runs items of job `generation` until its queue is drained
     // (or a newer job has replaced it).

@@ -447,6 +447,9 @@ search_result adaptation_search::find(const configuration& current,
         const auto& es = engine.stats();
         stats.eval_cache_hits = es.cache_hits - stats0.cache_hits;
         stats.eval_cache_misses = es.cache_misses - stats0.cache_misses;
+        stats.eval_app_solves = es.app_solves - stats0.app_solves;
+        stats.eval_app_cache_hits = es.app_cache_hits - stats0.app_cache_hits;
+        stats.eval_app_cache_misses = es.app_cache_misses - stats0.app_cache_misses;
         if (terminal_index < 0) {
             search_result out = stay;
             out.stats = stats;

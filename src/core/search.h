@@ -105,7 +105,12 @@ struct search_stats {
     dollars search_power_cost = 0.0; // $ cost of the search's own power draw
                                      // (scales with active worker-seconds)
     std::size_t eval_cache_hits = 0;   // memoized evaluations reused
-    std::size_t eval_cache_misses = 0; // LQN solves actually paid for
+    std::size_t eval_cache_misses = 0; // evaluations that missed the memo
+    // Delta-evaluation accounting for this find() (see evaluator.h): LQN
+    // sub-solves actually performed vs. reused from the per-app cache.
+    std::size_t eval_app_solves = 0;
+    std::size_t eval_app_cache_hits = 0;
+    std::size_t eval_app_cache_misses = 0;
 };
 
 struct search_result {

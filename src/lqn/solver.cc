@@ -21,210 +21,245 @@ seconds ps_response(seconds service, fraction rho) {
     return at_clamp + overload_slope * (rho - rho_max) * service;
 }
 
+// Per-replica pass-1 state, recomputed identically by compute_host_loads
+// (which needs the offered load) and solve_app (which needs rho and the
+// consumed CPU). Keeping one function guarantees the two passes can never
+// disagree bit-wise.
+struct replica_state {
+    double arrival = 0.0;      // visits/sec routed to this replica
+    double offered = 0.0;      // physical-CPU fraction demanded
+    double cpu_usage = 0.0;    // physical-CPU fraction actually consumed
+    fraction rho = 0.0;        // busy fraction of the replica's cap
+};
+
+replica_state replica_load(const app_deployment& app, std::size_t t,
+                           std::size_t r, const model_options& options) {
+    const auto& spec = *app.spec;
+    const auto& tier = app.tiers[t];
+    const auto n = tier.replicas.size();
+    const double tier_arrival = app.rate * spec.mean_tier_visits(t);
+    // Mix-weighted CPU demand per visit, with Xen overhead folded in.
+    const double visits = spec.mean_tier_visits(t);
+    const double demand_per_visit =
+        visits > 0.0
+            ? spec.mean_tier_demand(t) * (1.0 + options.xen_overhead) / visits
+            : 0.0;
+    replica_state st;
+    st.arrival = tier_arrival / static_cast<double>(n);
+    st.offered = st.arrival * demand_per_visit;
+    const fraction cap = tier.replicas[r].cpu_cap;
+    st.rho = st.offered / cap;
+    // A capped VM cannot consume more than its cap.
+    st.cpu_usage = std::min(st.offered, cap);
+    return st;
+}
+
 }  // namespace
 
-solve_result solve(const std::vector<app_deployment>& apps, std::size_t host_count,
-                   const model_options& options) {
+host_loads compute_host_loads(const std::vector<app_deployment>& apps,
+                              std::size_t host_count,
+                              const model_options& options) {
     validate(apps, host_count);
 
-    solve_result out;
-    out.apps.resize(apps.size());
-    out.host_utilization.assign(host_count, 0.0);
-    out.host_demand.assign(host_count, 0.0);
+    host_loads out;
+    out.demand.assign(host_count, 0.0);
+    out.utilization.assign(host_count, 0.0);
+    out.cap_sums.assign(host_count, 0.0);
+    out.inflation.assign(host_count, 1.0);
 
-    // ---- Pass 1: arrival rates, CPU utilizations, host demand. ----
-    struct replica_state {
-        double arrival = 0.0;      // visits/sec routed to this replica
-        double cpu_usage = 0.0;    // physical-CPU fraction actually consumed
-        fraction rho = 0.0;        // busy fraction of the replica's cap
-    };
-    // states[a][t][r]
-    std::vector<std::vector<std::vector<replica_state>>> states(apps.size());
-
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        const auto& app = apps[a];
-        const auto& spec = *app.spec;
-        states[a].resize(app.tiers.size());
+    for (const auto& app : apps) {
         for (std::size_t t = 0; t < app.tiers.size(); ++t) {
             const auto& tier = app.tiers[t];
-            const auto n = tier.replicas.size();
-            states[a][t].resize(n);
-            const double tier_arrival = app.rate * spec.mean_tier_visits(t);
-            // Mix-weighted CPU demand per visit, with Xen overhead folded in.
-            const double visits = spec.mean_tier_visits(t);
-            const double demand_per_visit =
-                visits > 0.0
-                    ? spec.mean_tier_demand(t) * (1.0 + options.xen_overhead) / visits
-                    : 0.0;
-            for (std::size_t r = 0; r < n; ++r) {
-                auto& st = states[a][t][r];
-                st.arrival = tier_arrival / static_cast<double>(n);
-                const double offered = st.arrival * demand_per_visit;
-                const fraction cap = tier.replicas[r].cpu_cap;
-                st.rho = offered / cap;
-                // A capped VM cannot consume more than its cap.
-                st.cpu_usage = std::min(offered, cap);
-                const auto h = tier.replicas[r].host;
-                out.host_demand[h] += offered * (1.0 + options.dom0_overhead);
+            for (std::size_t r = 0; r < tier.replicas.size(); ++r) {
+                const auto st = replica_load(app, t, r, options);
+                out.demand[tier.replicas[r].host] +=
+                    st.offered * (1.0 + options.dom0_overhead);
             }
         }
     }
     for (std::size_t h = 0; h < host_count; ++h) {
         // Hosts with any work also pay the Dom-0 baseline; idle hosts are
         // accounted by the caller (it knows which hosts are powered on).
-        if (out.host_demand[h] > 0.0) out.host_demand[h] += options.dom0_baseline;
-        out.host_utilization[h] = std::min(1.0, out.host_demand[h]);
+        if (out.demand[h] > 0.0) out.demand[h] += options.dom0_baseline;
+        out.utilization[h] = std::min(1.0, out.demand[h]);
     }
 
     // Host inflation: if actual demand exceeds the physical CPU — or the
     // booked caps exceed the reservable share (see model_options) — every
     // hosted replica slows down proportionally.
-    std::vector<double> cap_sums(host_count, 0.0);
     for (const auto& app : apps) {
         for (const auto& tier : app.tiers) {
-            for (const auto& rep : tier.replicas) cap_sums[rep.host] += rep.cpu_cap;
+            for (const auto& rep : tier.replicas) {
+                out.cap_sums[rep.host] += rep.cpu_cap;
+            }
         }
     }
-    std::vector<double> inflation(host_count, 1.0);
     for (std::size_t h = 0; h < host_count; ++h) {
-        double f = std::max(1.0, out.host_demand[h]);
+        double f = std::max(1.0, out.demand[h]);
         if (options.reserved_cap_fraction > 0.0) {
-            f = std::max(f, cap_sums[h] / options.reserved_cap_fraction);
+            f = std::max(f, out.cap_sums[h] / options.reserved_cap_fraction);
         }
-        inflation[h] = f;
-        if (out.host_demand[h] > 1.0) out.saturated = true;
+        out.inflation[h] = f;
+        if (out.demand[h] > 1.0) out.overcommitted = true;
+    }
+    return out;
+}
+
+app_result solve_app(const app_deployment& app,
+                     const std::vector<double>& inflation,
+                     const model_options& options) {
+    const auto& spec = *app.spec;
+    app_result result;
+    result.tiers.resize(app.tiers.size());
+    result.per_transaction.resize(spec.transactions().size(), 0.0);
+
+    const auto tier_count = app.tiers.size();
+
+    // Per-replica busy fractions and consumed CPU (pass-1 state, app-local).
+    std::vector<std::vector<replica_state>> states(tier_count);
+    for (std::size_t t = 0; t < tier_count; ++t) {
+        const auto n = app.tiers[t].replicas.size();
+        states[t].resize(n);
+        for (std::size_t r = 0; r < n; ++r) {
+            states[t][r] = replica_load(app, t, r, options);
+        }
     }
 
-    // ---- Pass 2: per-transaction response times, bottom-up. ----
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        const auto& app = apps[a];
-        const auto& spec = *app.spec;
-        auto& result = out.apps[a];
-        result.tiers.resize(app.tiers.size());
-        result.per_transaction.resize(spec.transactions().size(), 0.0);
-
-        const auto tier_count = app.tiers.size();
-
-        // Per-visit CPU response time at tier t for transaction x, averaged
-        // over replicas weighted by their (equal) arrival shares.
-        auto cpu_visit_response = [&](std::size_t t, std::size_t x) -> seconds {
-            const auto& tx = spec.transactions()[x];
-            const auto& tier = app.tiers[t];
-            const double demand = tx.demand[t] * (1.0 + options.xen_overhead);
-            seconds sum = 0.0;
-            for (std::size_t r = 0; r < tier.replicas.size(); ++r) {
-                const auto& rep = tier.replicas[r];
-                const double service = demand / rep.cpu_cap;
-                sum += ps_response(service * inflation[rep.host], states[a][t][r].rho);
-            }
-            return sum / static_cast<double>(tier.replicas.size());
-        };
-
-        // visit_response[t][x]: total per-visit response (thread wait +
-        // holding, holding includes downstream). Filled bottom-up.
-        std::vector<std::vector<seconds>> visit_response(
-            tier_count, std::vector<seconds>(spec.transactions().size(), 0.0));
-        // holding[t][x]: thread-holding time per visit.
-        std::vector<std::vector<seconds>> holding = visit_response;
-
-        for (std::size_t ti = tier_count; ti-- > 0;) {
-            // Holding time per visit: own CPU response plus synchronous
-            // downstream calls (the next-deeper tier this transaction
-            // actually visits).
-            for (std::size_t x = 0; x < spec.transactions().size(); ++x) {
-                const auto& tx = spec.transactions()[x];
-                if (tx.visits[ti] <= 0.0) continue;
-                seconds h = cpu_visit_response(ti, x);
-                for (std::size_t down = ti + 1; down < tier_count; ++down) {
-                    if (tx.visits[down] <= 0.0) continue;
-                    const double calls = tx.visits[down] / tx.visits[ti];
-                    h += calls * (2.0 * options.network_hop + visit_response[down][x]);
-                    break;  // only the first downstream tier is called directly
-                }
-                holding[ti][x] = std::min(h, options.max_visit_response);
-            }
-            // Mean holding time and thread-pool waiting at this tier.
-            double flow_sum = 0.0;
-            seconds holding_sum = 0.0;
-            for (std::size_t x = 0; x < spec.transactions().size(); ++x) {
-                const auto& tx = spec.transactions()[x];
-                if (tx.visits[ti] <= 0.0) continue;
-                const double flow = app.rate * tx.mix * tx.visits[ti];
-                flow_sum += flow;
-                holding_sum += flow * holding[ti][x];
-            }
-            const seconds mean_holding = flow_sum > 0.0 ? holding_sum / flow_sum : 0.0;
-            const auto& tier = app.tiers[ti];
-            const double replica_arrival =
-                flow_sum / static_cast<double>(tier.replicas.size());
-            const int threads = spec.tiers()[ti].threads;
-            const seconds wait = mm_m_wait(replica_arrival, mean_holding, threads);
-            if (replica_arrival * mean_holding >= static_cast<double>(threads)) {
-                result.saturated = true;
-            }
-            for (std::size_t x = 0; x < spec.transactions().size(); ++x) {
-                if (spec.transactions()[x].visits[ti] <= 0.0) continue;
-                visit_response[ti][x] =
-                    std::min(wait + holding[ti][x], options.max_visit_response);
-            }
-            // Tier-level reporting.
-            auto& tr = result.tiers[ti];
-            double rho_sum = 0.0, usage_sum = 0.0;
-            for (const auto& st : states[a][ti]) {
-                rho_sum += st.rho;
-                usage_sum += st.cpu_usage;
-                if (st.rho >= 1.0) result.saturated = true;
-            }
-            tr.utilization = rho_sum / static_cast<double>(states[a][ti].size());
-            tr.cpu_usage = usage_sum;
-            tr.visit_response = mean_holding + wait;
+    // Per-visit CPU response time at tier t for transaction x, averaged
+    // over replicas weighted by their (equal) arrival shares.
+    auto cpu_visit_response = [&](std::size_t t, std::size_t x) -> seconds {
+        const auto& tx = spec.transactions()[x];
+        const auto& tier = app.tiers[t];
+        const double demand = tx.demand[t] * (1.0 + options.xen_overhead);
+        seconds sum = 0.0;
+        for (std::size_t r = 0; r < tier.replicas.size(); ++r) {
+            const auto& rep = tier.replicas[r];
+            const double service = demand / rep.cpu_cap;
+            sum += ps_response(service * inflation[rep.host], states[t][r].rho);
         }
+        return sum / static_cast<double>(tier.replicas.size());
+    };
 
-        // End-to-end response per transaction: client round trip into the
-        // first tier the transaction visits.
-        seconds mix_sum = 0.0;
+    // visit_response[t][x]: total per-visit response (thread wait +
+    // holding, holding includes downstream). Filled bottom-up.
+    std::vector<std::vector<seconds>> visit_response(
+        tier_count, std::vector<seconds>(spec.transactions().size(), 0.0));
+    // holding[t][x]: thread-holding time per visit.
+    std::vector<std::vector<seconds>> holding = visit_response;
+
+    for (std::size_t ti = tier_count; ti-- > 0;) {
+        // Holding time per visit: own CPU response plus synchronous
+        // downstream calls (the next-deeper tier this transaction
+        // actually visits).
         for (std::size_t x = 0; x < spec.transactions().size(); ++x) {
             const auto& tx = spec.transactions()[x];
-            seconds rt = 0.0;
-            for (std::size_t t = 0; t < tier_count; ++t) {
-                if (tx.visits[t] > 0.0) {
-                    rt = tx.visits[t] * (2.0 * options.network_hop + visit_response[t][x]);
-                    break;
-                }
+            if (tx.visits[ti] <= 0.0) continue;
+            seconds h = cpu_visit_response(ti, x);
+            for (std::size_t down = ti + 1; down < tier_count; ++down) {
+                if (tx.visits[down] <= 0.0) continue;
+                const double calls = tx.visits[down] / tx.visits[ti];
+                h += calls * (2.0 * options.network_hop + visit_response[down][x]);
+                break;  // only the first downstream tier is called directly
             }
-            result.per_transaction[x] = rt;
-            mix_sum += tx.mix * rt;
+            holding[ti][x] = std::min(h, options.max_visit_response);
         }
-        result.mean_response_time = mix_sum;
+        // Mean holding time and thread-pool waiting at this tier.
+        double flow_sum = 0.0;
+        seconds holding_sum = 0.0;
+        for (std::size_t x = 0; x < spec.transactions().size(); ++x) {
+            const auto& tx = spec.transactions()[x];
+            if (tx.visits[ti] <= 0.0) continue;
+            const double flow = app.rate * tx.mix * tx.visits[ti];
+            flow_sum += flow;
+            holding_sum += flow * holding[ti][x];
+        }
+        const seconds mean_holding = flow_sum > 0.0 ? holding_sum / flow_sum : 0.0;
+        const auto& tier = app.tiers[ti];
+        const double replica_arrival =
+            flow_sum / static_cast<double>(tier.replicas.size());
+        const int threads = spec.tiers()[ti].threads;
+        const seconds wait = mm_m_wait(replica_arrival, mean_holding, threads);
+        if (replica_arrival * mean_holding >= static_cast<double>(threads)) {
+            result.saturated = true;
+        }
+        for (std::size_t x = 0; x < spec.transactions().size(); ++x) {
+            if (spec.transactions()[x].visits[ti] <= 0.0) continue;
+            visit_response[ti][x] =
+                std::min(wait + holding[ti][x], options.max_visit_response);
+        }
+        // Tier-level reporting.
+        auto& tr = result.tiers[ti];
+        double rho_sum = 0.0, usage_sum = 0.0;
+        for (const auto& st : states[ti]) {
+            rho_sum += st.rho;
+            usage_sum += st.cpu_usage;
+            if (st.rho >= 1.0) result.saturated = true;
+        }
+        tr.utilization = rho_sum / static_cast<double>(states[ti].size());
+        tr.cpu_usage = usage_sum;
+        tr.visit_response = mean_holding + wait;
+    }
 
-        // Closed-population saturation bound (see model.h): when the offered
-        // rate exceeds the bottleneck tier's capacity, the fixed client
-        // population caps the queue, settling end-to-end response near
-        // N / X_max − think rather than the open model's divergence.
-        if (options.client_think_time > 0.0 && app.rate > 0.0) {
-            double x_max = std::numeric_limits<double>::infinity();
-            for (std::size_t t = 0; t < tier_count; ++t) {
-                const double demand =
-                    spec.mean_tier_demand(t) * (1.0 + options.xen_overhead);
-                if (demand <= 0.0) continue;
-                double caps = 0.0;
-                for (const auto& rep : app.tiers[t].replicas) caps += rep.cpu_cap;
-                x_max = std::min(x_max, caps / demand);
-            }
-            if (x_max < app.rate) {
-                const double sessions =
-                    app.rate *
-                    (options.client_think_time + options.nominal_cycle_service);
-                const seconds closed_rt = std::max(
-                    1.0, sessions / x_max - options.client_think_time);
-                if (closed_rt < result.mean_response_time) {
-                    const double scale = closed_rt / result.mean_response_time;
-                    result.mean_response_time = closed_rt;
-                    for (auto& rt : result.per_transaction) rt *= scale;
-                }
+    // End-to-end response per transaction: client round trip into the
+    // first tier the transaction visits.
+    seconds mix_sum = 0.0;
+    for (std::size_t x = 0; x < spec.transactions().size(); ++x) {
+        const auto& tx = spec.transactions()[x];
+        seconds rt = 0.0;
+        for (std::size_t t = 0; t < tier_count; ++t) {
+            if (tx.visits[t] > 0.0) {
+                rt = tx.visits[t] * (2.0 * options.network_hop + visit_response[t][x]);
+                break;
             }
         }
-        if (result.saturated) out.saturated = true;
+        result.per_transaction[x] = rt;
+        mix_sum += tx.mix * rt;
+    }
+    result.mean_response_time = mix_sum;
+
+    // Closed-population saturation bound (see model.h): when the offered
+    // rate exceeds the bottleneck tier's capacity, the fixed client
+    // population caps the queue, settling end-to-end response near
+    // N / X_max − think rather than the open model's divergence.
+    if (options.client_think_time > 0.0 && app.rate > 0.0) {
+        double x_max = std::numeric_limits<double>::infinity();
+        for (std::size_t t = 0; t < tier_count; ++t) {
+            const double demand =
+                spec.mean_tier_demand(t) * (1.0 + options.xen_overhead);
+            if (demand <= 0.0) continue;
+            double caps = 0.0;
+            for (const auto& rep : app.tiers[t].replicas) caps += rep.cpu_cap;
+            x_max = std::min(x_max, caps / demand);
+        }
+        if (x_max < app.rate) {
+            const double sessions =
+                app.rate *
+                (options.client_think_time + options.nominal_cycle_service);
+            const seconds closed_rt = std::max(
+                1.0, sessions / x_max - options.client_think_time);
+            if (closed_rt < result.mean_response_time) {
+                const double scale = closed_rt / result.mean_response_time;
+                result.mean_response_time = closed_rt;
+                for (auto& rt : result.per_transaction) rt *= scale;
+            }
+        }
+    }
+    return result;
+}
+
+solve_result solve(const std::vector<app_deployment>& apps, std::size_t host_count,
+                   const model_options& options) {
+    auto loads = compute_host_loads(apps, host_count, options);
+
+    solve_result out;
+    out.apps.resize(apps.size());
+    out.host_utilization = std::move(loads.utilization);
+    out.host_demand = std::move(loads.demand);
+    out.saturated = loads.overcommitted;
+
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        out.apps[a] = solve_app(apps[a], loads.inflation, options);
+        if (out.apps[a].saturated) out.saturated = true;
     }
     return out;
 }

@@ -53,14 +53,52 @@ struct solve_result {
     bool saturated = false;
 };
 
+// The hardware-layer coupling between applications: per-host demand, booked
+// caps, and the resulting slowdown factor every hosted replica feels. This is
+// the *only* channel through which one application's deployment affects
+// another's response times, which is what makes per-app sub-solves (and the
+// evaluator's delta-evaluation cache) sound: an app's result is a pure
+// function of its own deployment, its rate, and the inflation factors of the
+// hosts its replicas occupy.
+struct host_loads {
+    // Un-clamped actual demand per host (VM work + Dom-0 mirror + baseline);
+    // > 1 means the host is overcommitted.
+    std::vector<double> demand;
+    // min(1, demand): the physical busy fraction the power model reads.
+    std::vector<fraction> utilization;
+    // Booked CPU caps per host (reservations, before any clamping).
+    std::vector<double> cap_sums;
+    // Proportional slowdown of every replica on the host: max(1, demand,
+    // cap_sums / reserved_cap_fraction).
+    std::vector<double> inflation;
+    bool overcommitted = false;  // some host's demand exceeds 1
+};
+
+// Pass 1 of the solve, separated out so incremental re-solves can share it:
+// O(total replicas) arithmetic, no queueing math. Validates the deployments
+// exactly like solve().
+host_loads compute_host_loads(const std::vector<app_deployment>& apps,
+                              std::size_t host_count,
+                              const model_options& options = {});
+
+// Pass 2 for a single application: response times and tier reports given the
+// shared per-host inflation factors. Pure and deterministic; for the same
+// deployment vector, solve(apps, …).apps[a] is bit-identical to
+// solve_app(apps[a], compute_host_loads(apps, …).inflation, …).
+app_result solve_app(const app_deployment& app,
+                     const std::vector<double>& inflation,
+                     const model_options& options = {});
+
 // Solves the model for the given deployments on `host_count` hosts.
-// Deployments are validated; see model.h.
+// Deployments are validated; see model.h. Equivalent to compute_host_loads()
+// followed by one solve_app() per application.
 //
-// Thread-safety: solve() is a pure function — it reads only its arguments,
-// touches no global or static mutable state, and allocates nothing shared.
-// Concurrent calls from different threads are safe (the parallel utility
-// evaluator relies on this), and results are a deterministic function of
-// the inputs, bit-identical across threads and runs.
+// Thread-safety: solve(), compute_host_loads(), and solve_app() are pure
+// functions — they read only their arguments, touch no global or static
+// mutable state, and allocate nothing shared. Concurrent calls from
+// different threads are safe (the parallel utility evaluator relies on
+// this), and results are a deterministic function of the inputs,
+// bit-identical across threads and runs.
 solve_result solve(const std::vector<app_deployment>& apps, std::size_t host_count,
                    const model_options& options = {});
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "apps/rubis.h"
 #include "core/experiment.h"
 #include "core/search.h"
@@ -213,6 +215,141 @@ TEST_F(EvaluatorTest, ParallelForPropagatesExceptions) {
     std::vector<int> touched(8, 0);
     par.parallel_for(8, [&](std::size_t i) { ++touched[i]; });
     for (const int t : touched) EXPECT_EQ(t, 1);
+}
+
+// ---- delta evaluation ------------------------------------------------------
+
+// Delta evaluation must be invisible in the numbers: every field of every
+// steady_utility bit-matches the full whole-configuration solve.
+TEST_F(EvaluatorTest, DeltaEvaluationIsBitIdenticalToFull) {
+    serial_evaluator delta(model, utility_model{}, {},
+                           evaluation_options{}.with_delta_eval(true));
+    serial_evaluator full(model, utility_model{}, {},
+                          evaluation_options{}.with_delta_eval(false));
+    delta.begin_decision({40.0, 40.0});
+    full.begin_decision({40.0, 40.0});
+
+    std::vector<cluster::configuration> configs = {base(0.3), base(0.4), base(0.6)};
+    {
+        // A neighbor differing in one app only — the reuse case.
+        auto c = base(0.4);
+        c.set_cap(model.tier_vms(app_id{0}, 0)[0], 0.5);
+        configs.push_back(c);
+        // And a migration within the same app.
+        auto d = base(0.4);
+        d.deploy(model.tier_vms(app_id{1}, 2)[0], host_id{3}, 0.4);
+        configs.push_back(d);
+    }
+    for (const auto& c : configs) {
+        const auto a = delta.evaluate(c);
+        const auto b = full.evaluate(c);
+        EXPECT_EQ(a.rate, b.rate);
+        EXPECT_EQ(a.perf_rate, b.perf_rate);
+        EXPECT_EQ(a.power_rate, b.power_rate);
+        EXPECT_EQ(a.power, b.power);
+        EXPECT_EQ(a.response_times, b.response_times);
+        EXPECT_EQ(a.candidate, b.candidate);
+        EXPECT_EQ(a.meets_targets, b.meets_targets);
+    }
+    // Reuse actually happened: the one-app neighbors re-solved only the
+    // touched app, while the full path paid app_count per configuration.
+    EXPECT_LT(delta.stats().app_solves, full.stats().app_solves);
+    EXPECT_GT(delta.stats().app_cache_hits, 0u);
+}
+
+// The fixture places the two apps on disjoint hosts, so perturbing one app
+// leaves the other's resource signature untouched.
+TEST_F(EvaluatorTest, NeighborEvaluationResolvesOnlyTouchedApps) {
+    serial_evaluator ev(model, utility_model{});
+    ev.begin_decision({40.0, 40.0});
+    (void)ev.evaluate(base());
+    EXPECT_EQ(ev.stats().app_solves, 2u);  // cold: both apps solved
+
+    auto neighbor = base();
+    neighbor.set_cap(model.tier_vms(app_id{0}, 0)[0], 0.5);
+    (void)ev.evaluate(neighbor);
+    EXPECT_EQ(ev.stats().app_solves, 3u);  // only app 0 re-solved
+    EXPECT_EQ(ev.stats().app_cache_hits, 1u);
+    EXPECT_EQ(ev.stats().app_cache_misses, 3u);
+}
+
+// Sub-solves persist across decisions: when the workload returns to a level
+// seen before, the memo (exact-keyed, cleared on the rate move) misses but
+// the app cache still holds that level's sub-solves.
+TEST_F(EvaluatorTest, AppCachePersistsAcrossDecisions) {
+    serial_evaluator ev(model, utility_model{});
+    ev.begin_decision({40.0, 40.0});
+    (void)ev.evaluate(base());
+    ev.begin_decision({50.0, 50.0});
+    (void)ev.evaluate(base());
+    EXPECT_EQ(ev.stats().app_solves, 4u);
+
+    ev.begin_decision({40.0, 40.0});  // back to the first level
+    (void)ev.evaluate(base());
+    EXPECT_EQ(ev.stats().cache_misses, 3u);  // memo was invalidated…
+    EXPECT_EQ(ev.stats().app_solves, 4u);    // …but no new sub-solves
+    EXPECT_EQ(ev.stats().app_cache_hits, 2u);
+
+    ev.reset_memo();
+    ev.begin_decision({40.0, 40.0});
+    (void)ev.evaluate(base());
+    EXPECT_EQ(ev.stats().app_solves, 2u);  // reset_memo cleared the app cache
+}
+
+TEST_F(EvaluatorTest, DeltaOffChargesFullSolvesAndNeverProbesAppCache) {
+    serial_evaluator ev(model, utility_model{}, {},
+                        evaluation_options{}.with_delta_eval(false));
+    ev.begin_decision({40.0, 40.0});
+    (void)ev.evaluate(base(0.4));
+    (void)ev.evaluate(base(0.5));
+    EXPECT_EQ(ev.stats().app_solves, 4u);  // app_count per configuration
+    EXPECT_EQ(ev.stats().app_cache_hits, 0u);
+    EXPECT_EQ(ev.stats().app_cache_misses, 0u);
+}
+
+// Parallel delta batches: bit-identical values and identical sub-solve
+// accounting versus the serial delta path, duplicates included.
+TEST_F(EvaluatorTest, ParallelDeltaBatchMatchesSerial) {
+    serial_evaluator serial(model, utility_model{});
+    parallel_evaluator par(model, utility_model{}, {},
+                           evaluation_options{}.with_threads(4));
+    serial.begin_decision({40.0, 40.0});
+    par.begin_decision({40.0, 40.0});
+
+    std::vector<cluster::configuration> batch = {base(0.4), base(0.5), base(0.4)};
+    auto neighbor = base(0.4);
+    neighbor.set_cap(model.tier_vms(app_id{1}, 0)[0], 0.6);
+    batch.push_back(neighbor);
+
+    const auto s = serial.evaluate_batch(batch);
+    const auto p = par.evaluate_batch(batch);
+    ASSERT_EQ(s.size(), p.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(s[i].rate, p[i].rate) << i;
+        EXPECT_EQ(s[i].power, p[i].power) << i;
+        EXPECT_EQ(s[i].response_times, p[i].response_times) << i;
+    }
+    EXPECT_EQ(serial.stats().app_solves, par.stats().app_solves);
+    EXPECT_EQ(serial.stats().app_cache_hits, par.stats().app_cache_hits);
+    EXPECT_EQ(serial.stats().app_cache_misses, par.stats().app_cache_misses);
+    EXPECT_GT(par.stats().app_cache_hits, 0u);
+}
+
+TEST_F(EvaluatorTest, QuantizeRejectsNegativeAndNaNRates) {
+    EXPECT_THROW((void)eval_memo::quantize({-1.0}, 0.0), invariant_error);
+    EXPECT_THROW((void)eval_memo::quantize({40.0, -0.5}, 2.0), invariant_error);
+    EXPECT_THROW(
+        (void)eval_memo::quantize({std::numeric_limits<double>::quiet_NaN()}, 0.0),
+        invariant_error);
+    EXPECT_THROW(
+        (void)eval_memo::quantize({std::numeric_limits<double>::infinity()}, 1.0),
+        invariant_error);
+    // Zero is a legitimate rate (an idle application), in both key modes.
+    EXPECT_EQ(eval_memo::quantize({0.0}, 0.0).size(), 1u);
+    EXPECT_EQ(eval_memo::quantize({0.0}, 2.0).size(), 1u);
+    EXPECT_THROW(serial_evaluator(model, utility_model{}, {},
+                                  evaluation_options{}.with_app_cache_capacity(0)),
+                 invariant_error);
 }
 
 // ---- search determinism ----------------------------------------------------

@@ -188,5 +188,67 @@ TEST_F(SolverFixture, ClosedLoopBoundDisabledGrowsLarger) {
               bounded.apps[0].mean_response_time);
 }
 
+// The decomposed entry points must compose back to solve() bit-for-bit:
+// compute_host_loads() then solve_app() per app is exactly one solve(). The
+// delta-evaluation cache (core/evaluator) is sound only because of this.
+TEST_F(SolverFixture, SolveComposesFromHostLoadsAndPerAppSolves) {
+    const auto spec2 = apps::rubis_browsing("r2");
+    // Two apps sharing hosts (cross-app contention through inflation) plus
+    // one overcommitted host to exercise the saturation path.
+    std::vector<app_deployment> apps = isolated_rubis(spec_, 45.0, 0.4);
+    app_deployment other;
+    other.spec = &spec2;
+    other.rate = 60.0;
+    other.tiers.resize(spec2.tier_count());
+    for (std::size_t t = 0; t < spec2.tier_count(); ++t) {
+        other.tiers[t].replicas.push_back({t, 0.9});  // co-located with app 0
+    }
+    apps.push_back(other);
+
+    const auto whole = solve(apps, 3);
+    const auto loads = compute_host_loads(apps, 3);
+    ASSERT_EQ(whole.host_utilization, loads.utilization);
+    ASSERT_EQ(whole.host_demand, loads.demand);
+
+    bool saturated = loads.overcommitted;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const auto part = solve_app(apps[a], loads.inflation);
+        EXPECT_EQ(part.mean_response_time, whole.apps[a].mean_response_time) << a;
+        EXPECT_EQ(part.per_transaction, whole.apps[a].per_transaction) << a;
+        ASSERT_EQ(part.tiers.size(), whole.apps[a].tiers.size());
+        for (std::size_t t = 0; t < part.tiers.size(); ++t) {
+            EXPECT_EQ(part.tiers[t].utilization, whole.apps[a].tiers[t].utilization);
+            EXPECT_EQ(part.tiers[t].cpu_usage, whole.apps[a].tiers[t].cpu_usage);
+            EXPECT_EQ(part.tiers[t].visit_response,
+                      whole.apps[a].tiers[t].visit_response);
+        }
+        EXPECT_EQ(part.saturated, whole.apps[a].saturated) << a;
+        saturated = saturated || part.saturated;
+    }
+    EXPECT_EQ(saturated, whole.saturated);
+}
+
+// An app's sub-solve depends on other apps only through host inflation: with
+// the neighbor's load folded into the inflation vector, the co-located app
+// solves identically whether or not the neighbor is in the deployment list.
+TEST_F(SolverFixture, InflationIsTheOnlyCrossAppChannel) {
+    const auto spec2 = apps::rubis_browsing("r2");
+    auto apps = isolated_rubis(spec_, 45.0, 0.4);
+    app_deployment other;
+    other.spec = &spec2;
+    other.rate = 80.0;
+    other.tiers.resize(spec2.tier_count());
+    for (std::size_t t = 0; t < spec2.tier_count(); ++t) {
+        other.tiers[t].replicas.push_back({t, 0.9});
+    }
+    apps.push_back(other);
+
+    const auto loads = compute_host_loads(apps, 3);
+    const auto from_pair = solve(apps, 3);
+    const auto alone = solve_app(apps[0], loads.inflation);
+    EXPECT_EQ(alone.mean_response_time, from_pair.apps[0].mean_response_time);
+    EXPECT_EQ(alone.per_transaction, from_pair.apps[0].per_transaction);
+}
+
 }  // namespace
 }  // namespace mistral::lqn
