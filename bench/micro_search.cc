@@ -270,6 +270,53 @@ int run_smoke() {
     if (on.lqn_solves * 2 > off.lqn_solves) {
         fail("delta evaluation saved less than 2x in LQN sub-solves");
     }
+
+    // Degraded-guard overhead gate: on clean telemetry the degraded-mode
+    // subsystem (validator, divergence guard, fallback ladder) must leave
+    // decisions bit-identical and cost < 2 % in modeled decision latency —
+    // the hardware-independent metric the sweep regresses against. Wall
+    // clock is printed for the log but, as everywhere here, never gated.
+    {
+        core::controller_options guard_off;
+        guard_off.degraded.enabled = false;
+        guard_off.arma.divergence.enabled = false;
+        core::mistral_controller guarded(scn.model,
+                                         cost::cost_table::paper_defaults(), {});
+        core::mistral_controller bare(scn.model,
+                                      cost::cost_table::paper_defaults(),
+                                      guard_off);
+        double on_modeled = 0.0, off_modeled = 0.0;
+        double on_wall = 0.0, off_wall = 0.0;
+        bool identical = true;
+        for (int i = 0; i < 20; ++i) {
+            const seconds t = i * 120.0;
+            const std::vector<req_per_sec> step_rates(
+                4, 40.0 + 20.0 * static_cast<double>(i % 3));
+            auto t0 = std::chrono::steady_clock::now();
+            const auto da = guarded.step({t, step_rates, scn.initial, 1.0});
+            auto t1 = std::chrono::steady_clock::now();
+            const auto db = bare.step({t, step_rates, scn.initial, 1.0});
+            auto t2 = std::chrono::steady_clock::now();
+            on_wall += std::chrono::duration<double, std::milli>(t1 - t0).count();
+            off_wall += std::chrono::duration<double, std::milli>(t2 - t1).count();
+            on_modeled += da.stats.duration;
+            off_modeled += db.stats.duration;
+            identical = identical && da.invoked == db.invoked &&
+                        da.actions == db.actions &&
+                        da.expected_utility == db.expected_utility;
+        }
+        std::printf("smoke: guard=on  wall %8.2f ms  modeled %10.4f s\n",
+                    on_wall, on_modeled);
+        std::printf("smoke: guard=off wall %8.2f ms  modeled %10.4f s\n",
+                    off_wall, off_modeled);
+        if (!identical) {
+            fail("degraded guard changed healthy-path decisions");
+        }
+        if (off_modeled > 0.0 && on_modeled > 1.02 * off_modeled) {
+            fail("degraded guard adds >2% modeled decision latency on the "
+                 "healthy path");
+        }
+    }
     if (failures == 0) std::printf("smoke OK\n");
     return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,113 @@
+// Degraded-mode operation: surviving lying sensors.
+//
+// A two-hour scenario where the workload genuinely moves (a step and a
+// random walk), but the telemetry the controller sees is corrupted by a
+// sensor fault injector: spiked readings (rate × 2–10) and occasional
+// garbage (NaN / infinity / negative). The testbed's ground truth — and the
+// utility accounting — stays true, so the run measures what the faults
+// actually cost.
+//
+// Three controllers face the same corrupted stream:
+//
+//   * guarded  — degraded-mode defaults plus the opt-in jump check: spiked
+//     windows are graded degraded, the fallback ladder demotes to greedy
+//     (single-action plans), and every transition is journaled;
+//   * naive    — validator, divergence guard, and ladder all disabled; it
+//     believes every spike. (Garbage faults are left out of its schedule:
+//     a NaN rate would trip the monitor's invariant check outright.)
+//   * baseline — the guarded controller on clean sensors, for reference.
+//
+// Build & run:  ./build/examples/degraded_telemetry
+#include <iomanip>
+#include <iostream>
+
+#include "core/experiment.h"
+#include "cost/table.h"
+#include "obs/journal.h"
+#include "workload/generators.h"
+
+using namespace mistral;
+
+namespace {
+
+core::scenario make_scenario(const sim::sensor_fault_options& sensors,
+                             obs::sink* sink) {
+    wl::generator_options gen;
+    gen.duration = 2.0 * 3600.0;
+    gen.noise = 0.02;
+    core::scenario_options opts;
+    opts.host_count = 4;
+    opts.app_count = 2;
+    opts.traces = {wl::step_trace("step", 30.0, 60.0, 3600.0, gen),
+                   wl::random_walk_trace("walk", 30.0, 70.0, 0.08, gen)};
+    opts.sensor_faults = sensors;
+    opts.sink = sink;
+    return core::make_rubis_scenario(opts);
+}
+
+}  // namespace
+
+int main() {
+    sim::sensor_fault_options sensors;
+    sensors.spike_probability = 0.12;
+
+    // Guarded: degraded-mode defaults + the opt-in jump plausibility check
+    // (spikes at least double the reading, so a 1.8× fence catches them).
+    obs::memory_sink journal;
+    core::controller_options guarded_opts;
+    guarded_opts.degraded.validator.max_jump_factor = 1.8;
+    guarded_opts.degraded.validator.jump_slack = 10.0;
+    guarded_opts.sink = &journal;
+    auto scn = make_scenario(sensors, &journal);
+    core::mistral_strategy guarded(scn.model, cost::cost_table::paper_defaults(),
+                                   guarded_opts);
+    const auto with_guard = core::run_scenario(scn, guarded);
+
+    // Naive: same corrupted observations, guard machinery disabled.
+    core::controller_options naive_opts;
+    naive_opts.degraded.enabled = false;
+    naive_opts.arma.divergence.enabled = false;
+    auto scn_naive = make_scenario(sensors, nullptr);
+    core::mistral_strategy naive(scn_naive.model,
+                                 cost::cost_table::paper_defaults(), naive_opts);
+    const auto without_guard = core::run_scenario(scn_naive, naive);
+
+    // Baseline: clean sensors.
+    auto scn_clean = make_scenario({}, nullptr);
+    core::mistral_strategy clean(scn_clean.model,
+                                 cost::cost_table::paper_defaults());
+    const auto fault_free = core::run_scenario(scn_clean, clean);
+
+    std::cout << "telemetry faults injected: "
+              << journal.count("telemetry_fault") << " corrupted windows\n";
+    std::cout << "ladder transitions:\n";
+    for (const auto& e : journal.events()) {
+        if (e.type != "ladder_transition") continue;
+        const auto* dir = e.find("direction");
+        const auto* from = e.find("from");
+        const auto* to = e.find("to");
+        const auto* reason = e.find("reason");
+        std::cout << "  t=" << std::setw(6) << e.time << "  " << dir->text
+                  << "  " << from->text << " -> " << to->text << "  ("
+                  << reason->text << ")\n";
+    }
+    const auto& deg = guarded.controller().degraded();
+    std::cout << "guarded controller: " << deg.degraded_windows
+              << " degraded windows, " << deg.demotions << " demotions, "
+              << deg.greedy_decisions << " greedy decisions, "
+              << deg.held_triggers << " held triggers\n\n";
+
+    std::cout << std::fixed << std::setprecision(2);
+    std::cout << "cumulative utility over the run:\n";
+    std::cout << "  clean sensors            $" << fault_free.cumulative_utility
+              << "\n";
+    std::cout << "  spiked sensors, guarded  $" << with_guard.cumulative_utility
+              << "\n";
+    std::cout << "  spiked sensors, naive    $"
+              << without_guard.cumulative_utility << "\n";
+    std::cout << "\nThe guard costs nothing when sensors are clean (the\n"
+                 "fault-free run is byte-identical with it on or off) and\n"
+                 "keeps the corrupted run close to the clean one; the naive\n"
+                 "controller pays for every phantom spike it believes.\n";
+    return 0;
+}

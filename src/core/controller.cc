@@ -21,7 +21,27 @@ controller_options inherit_search_sink(controller_options options) {
     return options;
 }
 
+// The greedy rung plans at most one action under a small expansion budget;
+// everything else (menu, scopes, evaluation tuning) matches the main search.
+search_options greedy_rung_options(const controller_options& options) {
+    search_options out = options.search;
+    out.max_plan_actions = 1;
+    out.seed_beyond_plan_limit = false;  // the one-action bound is the contract
+    out.max_expansions =
+        std::min(out.max_expansions, options.degraded.greedy_max_expansions);
+    return out;
+}
+
 }  // namespace
+
+const char* to_string(control_mode mode) {
+    switch (mode) {
+        case control_mode::full: return "full";
+        case control_mode::greedy: return "greedy";
+        case control_mode::hold: return "hold";
+    }
+    return "?";
+}
 
 mistral_controller::mistral_controller(const cluster::cluster_model& model,
                                        cost::cost_table costs,
@@ -33,7 +53,10 @@ mistral_controller::mistral_controller(const cluster::cluster_model& model,
       costs_(std::move(costs)),
       search_(model, utility_, costs_, options_.search),
       meter_(meter ? std::move(meter) : std::make_unique<model_clock_meter>()),
-      monitor_(model.app_count(), options_.band_width) {
+      monitor_(model.app_count(), options_.band_width),
+      validator_(model.app_count(), options_.degraded.validator),
+      greedy_search_(model, utility_, costs_, greedy_rung_options(options_),
+                     search_.shared_evaluator()) {
     MISTRAL_CHECK(options_.min_control_window > 0.0);
     MISTRAL_CHECK(options_.max_control_window >= options_.min_control_window);
     MISTRAL_CHECK(options_.band_width >= 0.0);
@@ -41,11 +64,15 @@ mistral_controller::mistral_controller(const cluster::cluster_model& model,
     MISTRAL_CHECK(options_.reconcile.max_retries >= 0);
     MISTRAL_CHECK(options_.reconcile.base_backoff >= 0.0);
     MISTRAL_CHECK(options_.reconcile.backoff_factor >= 1.0);
+    MISTRAL_CHECK(options_.degraded.promote_after >= 1);
+    MISTRAL_CHECK(options_.degraded.search_deadline_fraction > 0.0);
+    MISTRAL_CHECK(options_.degraded.greedy_max_expansions >= 1);
     predictors_.reserve(model.app_count());
     for (std::size_t a = 0; a < model.app_count(); ++a) {
         predict::arma_options arma = options_.arma;
         predictors_.emplace_back(arma);
     }
+    prev_trusted_.assign(model.app_count(), true);
     if (auto* reg = obs::metrics_of(options_.sink)) {
         obs_decisions_ = reg->register_counter(
             "mistral_controller_decisions_total",
@@ -65,6 +92,15 @@ mistral_controller::mistral_controller(const cluster::cluster_model& model,
         obs_wasted_dollars_ = reg->register_gauge(
             "mistral_controller_wasted_transient_dollars",
             "Wasted-adaptation ledger: power-side cost of aborted transients");
+        obs_degraded_windows_ = reg->register_counter(
+            "mistral_controller_degraded_windows_total",
+            "Observation windows whose telemetry verdict was below healthy");
+        obs_demotions_ = reg->register_counter(
+            "mistral_controller_ladder_demotions_total",
+            "Fallback-ladder moves toward hold");
+        obs_promotions_ = reg->register_counter(
+            "mistral_controller_ladder_promotions_total",
+            "Fallback-ladder moves toward full");
     }
 }
 
@@ -80,11 +116,12 @@ dollars mistral_controller::pessimistic_expected_utility(seconds cw) const {
     return lowest * cw / options_.utility.monitoring_interval;
 }
 
-void mistral_controller::account_faults(const decision_input& in) {
+void mistral_controller::account_faults(const decision_input& in,
+                                        const std::vector<req_per_sec>& rates) {
     for (const auto& a : in.failed) {
         ++rstats_.failed_actions;
         obs_failed_actions_.add();
-        const auto entry = costs_.lookup(*model_, a, in.rates);
+        const auto entry = costs_.lookup(*model_, a, rates);
         rstats_.wasted_adaptation_time += entry.duration;
         rstats_.wasted_transient_cost +=
             entry.duration * -utility_.power_rate(std::max(0.0, entry.delta_power));
@@ -95,11 +132,74 @@ void mistral_controller::account_faults(const decision_input& in) {
     }
 }
 
+void mistral_controller::update_ladder(control_mode target, const char* reason,
+                                       seconds now) {
+    const auto rank = [](control_mode m) { return static_cast<int>(m); };
+    control_mode from = mode_;
+    const char* direction = nullptr;
+    if (rank(target) > rank(mode_)) {
+        // Demote immediately: a rung was selected because the inputs cannot
+        // support anything more ambitious right now.
+        mode_ = target;
+        clean_steps_ = 0;
+        ++dstats_.demotions;
+        obs_demotions_.add();
+        direction = "demote";
+    } else if (rank(target) < rank(mode_)) {
+        // Promote with hysteresis, one rung at a time.
+        ++clean_steps_;
+        if (clean_steps_ >= options_.degraded.promote_after) {
+            mode_ = static_cast<control_mode>(rank(mode_) - 1);
+            clean_steps_ = 0;
+            ++dstats_.promotions;
+            obs_promotions_.add();
+            direction = "promote";
+            reason = "recovered";
+        }
+    } else {
+        clean_steps_ = 0;
+    }
+    if (direction != nullptr && obs::journaling(options_.sink)) {
+        obs::event e("ladder_transition", now);
+        e.text("direction", direction)
+            .text("from", to_string(from))
+            .text("to", to_string(mode_))
+            .text("reason", reason);
+        options_.sink->record(e);
+    }
+}
+
 controller_decision mistral_controller::step(const decision_input& in) {
     const seconds now = in.now;
-    const auto& rates = in.rates;
-    MISTRAL_CHECK(rates.size() == model_->app_count());
+    MISTRAL_CHECK(in.rates.size() == model_->app_count());
     controller_decision decision;
+
+    // Grade the window before anything downstream sees it. A disabled
+    // validator — and a healthy verdict — pass the measured rates through
+    // with identical bits, so this stage is inert on clean telemetry.
+    const auto& deg = options_.degraded;
+    wl::quality_verdict verdict;
+    if (deg.enabled) {
+        wl::telemetry_window window;
+        window.time = now;
+        window.rates = in.rates;
+        window.response_times = in.response_times;
+        window.samples = in.samples;
+        verdict = validator_.validate(window);
+    } else {
+        verdict.rates = in.rates;
+        verdict.app_flags.assign(in.rates.size(), wl::quality_ok);
+    }
+    const std::vector<req_per_sec>& rates = verdict.rates;
+    decision.telemetry_quality = verdict.quality;
+    decision.mode = mode_;
+    if (!verdict.healthy()) {
+        ++dstats_.degraded_windows;
+        obs_degraded_windows_.add();
+        if (verdict.quality == wl::window_quality::garbage) {
+            ++dstats_.garbage_windows;
+        }
+    }
 
     // One journal record per step (including holds and in-band no-ops), so a
     // journal reader sees every interval's predicted-vs-realized state.
@@ -135,7 +235,9 @@ controller_decision mistral_controller::step(const decision_input& in) {
             .integer("fault_rounds", fault_rounds_)
             .boolean("drift", drift)
             .num("wasted_seconds", rstats_.wasted_adaptation_time)
-            .num("wasted_dollars", rstats_.wasted_transient_cost);
+            .num("wasted_dollars", rstats_.wasted_transient_cost)
+            .text("mode", to_string(decision.mode))
+            .text("quality", wl::to_string(decision.telemetry_quality));
         options_.sink->record(e);
     };
 
@@ -151,8 +253,34 @@ controller_decision mistral_controller::step(const decision_input& in) {
         predictors_[event.exceeded[i]].observe(event.completed_intervals[i]);
     }
 
+    // Divergence-guard bookkeeping: journal trust flips, and widen the
+    // workload bands by the worst drifting predictor's multiplier (exactly
+    // 1.0 while every predictor tracks — bit-identical band checks).
+    bool any_untrusted = false;
+    if (deg.enabled) {
+        double band_scale = 1.0;
+        for (std::size_t a = 0; a < predictors_.size(); ++a) {
+            const auto& p = predictors_[a];
+            if (!p.trusted()) any_untrusted = true;
+            band_scale = std::max(band_scale, p.band_multiplier());
+            if (p.trusted() != prev_trusted_[a]) {
+                prev_trusted_[a] = p.trusted();
+                if (obs::journaling(options_.sink)) {
+                    obs::event e("predictor_divergence", now);
+                    e.integer("app", static_cast<std::int64_t>(a))
+                        .boolean("trusted", p.trusted())
+                        .num("drift", p.drift())
+                        .integer("reestimation_attempts", p.reestimation_attempts())
+                        .boolean("reestimation_active", p.reestimation_active());
+                    options_.sink->record(e);
+                }
+            }
+        }
+        monitor_.set_band_scale(band_scale);
+    }
+
     const auto& rec = options_.reconcile;
-    account_faults(in);
+    account_faults(in, rates);
     const bool fault_signal = !in.failed.empty() || !in.hosts_failed.empty() ||
                               !in.hosts_recovered.empty();
     if (!fault_signal) fault_rounds_ = 0;
@@ -198,11 +326,37 @@ controller_decision mistral_controller::step(const decision_input& in) {
         }
     }
 
+    // Fallback ladder: pick the rung this step's inputs can support, demote
+    // immediately, promote with hysteresis. Structural repair above runs in
+    // every mode (a fenced safety action); everything below is gated.
+    if (deg.enabled) {
+        control_mode target = control_mode::full;
+        const char* reason = "healthy";
+        if (any_untrusted) {
+            target = control_mode::hold;
+            reason = "predictor_untrusted";
+        } else if (verdict.quality == wl::window_quality::garbage) {
+            target = control_mode::greedy;
+            reason = "telemetry_garbage";
+        } else if (verdict.quality == wl::window_quality::degraded) {
+            target = control_mode::greedy;
+            reason = "telemetry_degraded";
+        } else if (deadline_tripped_) {
+            target = control_mode::greedy;
+            reason = "search_deadline";
+        }
+        update_ladder(target, reason, now);
+    }
+    decision.mode = mode_;
+
     // A fault signal forces a replan even inside the workload band, bounded
     // by max_retries consecutive rounds with geometric backoff between them.
+    // On the hold rung fault replans are suppressed too: replanning is
+    // exactly the adaptation an untrusted predictor cannot justify (the
+    // structural-repair path above already handled safety).
     bool force = false;
-    if (rec.enabled && fault_signal && now + 1e-9 >= backoff_until_ &&
-        fault_rounds_ < rec.max_retries) {
+    if (rec.enabled && mode_ != control_mode::hold && fault_signal &&
+        now + 1e-9 >= backoff_until_ && fault_rounds_ < rec.max_retries) {
         force = true;
         backoff_until_ =
             now + rec.base_backoff * std::pow(rec.backoff_factor, fault_rounds_);
@@ -235,8 +389,30 @@ controller_decision mistral_controller::step(const decision_input& in) {
     }
     cw = std::min(cw, options_.max_control_window);
 
+    // Hold rung: the trigger is real, but interval predictions are untrusted,
+    // so re-center the bands on the new level and keep the last known-good
+    // configuration. Predictors keep observing (above), so trust can recover.
+    if (mode_ == control_mode::hold) {
+        ++dstats_.held_triggers;
+        decision.control_window = cw;
+        monitor_.recenter(now, rates);
+        emit_decision(trigger_name);
+        return decision;
+    }
+
+    const bool greedy = mode_ == control_mode::greedy;
     const dollars uh = pessimistic_expected_utility(cw);
-    auto result = search_.find(base, rates, cw, uh, *meter_, now);
+    auto result = (greedy ? greedy_search_ : search_).find(base, rates, cw, uh,
+                                                           *meter_, now);
+    if (greedy) ++dstats_.greedy_decisions;
+
+    // Deadline watchdog feeding the next step's rung selection.
+    if (deg.enabled) {
+        const bool tripped =
+            result.stats.duration > deg.search_deadline_fraction * cw;
+        if (tripped && !deadline_tripped_) ++dstats_.deadline_trips;
+        deadline_tripped_ = tripped;
+    }
 
     decision.invoked = true;
     obs_decisions_.add();
@@ -249,7 +425,13 @@ controller_decision mistral_controller::step(const decision_input& in) {
     if (!decision.actions.empty()) {
         intended_ = apply_plan(*model_, base, decision.actions);
     }
-    monitor_.recenter(now, rates);
+    // A greedy decision is deliberately partial: one action toward the ideal.
+    // Leaving the bands centered where they were keeps the still-deviating
+    // workload triggering, so the greedy rung converges one action per window
+    // — and the promotion back to full (bands still off-center) finishes the
+    // adaptation in one shot. Recentering here would declare the move handled
+    // after a single action and strand a half-adapted configuration.
+    if (!greedy) monitor_.recenter(now, rates);
     budget = uh;
     emit_decision(trigger_name);
     return decision;

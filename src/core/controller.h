@@ -49,6 +49,40 @@ struct reconcile_options {
     bool plan_against_actual = true;
 };
 
+// The fallback decision ladder's rungs, ordered by decreasing capability.
+// Demotion is immediate; promotion climbs one rung at a time after a run of
+// clean steps (hysteresis), so a flapping sensor cannot make the controller
+// oscillate between full optimization and holding.
+enum class control_mode {
+    full,    // healthy inputs: the self-aware A* plans freely
+    greedy,  // degraded telemetry or a blown search deadline: single-action plans
+             // under a small expansion budget
+    hold,    // untrusted predictor: keep the last known-good configuration;
+             // only fenced safety actions (structural repair) still execute
+};
+[[nodiscard]] const char* to_string(control_mode mode);
+
+// Degraded-mode operation: telemetry validation and the fallback ladder.
+// Enabled by default and provably inert on healthy inputs — the validator
+// passes clean measurements through bit-identically, the ladder stays on the
+// full rung, and the band scale stays exactly 1.0.
+struct degraded_options {
+    bool enabled = true;
+    // Telemetry grading (finiteness/range/empty always on; jump and stuck-at
+    // plausibility checks are opt-in, see workload/monitor.h).
+    wl::validator_options validator{};
+    // Consecutive clean steps before the ladder climbs one rung back up.
+    int promote_after = 3;
+    // Deadline watchdog: demote to greedy when the last search's metered
+    // duration exceeded this fraction of its control window. The self-aware
+    // search hard-stops at stop_factor · T̄ ≈ 10 % of CW, so the default can
+    // only trip when a meter reports genuine overrun (or the search is
+    // configured non-self-aware on a large cluster).
+    double search_deadline_fraction = 0.5;
+    // Expansion budget for the greedy single-action rung.
+    std::size_t greedy_max_expansions = 64;
+};
+
 struct controller_options {
     utility_params utility{};
     // Workload band width b (req/s). 0 re-evaluates on any change — the
@@ -66,6 +100,7 @@ struct controller_options {
     // How many recent interval utilities feed the pessimistic UH estimate.
     int utility_history = 5;
     reconcile_options reconcile{};
+    degraded_options degraded{};
     // Observability hook (obs/journal.h): when journaling, the controller
     // emits one "decision" record per step — trigger, predicted vs realized
     // utility, plan, search self-cost, wasted-adaptation ledger — and wires
@@ -94,6 +129,11 @@ struct decision_input {
     std::vector<cluster::action> in_flight{};  // still executing or queued
     std::vector<std::int32_t> hosts_failed{};     // crashed since last decision
     std::vector<std::int32_t> hosts_recovered{};  // failure mark cleared
+    // Optional telemetry channels for the validator (empty = the measurement
+    // pipeline does not report them). `samples` is completed requests per
+    // application: 0 marks an empty observation window.
+    std::vector<seconds> response_times{};
+    std::vector<double> samples{};
 };
 
 struct controller_decision {
@@ -105,6 +145,10 @@ struct controller_decision {
     search_stats stats;
     bool repair = false;      // actions are a structural repair, not a search plan
     bool reconciled = false;  // a fault signal (not the band) forced this run
+    // Ladder rung this decision was made on, and the telemetry verdict that
+    // (along with predictor trust and the deadline watchdog) selected it.
+    control_mode mode = control_mode::full;
+    wl::window_quality telemetry_quality = wl::window_quality::healthy;
 };
 
 // Running totals of the controller's fault handling (all zero without fault
@@ -120,6 +164,17 @@ struct reconcile_stats {
     // attributes it).
     seconds wasted_adaptation_time = 0.0;
     dollars wasted_transient_cost = 0.0;
+};
+
+// Running totals of degraded-mode operation (all zero on healthy inputs).
+struct degraded_stats {
+    std::int64_t degraded_windows = 0;  // telemetry verdicts below healthy
+    std::int64_t garbage_windows = 0;   // ... of which carried impossible values
+    std::int64_t demotions = 0;         // ladder moves toward hold
+    std::int64_t promotions = 0;        // ladder moves toward full
+    std::int64_t held_triggers = 0;     // triggers answered by holding position
+    std::int64_t greedy_decisions = 0;  // plans made on the greedy rung
+    std::int64_t deadline_trips = 0;    // search-deadline watchdog firings
 };
 
 class mistral_controller {
@@ -139,6 +194,10 @@ public:
     [[nodiscard]] const controller_options& options() const { return options_; }
     [[nodiscard]] const adaptation_search& search() const { return search_; }
     [[nodiscard]] const reconcile_stats& reconciliation() const { return rstats_; }
+    // Current ladder rung and degraded-mode totals.
+    [[nodiscard]] control_mode mode() const { return mode_; }
+    [[nodiscard]] const degraded_stats& degraded() const { return dstats_; }
+    [[nodiscard]] const wl::telemetry_validator& validator() const { return validator_; }
     [[nodiscard]] dollars wasted_transient_cost() const {
         return rstats_.wasted_transient_cost;
     }
@@ -151,6 +210,10 @@ private:
     adaptation_search search_;
     std::unique_ptr<search_meter> meter_;
     wl::workload_monitor monitor_;
+    wl::telemetry_validator validator_;
+    // The greedy rung: max one action under a small expansion budget, sharing
+    // the main search's evaluation engine (memo + app cache).
+    adaptation_search greedy_search_;
     std::vector<predict::stability_predictor> predictors_;
     std::vector<dollars> utility_history_;
     bool first_step_ = true;
@@ -161,6 +224,13 @@ private:
     int fault_rounds_ = 0;          // consecutive fault-triggered replans
     seconds backoff_until_ = 0.0;   // no fault-triggered replan before this
 
+    // Degraded-mode (fallback ladder) state.
+    control_mode mode_ = control_mode::full;
+    int clean_steps_ = 0;           // consecutive steps eligible for promotion
+    bool deadline_tripped_ = false; // last search blew its deadline fraction
+    std::vector<bool> prev_trusted_;  // per-predictor, for divergence events
+    degraded_stats dstats_;
+
     // Disabled one-branch no-ops unless options_.sink carries a registry.
     obs::counter obs_decisions_;
     obs::counter obs_repairs_;
@@ -168,9 +238,16 @@ private:
     obs::counter obs_failed_actions_;
     obs::gauge obs_wasted_seconds_;
     obs::gauge obs_wasted_dollars_;
+    obs::counter obs_degraded_windows_;
+    obs::counter obs_demotions_;
+    obs::counter obs_promotions_;
 
     [[nodiscard]] dollars pessimistic_expected_utility(seconds cw) const;
-    void account_faults(const decision_input& in);
+    void account_faults(const decision_input& in,
+                        const std::vector<req_per_sec>& rates);
+    // One ladder step: demote immediately to `target` when it is a lower
+    // rung, climb one rung after promote_after consecutive cleaner steps.
+    void update_ladder(control_mode target, const char* reason, seconds now);
 };
 
 }  // namespace mistral::core

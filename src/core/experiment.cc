@@ -69,6 +69,10 @@ run_result run_scenario(const scenario& scn, strategy& strat) {
     if (tb_options.sink == nullptr) tb_options.sink = scn.options.sink;
     sim::testbed tb(model, scn.initial, tb_options);
     const utility_model util{scn.options.utility};
+    // Sensor faults corrupt only what the strategy observes; the utility
+    // accounting below always uses the true rates.
+    sim::sensor_fault_injector sensors(scn.options.sensor_faults,
+                                       scn.options.seed ^ 0x5e4150f4c75ULL);
 
     run_result out;
     out.strategy_name = strat.name();
@@ -94,12 +98,38 @@ run_result run_scenario(const scenario& scn, strategy& strat) {
         rates.reserve(model.app_count());
         for (const auto& tr : scn.traces) rates.push_back(tr.mean_rate(t, t + interval));
 
+        // What the strategy *observes* this window. An armed injector runs
+        // every window (its delay/stuck state is per window, not per
+        // decision); an inert one leaves the true rates untouched.
+        std::vector<req_per_sec> observed_rates = rates;
+        std::vector<double> observed_samples;
+        if (!sensors.inert()) {
+            wl::telemetry_window window;
+            window.time = t;
+            window.duration = interval;
+            window.rates = rates;
+            window.samples.reserve(model.app_count());
+            for (const auto r : rates) window.samples.push_back(r * interval);
+            const auto faults = sensors.corrupt(window);
+            observed_rates = std::move(window.rates);
+            observed_samples = std::move(window.samples);
+            if (obs::journaling(scn.options.sink)) {
+                for (const auto& f : faults) {
+                    obs::event e("telemetry_fault", t);
+                    e.integer("app", static_cast<std::int64_t>(f.app))
+                        .text("kind", sim::to_string(f.kind));
+                    scn.options.sink->record(e);
+                }
+            }
+        }
+
         // While a previous sequence is still executing, the controller holds
         // off — re-planning against a configuration that is mid-transition
         // would race the in-flight actions.
         strategy::outcome decision;
         if (!tb.busy()) {
-            decision_input din{t, rates, tb.config(), last_utility};
+            decision_input din{t, observed_rates, tb.config(), last_utility};
+            din.samples = std::move(observed_samples);
             din.failed = std::move(pending_failed);
             din.hosts_failed = std::move(pending_hosts_failed);
             din.hosts_recovered = std::move(pending_hosts_recovered);

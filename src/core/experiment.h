@@ -20,6 +20,7 @@
 #include "common/stats.h"
 #include "common/time_series.h"
 #include "core/strategies.h"
+#include "sim/faults.h"
 #include "sim/testbed.h"
 #include "workload/trace.h"
 
@@ -36,6 +37,12 @@ struct scenario_options {
     seconds monitoring_interval = default_monitoring_interval;
     sim::testbed_options testbed{};
     utility_params utility{};
+    // Sensor-level fault injection (sim/faults.h): corrupts the telemetry
+    // windows the *strategy* observes, while the testbed's ground truth —
+    // and therefore the measured utility accounting — stays untouched. Inert
+    // by default: with all probabilities zero the harness never constructs a
+    // window and the run is byte-identical to a build without this knob.
+    sim::sensor_fault_options sensor_faults{};
     // Traces per application; when empty, the Fig. 4 workloads are generated
     // (truncated/cycled to app_count).
     std::vector<wl::trace> traces;

@@ -501,16 +501,24 @@ search_result adaptation_search::find(const configuration& current,
         return false;
     };
     {
-        // The seeded route is exempt from max_plan_actions: it comes from
-        // the deterministic planner, which cannot pad, and truncating a
-        // full-cluster rescue mid-route would leave only useless prefixes.
-        // Each step's configuration depends on the previous, so this short
-        // chain (≤ 64 evaluations) stays serial.
+        // The seeded route is normally exempt from max_plan_actions: it
+        // comes from the deterministic planner, which cannot pad, and
+        // truncating a full-cluster rescue mid-route would leave only
+        // useless prefixes. The greedy degraded rung opts out of the
+        // exemption (seed_beyond_plan_limit = false) — there the one-action
+        // bound is the contract, and the route's first step is still seeded
+        // as a candidate. Each step's configuration depends on the previous,
+        // so this short chain (≤ 64 evaluations) stays serial.
+        const int seed_limit =
+            options_.seed_beyond_plan_limit
+                ? 64
+                : static_cast<int>(std::min<std::size_t>(
+                      options_.max_plan_actions, 64));
         std::size_t at = 0;
         int seeded = 0;
         for (const auto& a : plan_transition(model, current, ideal.ideal)) {
             const vertex v = vertices[at];  // copy; vertices reallocates
-            if (++seeded > 64 || !menu_allows(a) ||
+            if (++seeded > seed_limit || !menu_allows(a) ||
                 !applicable(model, v.config, a) || !allowed(v.config, a)) {
                 break;
             }

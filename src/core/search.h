@@ -73,6 +73,12 @@ struct search_options {
     // in this problem size need at most a dozen actions; the bound is a
     // backstop against accrual-exploiting walks.
     std::size_t max_plan_actions = 16;
+    // The seeded planner route is normally exempt from max_plan_actions: a
+    // full-cluster rescue must survive as a candidate even when it is long.
+    // The degraded-mode greedy rung turns the exemption off so that *no*
+    // code path — seeding included — can emit more than max_plan_actions
+    // actions in a single decision.
+    bool seed_beyond_plan_limit = true;
     cluster::action_menu menu{};
     lqn::model_options lqn{};
     // Utility-evaluation engine tuning (threads, memo capacity, rate
@@ -137,6 +143,11 @@ public:
 
     [[nodiscard]] const search_options& options() const { return options_; }
     [[nodiscard]] utility_evaluator& evaluator() const { return *evaluator_; }
+    // The engine itself, for building sibling searches (e.g. the degraded
+    // ladder's greedy rung) that share this search's memo and app cache.
+    [[nodiscard]] const std::shared_ptr<utility_evaluator>& shared_evaluator() const {
+        return evaluator_;
+    }
 
     // Finds the best action sequence from `current` for workload `rates`
     // over the control window `cw`. `expected_utility` is the self-aware

@@ -12,6 +12,20 @@ stability_predictor::stability_predictor(arma_options options)
     MISTRAL_CHECK(options_.history >= 1);
     MISTRAL_CHECK(options_.gamma >= 0.0 && options_.gamma <= 1.0);
     MISTRAL_CHECK(options_.initial_estimate > 0.0);
+    const divergence_options& d = options_.divergence;
+    MISTRAL_CHECK(d.slack >= 0.0);
+    MISTRAL_CHECK(d.error_cap > d.slack);
+    MISTRAL_CHECK(d.error_floor > 0.0);
+    MISTRAL_CHECK(d.soft_threshold > 0.0);
+    MISTRAL_CHECK(d.hard_threshold > d.soft_threshold);
+    MISTRAL_CHECK(d.max_band_scale >= 1.0);
+    MISTRAL_CHECK(d.drift_ceiling_factor >= 1.0);
+    MISTRAL_CHECK(d.reestimate_order >= 1);
+    MISTRAL_CHECK(d.reestimate_min_observations > d.reestimate_order + 1);
+    MISTRAL_CHECK(d.reestimate_window >= d.reestimate_min_observations);
+    MISTRAL_CHECK(d.reestimate_max_retries >= 0);
+    MISTRAL_CHECK(d.reestimate_backoff >= 1);
+    MISTRAL_CHECK(d.min_pivot > 0.0);
 }
 
 seconds stability_predictor::observe(seconds measured) {
@@ -55,6 +69,10 @@ seconds stability_predictor::observe(seconds measured) {
     if (recent_measured_.size() > static_cast<std::size_t>(options_.history)) {
         recent_measured_.pop_front();
     }
+
+    // The guard runs after (and never alters) the blend above; it can only
+    // replace estimate_ once a hard alarm has declared the blend untrusted.
+    if (options_.divergence.enabled) update_guard(measured);
     return estimate_;
 }
 
@@ -67,6 +85,172 @@ double stability_predictor::mape_percent() const {
         ++n;
     }
     return n ? 100.0 * sum / static_cast<double>(n) : 0.0;
+}
+
+// --- divergence guard -------------------------------------------------------
+
+double stability_predictor::band_multiplier() const {
+    const divergence_options& d = options_.divergence;
+    if (!d.enabled || cusum_ <= d.soft_threshold) return 1.0;
+    const double t = std::min(
+        1.0, (cusum_ - d.soft_threshold) / (d.hard_threshold - d.soft_threshold));
+    return 1.0 + t * (d.max_band_scale - 1.0);
+}
+
+bool stability_predictor::reestimation_exhausted() const {
+    return !trusted_ && !fit_valid_ &&
+           fit_attempts_ >= options_.divergence.reestimate_max_retries;
+}
+
+void stability_predictor::update_guard(seconds measured) {
+    const divergence_options& d = options_.divergence;
+    // Skip the first observation: its "prediction" is the cold-start
+    // constant, not something the filter produced (same reasoning as
+    // mape_percent skipping j = 0).
+    if (all_measured_.size() < 2) return;
+    const double in_force = all_estimates_.back();
+    const double norm_error =
+        std::min(std::abs(in_force - measured) / std::max(measured, d.error_floor),
+                 d.error_cap);
+    cusum_ = std::max(0.0, cusum_ + norm_error - d.slack);
+    cusum_ = std::min(cusum_, d.hard_threshold * d.drift_ceiling_factor);
+
+    if (trusted_ && cusum_ >= d.hard_threshold) {
+        trusted_ = false;
+        ++divergence_count_;
+        fit_attempts_ = 0;
+        fit_valid_ = false;
+        next_fit_at_ = all_measured_.size();  // eligible immediately
+    } else if (!trusted_ && cusum_ < d.soft_threshold) {
+        // Predictions track again; return to the paper's blend.
+        trusted_ = true;
+        fit_valid_ = false;
+        fit_coeffs_.clear();
+    }
+
+    if (!trusted_) attempt_reestimate();
+}
+
+void stability_predictor::attempt_reestimate() {
+    const divergence_options& d = options_.divergence;
+    if (fit_valid_) {
+        estimate_ = ar_predict();
+        return;
+    }
+    if (fit_attempts_ >= d.reestimate_max_retries) return;  // exhausted: keep blend
+    if (all_measured_.size() < next_fit_at_) return;        // backing off
+    ++fit_attempts_;
+    if (fit_ar()) {
+        fit_valid_ = true;
+        estimate_ = ar_predict();
+    } else {
+        // Ill-conditioned (or not enough history): wait for more data, with
+        // the wait doubling on every further failure.
+        const std::size_t backoff = static_cast<std::size_t>(d.reestimate_backoff)
+                                    << (fit_attempts_ - 1);
+        next_fit_at_ = all_measured_.size() + backoff;
+    }
+}
+
+bool stability_predictor::fit_ar() {
+    const divergence_options& d = options_.divergence;
+    const int p = d.reestimate_order;
+    const std::size_t total = all_measured_.size();
+    if (total < static_cast<std::size_t>(d.reestimate_min_observations)) {
+        return false;
+    }
+    const std::size_t window =
+        std::min(total, static_cast<std::size_t>(d.reestimate_window));
+    const std::size_t first = total - window;
+
+    // Least squares for y_t = Σ_i c_i·y_{t−1−i} + intercept over the window,
+    // via the (p+1)×(p+1) normal equations.
+    const int m = p + 1;
+    std::vector<double> ata(static_cast<std::size_t>(m) * m, 0.0);
+    std::vector<double> atb(m, 0.0);
+    std::size_t rows = 0;
+    for (std::size_t t = first + static_cast<std::size_t>(p); t < total; ++t) {
+        std::vector<double> x(m, 1.0);  // x[p] stays 1 (intercept)
+        for (int i = 0; i < p; ++i) {
+            x[static_cast<std::size_t>(i)] = all_measured_[t - 1 - static_cast<std::size_t>(i)];
+        }
+        const double y = all_measured_[t];
+        for (int r = 0; r < m; ++r) {
+            for (int c = 0; c < m; ++c) {
+                ata[static_cast<std::size_t>(r) * m + c] += x[r] * x[c];
+            }
+            atb[static_cast<std::size_t>(r)] += x[r] * y;
+        }
+        ++rows;
+    }
+    if (rows < static_cast<std::size_t>(2 * m)) return false;
+
+    // Gaussian elimination with partial pivoting; a pivot below
+    // min_pivot × (largest diagonal magnitude) marks the system singular —
+    // e.g. a constant history makes the lag columns collinear with the
+    // intercept.
+    double scale = 0.0;
+    for (int i = 0; i < m; ++i) {
+        scale = std::max(scale, std::abs(ata[static_cast<std::size_t>(i) * m + i]));
+    }
+    if (scale <= 0.0) return false;
+    for (int col = 0; col < m; ++col) {
+        int pivot_row = col;
+        double pivot = std::abs(ata[static_cast<std::size_t>(col) * m + col]);
+        for (int r = col + 1; r < m; ++r) {
+            const double v = std::abs(ata[static_cast<std::size_t>(r) * m + col]);
+            if (v > pivot) {
+                pivot = v;
+                pivot_row = r;
+            }
+        }
+        if (pivot < d.min_pivot * scale) return false;  // singular
+        if (pivot_row != col) {
+            for (int c = 0; c < m; ++c) {
+                std::swap(ata[static_cast<std::size_t>(col) * m + c],
+                          ata[static_cast<std::size_t>(pivot_row) * m + c]);
+            }
+            std::swap(atb[static_cast<std::size_t>(col)],
+                      atb[static_cast<std::size_t>(pivot_row)]);
+        }
+        const double diag = ata[static_cast<std::size_t>(col) * m + col];
+        for (int r = col + 1; r < m; ++r) {
+            const double factor = ata[static_cast<std::size_t>(r) * m + col] / diag;
+            if (factor == 0.0) continue;
+            for (int c = col; c < m; ++c) {
+                ata[static_cast<std::size_t>(r) * m + c] -=
+                    factor * ata[static_cast<std::size_t>(col) * m + c];
+            }
+            atb[static_cast<std::size_t>(r)] -= factor * atb[static_cast<std::size_t>(col)];
+        }
+    }
+    std::vector<double> coeffs(m, 0.0);
+    for (int r = m - 1; r >= 0; --r) {
+        double v = atb[static_cast<std::size_t>(r)];
+        for (int c = r + 1; c < m; ++c) {
+            v -= ata[static_cast<std::size_t>(r) * m + c] * coeffs[static_cast<std::size_t>(c)];
+        }
+        v /= ata[static_cast<std::size_t>(r) * m + r];
+        if (!std::isfinite(v)) return false;
+        coeffs[static_cast<std::size_t>(r)] = v;
+    }
+    fit_coeffs_ = std::move(coeffs);
+    return true;
+}
+
+seconds stability_predictor::ar_predict() const {
+    const int p = options_.divergence.reestimate_order;
+    MISTRAL_CHECK(fit_coeffs_.size() == static_cast<std::size_t>(p) + 1);
+    MISTRAL_CHECK(all_measured_.size() >= static_cast<std::size_t>(p));
+    double out = fit_coeffs_.back();  // intercept
+    const std::size_t total = all_measured_.size();
+    for (int i = 0; i < p; ++i) {
+        out += fit_coeffs_[static_cast<std::size_t>(i)] *
+               all_measured_[total - 1 - static_cast<std::size_t>(i)];
+    }
+    // A stability interval is a duration: clamp the regression output to a
+    // strictly positive floor so downstream CW clamping stays well-defined.
+    return std::max(out, 1.0);
 }
 
 }  // namespace mistral::predict

@@ -1,4 +1,4 @@
-// Adaptive ARMA stability-interval predictor.
+// Adaptive ARMA stability-interval predictor with a divergence guard.
 //
 // Section III-D: the next stability interval is predicted as
 //
@@ -12,6 +12,18 @@
 // with history window k = 3 and γ = 0.5 in the paper's experiments. The
 // filter leans on the current measurement when recent predictions tracked
 // well and shifts toward history when they did not.
+//
+// The divergence guard watches the one-step prediction error with a CUSUM
+// drift detector. Sustained drift first widens the workload bands (a
+// controller that cannot trust its interval predictions should re-trigger
+// less eagerly) and, past a hard threshold, declares the predictor
+// *untrusted* and triggers a least-squares AR re-estimation over the
+// measurement history. Re-estimation is retried a bounded number of times
+// with doubling backoff when the regression is ill-conditioned (singular
+// normal equations — e.g. a constant history), never propagating garbage
+// coefficients. The guard is strictly additive: the β-blend arithmetic above
+// is untouched, and while the predictor is trusted every estimate it emits
+// is bit-identical to a guard-free build.
 #pragma once
 
 #include <deque>
@@ -21,10 +33,50 @@
 
 namespace mistral::predict {
 
+// CUSUM drift detection + AR re-estimation knobs.
+struct divergence_options {
+    bool enabled = true;
+    // Normalized one-step error |CW^e − CW^m| / max(CW^m, error_floor) is
+    // accumulated as cusum = max(0, cusum + error − slack). The first
+    // observation is skipped: the cold-start estimate is a configured
+    // constant, not a prediction.
+    double slack = 1.5;
+    seconds error_floor = 30.0;
+    // Winsorized increment: each observation's normalized error is clamped to
+    // this before the slack subtraction, so a single wild transition (a flash
+    // crowd collapsing the measured interval under a still-long estimate) can
+    // add at most error_cap − slack to the drift. Isolated organic jumps
+    // drain on the next tracking observation; only a *persistent* streak of
+    // large errors — the signature of corrupted telemetry or a genuinely
+    // broken model — can climb to the thresholds.
+    double error_cap = 2.5;
+    // cusum ≥ soft_threshold starts widening the bands; ≥ hard_threshold
+    // declares the predictor untrusted. Trust returns when the accumulated
+    // drift drains back below soft_threshold.
+    double soft_threshold = 3.0;
+    double hard_threshold = 6.0;
+    // Band widening ramps linearly from 1 at soft_threshold to this at
+    // hard_threshold (and saturates there).
+    double max_band_scale = 3.0;
+    // The accumulated drift saturates at factor × hard_threshold, so recovery
+    // latency is bounded: however long a divergence lasted, trust returns
+    // after a bounded run of tracking observations.
+    double drift_ceiling_factor = 2.0;
+    // AR(p) re-estimation over the measurement history once untrusted.
+    int reestimate_order = 2;
+    int reestimate_min_observations = 8;
+    int reestimate_window = 64;      // most recent measurements used for the fit
+    int reestimate_max_retries = 3;
+    int reestimate_backoff = 4;      // observations to wait after a failed fit,
+                                     // doubling on each further retry
+    double min_pivot = 1e-9;         // relative pivot floor → singular verdict
+};
+
 struct arma_options {
     int history = 3;         // k: measurements/errors remembered
     double gamma = 0.5;      // weight of historical error vs current error
     seconds initial_estimate = 600.0;  // estimate used before any data
+    divergence_options divergence;
 };
 
 class stability_predictor {
@@ -51,7 +103,34 @@ public:
     // first observation, which had no informed estimate).
     [[nodiscard]] double mape_percent() const;
 
+    // --- divergence guard -------------------------------------------------
+
+    // False while the CUSUM detector holds a hard alarm; a controller should
+    // not trust interval predictions (and, per the fallback ladder, should
+    // hold its configuration) until this recovers.
+    [[nodiscard]] bool trusted() const { return trusted_; }
+
+    // ≥ 1; how much the workload bands should be widened right now. Exactly
+    // 1.0 while the accumulated drift is below the soft threshold.
+    [[nodiscard]] double band_multiplier() const;
+
+    // Current accumulated drift (0 when the guard is disabled).
+    [[nodiscard]] double drift() const { return cusum_; }
+
+    // Times the guard transitioned trusted → untrusted.
+    [[nodiscard]] int divergence_count() const { return divergence_count_; }
+
+    // Re-estimation bookkeeping since the last hard alarm.
+    [[nodiscard]] int reestimation_attempts() const { return fit_attempts_; }
+    [[nodiscard]] bool reestimation_exhausted() const;
+    [[nodiscard]] bool reestimation_active() const { return fit_valid_; }
+
 private:
+    void update_guard(seconds measured);
+    void attempt_reestimate();
+    [[nodiscard]] bool fit_ar();  // least squares over recent history
+    [[nodiscard]] seconds ar_predict() const;
+
     arma_options options_;
     seconds estimate_;
     double beta_ = 0.0;
@@ -59,6 +138,15 @@ private:
     std::deque<double> recent_errors_;     // last k smoothed errors
     std::vector<seconds> all_measured_;
     std::vector<seconds> all_estimates_;
+
+    // Guard state.
+    double cusum_ = 0.0;
+    bool trusted_ = true;
+    int divergence_count_ = 0;
+    int fit_attempts_ = 0;
+    std::size_t next_fit_at_ = 0;      // observation count gating the next try
+    bool fit_valid_ = false;
+    std::vector<double> fit_coeffs_;   // AR coefficients, then intercept
 };
 
 }  // namespace mistral::predict

@@ -107,4 +107,170 @@ std::vector<std::int32_t> fault_injector::take_recoveries_due(seconds t) {
     return due;
 }
 
+// ---------------------------------------------------------------------------
+// Sensor-level fault injection.
+
+const char* to_string(sensor_fault_kind kind) {
+    switch (kind) {
+        case sensor_fault_kind::none: return "none";
+        case sensor_fault_kind::drop: return "drop";
+        case sensor_fault_kind::delay: return "delay";
+        case sensor_fault_kind::duplicate: return "duplicate";
+        case sensor_fault_kind::spike: return "spike";
+        case sensor_fault_kind::garbage: return "garbage";
+        case sensor_fault_kind::stuck: return "stuck";
+    }
+    return "?";
+}
+
+bool sensor_fault_options::inert() const {
+    return drop_probability <= 0.0 && delay_probability <= 0.0 &&
+           duplicate_probability <= 0.0 && spike_probability <= 0.0 &&
+           garbage_probability <= 0.0 && stuck_probability <= 0.0;
+}
+
+sensor_fault_options sensor_fault_options::uniform(double probability) {
+    sensor_fault_options out;
+    out.drop_probability = probability;
+    out.delay_probability = probability;
+    out.duplicate_probability = probability;
+    out.spike_probability = probability;
+    out.garbage_probability = probability;
+    out.stuck_probability = probability;
+    return out;
+}
+
+sensor_fault_injector::sensor_fault_injector(sensor_fault_options options,
+                                             std::uint64_t seed)
+    : options_(options), draws_(seed), inert_(options_.inert()) {
+    const double probabilities[] = {
+        options_.drop_probability,      options_.delay_probability,
+        options_.duplicate_probability, options_.spike_probability,
+        options_.garbage_probability,   options_.stuck_probability,
+    };
+    double sum = 0.0;
+    for (double p : probabilities) {
+        MISTRAL_CHECK_MSG(p >= 0.0 && p <= 1.0, "sensor fault probability " << p);
+        sum += p;
+    }
+    MISTRAL_CHECK_MSG(sum <= 1.0 + 1e-12,
+                      "sensor fault probabilities sum to " << sum);
+    MISTRAL_CHECK(options_.spike_multiplier >= 2.0);
+    MISTRAL_CHECK(options_.stuck_windows >= 1);
+}
+
+std::vector<telemetry_fault> sensor_fault_injector::corrupt(
+    wl::telemetry_window& window) {
+    std::vector<telemetry_fault> faults;
+    if (inert_) return faults;
+
+    const std::size_t n = window.rates.size();
+    if (apps_.empty()) apps_.resize(n);
+    MISTRAL_CHECK_MSG(apps_.size() == n,
+                      "telemetry app count changed mid-run: " << apps_.size()
+                                                              << " -> " << n);
+    const bool has_rt = !window.response_times.empty();
+    const bool has_samples = !window.samples.empty();
+
+    for (std::size_t a = 0; a < n; ++a) {
+        app_state& st = apps_[a];
+        // Both draws happen unconditionally — even while a latch is active —
+        // so the fault schedule for later windows never shifts.
+        const double kind_draw = draws_.uniform();
+        const double magnitude_draw = draws_.uniform();
+
+        const double true_rate = window.rates[a];
+        const double true_rt = has_rt ? window.response_times[a] : 0.0;
+        const double true_samples = has_samples ? window.samples[a] : 0.0;
+
+        auto deliver = [&](double rate, double rt, double samples) {
+            window.rates[a] = rate;
+            if (has_rt) window.response_times[a] = rt;
+            if (has_samples) window.samples[a] = samples;
+        };
+
+        sensor_fault_kind applied = sensor_fault_kind::none;
+        if (st.latch_left > 0) {
+            // A previously stuck sensor keeps repeating its latched value.
+            deliver(st.prev_delivered_rate, st.prev_delivered_rt,
+                    st.prev_delivered_samples);
+            --st.latch_left;
+            applied = sensor_fault_kind::stuck;
+        } else {
+            double edge = options_.drop_probability;
+            if (kind_draw < edge) {
+                applied = sensor_fault_kind::drop;
+            } else if (kind_draw < (edge += options_.delay_probability)) {
+                applied = sensor_fault_kind::delay;
+            } else if (kind_draw < (edge += options_.duplicate_probability)) {
+                applied = sensor_fault_kind::duplicate;
+            } else if (kind_draw < (edge += options_.spike_probability)) {
+                applied = sensor_fault_kind::spike;
+            } else if (kind_draw < (edge += options_.garbage_probability)) {
+                applied = sensor_fault_kind::garbage;
+            } else if (kind_draw < (edge += options_.stuck_probability)) {
+                applied = sensor_fault_kind::stuck;
+            }
+            // Faults that need a previous window degrade to no-ops on the
+            // very first one.
+            if ((applied == sensor_fault_kind::delay ||
+                 applied == sensor_fault_kind::stuck) &&
+                !st.has_prev) {
+                applied = sensor_fault_kind::none;
+            }
+            switch (applied) {
+                case sensor_fault_kind::none:
+                    break;
+                case sensor_fault_kind::drop:
+                    deliver(0.0, 0.0, 0.0);
+                    break;
+                case sensor_fault_kind::delay:
+                    deliver(st.prev_true_rate, st.prev_true_rt,
+                            st.prev_true_samples);
+                    break;
+                case sensor_fault_kind::duplicate:
+                    deliver(true_rate * 2.0, true_rt, true_samples * 2.0);
+                    break;
+                case sensor_fault_kind::spike:
+                    deliver(true_rate *
+                                (2.0 + magnitude_draw *
+                                           (options_.spike_multiplier - 2.0)),
+                            true_rt, true_samples);
+                    break;
+                case sensor_fault_kind::garbage: {
+                    double bad;
+                    if (magnitude_draw < 0.25) {
+                        bad = std::numeric_limits<double>::quiet_NaN();
+                    } else if (magnitude_draw < 0.5) {
+                        bad = std::numeric_limits<double>::infinity();
+                    } else if (magnitude_draw < 0.75) {
+                        bad = -(true_rate + 1.0);
+                    } else {
+                        bad = 1.0e18;
+                    }
+                    deliver(bad, true_rt, true_samples);
+                    break;
+                }
+                case sensor_fault_kind::stuck:
+                    deliver(st.prev_delivered_rate, st.prev_delivered_rt,
+                            st.prev_delivered_samples);
+                    st.latch_left = options_.stuck_windows - 1;
+                    break;
+            }
+        }
+
+        if (applied != sensor_fault_kind::none) {
+            faults.push_back({a, applied});
+        }
+        st.prev_true_rate = true_rate;
+        st.prev_true_rt = true_rt;
+        st.prev_true_samples = true_samples;
+        st.prev_delivered_rate = window.rates[a];
+        st.prev_delivered_rt = has_rt ? window.response_times[a] : 0.0;
+        st.prev_delivered_samples = has_samples ? window.samples[a] : 0.0;
+        st.has_prev = true;
+    }
+    return faults;
+}
+
 }  // namespace mistral::sim

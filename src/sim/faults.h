@@ -18,6 +18,13 @@
 // With every probability at zero and no scheduled crashes the injector is
 // provably inert: it draws nothing from its RNG and the testbed's behaviour
 // is byte-identical to a build without fault injection.
+//
+// The sensor_fault_injector extends the same discipline to the *sensing*
+// side: it corrupts the telemetry windows the controller observes (dropped,
+// delayed, duplicated, spiked, and garbage measurements, plus stuck-at-last-
+// value sensors) while the testbed's ground truth — and therefore the true
+// utility accounting — stays untouched. That split is what lets a scenario
+// compare "what the controller believed" against "what actually happened".
 #pragma once
 
 #include <array>
@@ -27,6 +34,7 @@
 #include "cluster/action.h"
 #include "common/rng.h"
 #include "common/units.h"
+#include "workload/monitor.h"
 
 namespace mistral::sim {
 
@@ -102,6 +110,84 @@ private:
         std::int32_t host = 0;
     };
     std::vector<pending_recovery> recoveries_;  // sorted by at
+};
+
+// ---------------------------------------------------------------------------
+// Sensor-level fault injection.
+
+enum class sensor_fault_kind {
+    none,
+    drop,       // window lost: zero samples, zero rate (an empty window)
+    delay,      // the previous window's values are delivered again
+    duplicate,  // counters double-counted: rate and samples ×2
+    spike,      // rate multiplied by uniform[2, spike_multiplier]
+    garbage,    // NaN / inf / negative / absurdly huge reading
+    stuck,      // sensor latches its last reported value for several windows
+};
+[[nodiscard]] const char* to_string(sensor_fault_kind kind);
+
+struct sensor_fault_options {
+    // Per-window, per-application probabilities; their sum must be <= 1.
+    double drop_probability = 0.0;
+    double delay_probability = 0.0;
+    double duplicate_probability = 0.0;
+    double spike_probability = 0.0;
+    double garbage_probability = 0.0;
+    double stuck_probability = 0.0;
+    // Spiked rates multiply by uniform[2, spike_multiplier].
+    double spike_multiplier = 10.0;
+    // A sticking sensor repeats its last reported value for this many
+    // consecutive windows (including the one that triggered it).
+    int stuck_windows = 3;
+
+    [[nodiscard]] bool inert() const;
+
+    // Same probability for every fault kind (test/demo convenience).
+    [[nodiscard]] static sensor_fault_options uniform(double probability);
+};
+
+// One corruption the injector applied, for journaling.
+struct telemetry_fault {
+    std::size_t app = 0;
+    sensor_fault_kind kind = sensor_fault_kind::none;
+
+    friend bool operator==(const telemetry_fault&, const telemetry_fault&) = default;
+};
+
+// Corrupts telemetry windows in place, deterministically. Exactly two RNG
+// draws per application per window when armed (a kind draw and a magnitude
+// draw, always both), so the fault hitting application k in window n never
+// depends on which faults earlier applications or windows happened to hit.
+// Inert injectors never touch the RNG and leave every window byte-identical.
+class sensor_fault_injector {
+public:
+    sensor_fault_injector() = default;  // inert
+    sensor_fault_injector(sensor_fault_options options, std::uint64_t seed);
+
+    [[nodiscard]] bool inert() const { return inert_; }
+    [[nodiscard]] const sensor_fault_options& options() const { return options_; }
+
+    // Applies this window's faults to `window` and reports what was done.
+    // Channels the window does not carry (empty response_times/samples
+    // vectors) are left absent.
+    std::vector<telemetry_fault> corrupt(wl::telemetry_window& window);
+
+private:
+    struct app_state {
+        bool has_prev = false;
+        double prev_true_rate = 0.0;       // last uncorrupted measurement
+        double prev_true_rt = 0.0;
+        double prev_true_samples = 0.0;
+        double prev_delivered_rate = 0.0;  // last value the sensor reported
+        double prev_delivered_rt = 0.0;
+        double prev_delivered_samples = 0.0;
+        int latch_left = 0;                // windows the stuck value still holds
+    };
+
+    sensor_fault_options options_{};
+    rng draws_{0};
+    bool inert_ = true;
+    std::vector<app_state> apps_;
 };
 
 }  // namespace mistral::sim

@@ -1,8 +1,131 @@
 #include "workload/monitor.h"
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace mistral::wl {
+
+const char* to_string(window_quality q) {
+    switch (q) {
+        case window_quality::healthy: return "healthy";
+        case window_quality::degraded: return "degraded";
+        case window_quality::garbage: return "garbage";
+    }
+    return "?";
+}
+
+std::string describe_flags(unsigned flags) {
+    if (flags == quality_ok) return "ok";
+    std::string out;
+    auto add = [&](unsigned bit, const char* name) {
+        if ((flags & bit) == 0) return;
+        if (!out.empty()) out += '|';
+        out += name;
+    };
+    add(quality_nonfinite, "nonfinite");
+    add(quality_out_of_range, "out_of_range");
+    add(quality_empty, "empty");
+    add(quality_jump, "jump");
+    add(quality_stale, "stale");
+    return out;
+}
+
+telemetry_validator::telemetry_validator(std::size_t app_count,
+                                         validator_options options)
+    : options_(options),
+      last_good_(app_count, 0.0),
+      has_last_good_(app_count, false),
+      last_seen_(app_count, 0.0),
+      repeat_count_(app_count, 0) {
+    MISTRAL_CHECK(app_count > 0);
+    MISTRAL_CHECK(options_.max_rate > 0.0);
+    MISTRAL_CHECK(options_.max_response_time > 0.0);
+    MISTRAL_CHECK(options_.max_jump_factor == 0.0 || options_.max_jump_factor > 1.0);
+    MISTRAL_CHECK(options_.jump_slack >= 0.0);
+    MISTRAL_CHECK(options_.max_stuck_windows >= 0);
+}
+
+quality_verdict telemetry_validator::validate(const telemetry_window& window) {
+    const std::size_t n = last_good_.size();
+    MISTRAL_CHECK_MSG(window.rates.size() == n,
+                      "expected " << n << " rates, got " << window.rates.size());
+    MISTRAL_CHECK(window.response_times.empty() || window.response_times.size() == n);
+    MISTRAL_CHECK(window.samples.empty() || window.samples.size() == n);
+
+    quality_verdict verdict;
+    verdict.app_flags.assign(n, quality_ok);
+    verdict.rates = window.rates;
+
+    for (std::size_t a = 0; a < n; ++a) {
+        unsigned& flags = verdict.app_flags[a];
+        const req_per_sec r = window.rates[a];
+        // Substitute for values no downstream consumer can digest.
+        const req_per_sec fallback = has_last_good_[a] ? last_good_[a] : 0.0;
+
+        // Staleness: exact bit repeats of the *reported* rate. Counted before
+        // any substitution so a latched sensor is what is being measured.
+        if (options_.max_stuck_windows > 0) {
+            const bool same =
+                !std::isnan(r) && !std::isnan(last_seen_[a]) && r == last_seen_[a];
+            repeat_count_[a] = same ? repeat_count_[a] + 1 : 0;
+            if (repeat_count_[a] >= options_.max_stuck_windows) {
+                flags |= quality_stale;
+            }
+        }
+        last_seen_[a] = r;
+
+        if (!std::isfinite(r) || r < 0.0) {
+            flags |= quality_nonfinite;
+            verdict.rates[a] = fallback;
+        } else if (!window.samples.empty() && window.samples[a] <= 0.0) {
+            // An empty window measured nothing: its rate/RT are undefined, so
+            // the last healthy level stands in (satisfying the contract that
+            // zero completed requests never yields NaN downstream).
+            flags |= quality_empty;
+            verdict.rates[a] = fallback;
+        } else {
+            if (r > options_.max_rate) {
+                flags |= quality_out_of_range;
+                verdict.rates[a] = options_.max_rate;
+            }
+            if (options_.max_jump_factor > 0.0 && has_last_good_[a]) {
+                const req_per_sec lg = last_good_[a];
+                const bool jump_up =
+                    r > lg * options_.max_jump_factor + options_.jump_slack;
+                const bool jump_down =
+                    r < lg / options_.max_jump_factor - options_.jump_slack;
+                if (jump_up || jump_down) flags |= quality_jump;
+            }
+        }
+
+        if (!window.response_times.empty()) {
+            const seconds rt = window.response_times[a];
+            const bool empty = (flags & quality_empty) != 0;
+            if (!empty && (!std::isfinite(rt) || rt < 0.0)) {
+                flags |= quality_nonfinite;
+            } else if (!empty && rt > options_.max_response_time) {
+                flags |= quality_out_of_range;
+            }
+        }
+
+        verdict.flags |= flags;
+        // A finite, in-range, non-empty reading becomes the new reference
+        // even when flagged as a jump or stale: a legitimate flash crowd must
+        // not pin the validator to a pre-crowd level forever.
+        if ((flags & (quality_nonfinite | quality_empty)) == 0) {
+            last_good_[a] = verdict.rates[a];
+            has_last_good_[a] = true;
+        }
+    }
+
+    if ((verdict.flags & quality_nonfinite) != 0) {
+        verdict.quality = window_quality::garbage;
+    } else if (verdict.flags != quality_ok) {
+        verdict.quality = window_quality::degraded;
+    }
+    return verdict;
+}
 
 workload_monitor::workload_monitor(std::size_t app_count, req_per_sec band_width)
     : width_(band_width),
@@ -13,10 +136,19 @@ workload_monitor::workload_monitor(std::size_t app_count, req_per_sec band_width
     MISTRAL_CHECK(band_width >= 0.0);
 }
 
+void workload_monitor::set_band_scale(double scale) {
+    MISTRAL_CHECK(scale >= 1.0);
+    scale_ = scale;
+}
+
 monitor_event workload_monitor::observe(seconds time,
                                         const std::vector<req_per_sec>& rates) {
     MISTRAL_CHECK_MSG(rates.size() == bands_.size(),
                       "expected " << bands_.size() << " rates, got " << rates.size());
+    for (const req_per_sec r : rates) {
+        MISTRAL_CHECK_MSG(std::isfinite(r),
+                          "monitor rates must be finite (validate telemetry first)");
+    }
     monitor_event event;
     if (!initialized_) {
         recenter(time, rates);
@@ -24,7 +156,10 @@ monitor_event workload_monitor::observe(seconds time,
         return event;
     }
     for (std::size_t i = 0; i < rates.size(); ++i) {
-        if (!bands_[i].contains(rates[i])) {
+        // The divergence guard's widening applies at check time; scale 1.0
+        // multiplies exactly, so an unscaled monitor is bit-identical.
+        const band scaled{bands_[i].center, bands_[i].width * scale_};
+        if (!scaled.contains(rates[i])) {
             event.any_exceeded = true;
             event.exceeded.push_back(i);
             const seconds interval = time - band_set_at_[i];
@@ -38,6 +173,8 @@ monitor_event workload_monitor::observe(seconds time,
 void workload_monitor::recenter(seconds time, const std::vector<req_per_sec>& rates) {
     MISTRAL_CHECK(rates.size() == bands_.size());
     for (std::size_t i = 0; i < rates.size(); ++i) {
+        MISTRAL_CHECK_MSG(std::isfinite(rates[i]),
+                          "monitor rates must be finite (validate telemetry first)");
         bands_[i] = band{rates[i], width_};
         band_set_at_[i] = time;
     }

@@ -1,13 +1,27 @@
-// Workload bands and stability-interval measurement.
+// Workload bands, stability-interval measurement, and telemetry validation.
 //
 // Section II-B / III-D: the stability interval for an application at time t
 // is how long its workload stays within ±b/2 of the level measured at t. The
 // monitor maintains one band per application, reports band exits (which are
 // what trigger a Mistral controller), and records the measured stability
 // intervals that feed the ARMA predictor.
+//
+// The telemetry_validator guards the sensing side of that loop: real
+// monitoring pipelines drop windows, latch sensors, and deliver spiked or
+// outright garbage counters, and a controller that feeds such a window
+// straight into its optimizer adapts confidently to a workload that does not
+// exist. The validator grades every observation window (finiteness, range,
+// empty-window, jump, and stuck-at staleness checks) into a per-window
+// quality verdict and substitutes the last healthy measurement for values
+// that would poison downstream consumers (a NaN rate would abort in
+// eval_memo::quantize; an empty window has no defined mean response time).
+// On healthy telemetry the verdict passes the measured values through
+// untouched, so a validating controller is byte-identical to a
+// non-validating one until a fault actually arrives.
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/units.h"
@@ -30,6 +44,86 @@ struct monitor_event {
     // Measured stability intervals that *completed* at this observation, one
     // entry per exceeded application (same order as `exceeded`).
     std::vector<seconds> completed_intervals;
+};
+
+// One monitoring interval's raw telemetry, as delivered by the measurement
+// pipeline (and possibly corrupted by sim::sensor_fault_injector before the
+// controller sees it). `response_times` and `samples` are optional channels:
+// empty means the pipeline does not report them.
+struct telemetry_window {
+    seconds time = 0.0;
+    seconds duration = 0.0;
+    std::vector<req_per_sec> rates;         // measured per-app arrival rates
+    std::vector<seconds> response_times;    // measured per-app mean RT (optional)
+    std::vector<double> samples;            // completed requests per app (optional)
+};
+
+// Per-window telemetry grade. `healthy` windows are safe to optimize
+// against; `degraded` windows carry suspicious but finite values (jumps,
+// out-of-range clamps, empty windows, stuck sensors); `garbage` windows
+// contained values no physical sensor can produce (NaN/inf/negative).
+enum class window_quality { healthy, degraded, garbage };
+[[nodiscard]] const char* to_string(window_quality q);
+
+// Why a window (or one application's channel in it) was not healthy.
+enum quality_flags : unsigned {
+    quality_ok = 0,
+    quality_nonfinite = 1u << 0,     // NaN / inf / negative measurement
+    quality_out_of_range = 1u << 1,  // beyond the configured physical ceiling
+    quality_empty = 1u << 2,         // zero completed requests in the window
+    quality_jump = 1u << 3,          // implausible move vs. last healthy value
+    quality_stale = 1u << 4,         // bit-identical readings for too long
+};
+[[nodiscard]] std::string describe_flags(unsigned flags);
+
+struct quality_verdict {
+    window_quality quality = window_quality::healthy;
+    unsigned flags = quality_ok;           // union over applications
+    std::vector<unsigned> app_flags;       // per-application flags
+    // Rates safe to hand to the monitor/evaluator: the measured value where
+    // trustworthy (same bits — no arithmetic touches a healthy value), the
+    // last healthy measurement (or the range clamp) where not.
+    std::vector<req_per_sec> rates;
+
+    [[nodiscard]] bool healthy() const { return quality == window_quality::healthy; }
+};
+
+struct validator_options {
+    // Physical ceilings; measurements beyond them are clamped and flagged.
+    req_per_sec max_rate = 1.0e5;
+    seconds max_response_time = 3600.0;
+    // Jump check against the last healthy rate: flag when the new rate
+    // exceeds factor × last + slack (or falls below last / factor − slack).
+    // 0 disables the check (the default: the paper's flash-crowd workloads
+    // jump legitimately, so plausibility bounds are a per-deployment opt-in;
+    // the default verdict only flags values that are physically impossible).
+    double max_jump_factor = 0.0;
+    req_per_sec jump_slack = 50.0;
+    // Stuck-at detection: flag after this many consecutive bit-identical
+    // readings. 0 disables the check (the default: synthetic harnesses and
+    // tests legitimately feed constant rate vectors).
+    int max_stuck_windows = 0;
+};
+
+// Stateful grader for a stream of observation windows (one per monitoring
+// interval). Deterministic; keeps the last healthy value per application for
+// substitution and the repeat counts for staleness.
+class telemetry_validator {
+public:
+    explicit telemetry_validator(std::size_t app_count,
+                                 validator_options options = {});
+
+    quality_verdict validate(const telemetry_window& window);
+
+    [[nodiscard]] const validator_options& options() const { return options_; }
+    [[nodiscard]] std::size_t app_count() const { return last_good_.size(); }
+
+private:
+    validator_options options_;
+    std::vector<req_per_sec> last_good_;
+    std::vector<bool> has_last_good_;
+    std::vector<req_per_sec> last_seen_;   // for stuck-at detection
+    std::vector<int> repeat_count_;
 };
 
 class workload_monitor {
@@ -56,8 +150,17 @@ public:
     [[nodiscard]] std::size_t app_count() const { return bands_.size(); }
     [[nodiscard]] req_per_sec band_width() const { return width_; }
 
+    // Scales every band's effective width (≥ 1): the divergence guard widens
+    // the bands while the stability predictor is drifting, so a controller
+    // that cannot trust its interval predictions re-triggers less eagerly.
+    // The scale applies at the next observe/recenter; 1.0 (the default) is
+    // bit-exact to an unscaled monitor.
+    void set_band_scale(double scale);
+    [[nodiscard]] double band_scale() const { return scale_; }
+
 private:
     req_per_sec width_;
+    double scale_ = 1.0;
     bool initialized_ = false;
     std::vector<band> bands_;
     std::vector<seconds> band_set_at_;                 // when each band was centered

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
 #include "apps/rubis.h"
+#include "cluster/action.h"
 
 namespace mistral::core {
 namespace {
@@ -125,6 +131,186 @@ TEST_F(ControllerTest, UtilityHistoryShapesExpectedBudget) {
 TEST_F(ControllerTest, RejectsWrongRateCount) {
     auto ctl = make();
     EXPECT_THROW(ctl.step({0.0, {50.0}, base(), 0.0}), invariant_error);
+}
+
+// ---- fallback decision ladder ----------------------------------------------
+
+TEST_F(ControllerTest, GarbageTelemetryDemotesToGreedyAndCapsThePlan) {
+    auto ctl = make();
+    ctl.step({0.0, {50.0, 50.0}, base(), 0.0});
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const auto d = ctl.step({120.0, {nan, 50.0}, base(), 1.0});
+    EXPECT_EQ(d.telemetry_quality, wl::window_quality::garbage);
+    EXPECT_EQ(d.mode, control_mode::greedy);
+    // The NaN was substituted with the last healthy reading (50, in band):
+    // no trigger, and nothing NaN reached the monitor.
+    EXPECT_FALSE(d.invoked);
+    EXPECT_DOUBLE_EQ(ctl.monitor().band_of(0).center, 50.0);
+    EXPECT_EQ(ctl.degraded().demotions, 1);
+    EXPECT_EQ(ctl.degraded().garbage_windows, 1);
+    EXPECT_EQ(ctl.degraded().degraded_windows, 1);
+
+    // Hysteresis: one clean step does not promote, and a band exit while on
+    // the greedy rung plans at most a single action.
+    const auto d2 = ctl.step({240.0, {80.0, 50.0}, base(), 1.0});
+    EXPECT_EQ(d2.mode, control_mode::greedy);
+    EXPECT_TRUE(d2.invoked);
+    EXPECT_LE(d2.actions.size(), 1u);
+    EXPECT_EQ(ctl.degraded().greedy_decisions, 1);
+}
+
+TEST_F(ControllerTest, PromotionClimbsOneRungAfterConsecutiveCleanSteps) {
+    controller_options opts;
+    opts.degraded.promote_after = 2;
+    auto ctl = make(opts);
+    ctl.step({0.0, {50.0, 50.0}, base(), 0.0});
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    ctl.step({120.0, {nan, 50.0}, base(), 1.0});
+    ASSERT_EQ(ctl.mode(), control_mode::greedy);
+    ctl.step({240.0, {50.0, 50.0}, base(), 1.0});  // clean step 1
+    EXPECT_EQ(ctl.mode(), control_mode::greedy);
+    const auto d = ctl.step({360.0, {50.0, 50.0}, base(), 1.0});  // clean step 2
+    EXPECT_EQ(ctl.mode(), control_mode::full);
+    EXPECT_EQ(d.mode, control_mode::full);
+    EXPECT_EQ(ctl.degraded().promotions, 1);
+
+    // Another garbage window demotes again and resets the streak.
+    ctl.step({480.0, {nan, 50.0}, base(), 1.0});
+    EXPECT_EQ(ctl.mode(), control_mode::greedy);
+    EXPECT_EQ(ctl.degraded().demotions, 2);
+}
+
+TEST_F(ControllerTest, EmptyObservationWindowIsDegradedNeverNaN) {
+    auto ctl = make();
+    ctl.step({0.0, {50.0, 50.0}, base(), 0.0});
+    decision_input in{120.0, {0.0, 50.0}, base(), 1.0};
+    in.samples = {0.0, 6000.0};  // app 0 completed zero requests
+    const auto d = ctl.step(in);
+    EXPECT_EQ(d.telemetry_quality, wl::window_quality::degraded);
+    EXPECT_EQ(d.mode, control_mode::greedy);
+    EXPECT_FALSE(d.invoked);  // substituted last-healthy rate stays in band
+    EXPECT_DOUBLE_EQ(ctl.monitor().band_of(0).center, 50.0);
+    EXPECT_EQ(ctl.degraded().garbage_windows, 0);
+}
+
+TEST_F(ControllerTest, UntrustedPredictorHoldsConfigurationOnTriggers) {
+    controller_options opts;
+    opts.arma.divergence.slack = 0.1;
+    opts.arma.divergence.soft_threshold = 0.5;
+    opts.arma.divergence.hard_threshold = 1.0;
+    opts.arma.divergence.error_floor = 1.0;
+    auto ctl = make(opts);
+    const auto cfg = base();
+    seconds t = 0.0;
+    ctl.step({t, {50.0, 50.0}, cfg, 0.0});
+    // Alternating stability intervals (120 s / 600 s) keep the one-step blend
+    // wrong by most of the amplitude: the CUSUM guard must declare app 0's
+    // predictor untrusted, and the ladder must answer the trigger by holding.
+    controller_decision last;
+    bool high = true;
+    int i = 0;
+    while (ctl.mode() != control_mode::hold && i < 40) {
+        t += (i % 2 == 0) ? 120.0 : 600.0;
+        last = ctl.step({t, {high ? 80.0 : 50.0, 50.0}, cfg, 1.0});
+        high = !high;
+        ++i;
+    }
+    ASSERT_EQ(ctl.mode(), control_mode::hold) << "predictor never diverged";
+    EXPECT_FALSE(ctl.predictors()[0].trusted());
+    // The demoting step carried a genuine band trigger, answered by holding:
+    // no plan was emitted while the predictor is untrusted.
+    EXPECT_EQ(last.mode, control_mode::hold);
+    EXPECT_FALSE(last.invoked);
+    EXPECT_TRUE(last.actions.empty());
+    EXPECT_GE(last.control_window, ctl.options().min_control_window);
+    EXPECT_GE(ctl.degraded().held_triggers, 1);
+    EXPECT_GE(ctl.degraded().demotions, 1);
+
+    // Holding re-centers the bands, so a steady workload stays quiet.
+    t += 120.0;
+    const auto quiet = ctl.step({t, {high ? 80.0 : 50.0, 50.0}, cfg, 1.0});
+    EXPECT_FALSE(quiet.invoked);
+}
+
+TEST_F(ControllerTest, StructuralRepairStillRunsWhileHolding) {
+    controller_options opts;
+    opts.arma.divergence.slack = 0.1;
+    opts.arma.divergence.soft_threshold = 0.5;
+    opts.arma.divergence.hard_threshold = 1.0;
+    opts.arma.divergence.error_floor = 1.0;
+    auto ctl = make(opts);
+    const auto cfg = base();
+    seconds t = 0.0;
+    ctl.step({t, {50.0, 50.0}, cfg, 0.0});
+    bool high = true;
+    int i = 0;
+    while (ctl.mode() != control_mode::hold && i < 40) {
+        t += (i % 2 == 0) ? 120.0 : 600.0;
+        ctl.step({t, {high ? 80.0 : 50.0, 50.0}, cfg, 1.0});
+        high = !high;
+        ++i;
+    }
+    ASSERT_EQ(ctl.mode(), control_mode::hold);
+
+    // Knock a tier below its replica minimum: the repair path is a fenced
+    // safety action and must run even on the hold rung.
+    auto broken = cfg;
+    broken.undeploy(model.tier_vms(app_id{0}, 0)[0]);
+    ASSERT_FALSE(cluster::structurally_valid(model, broken));
+    t += 120.0;
+    const auto d = ctl.step({t, {50.0, 50.0}, broken, 1.0});
+    EXPECT_TRUE(d.invoked);
+    EXPECT_TRUE(d.repair);
+    EXPECT_FALSE(d.actions.empty());
+    EXPECT_EQ(ctl.mode(), control_mode::hold);  // repair does not promote
+}
+
+TEST_F(ControllerTest, BlownSearchDeadlineDemotesNextStepToGreedy) {
+    controller_options opts;
+    opts.degraded.search_deadline_fraction = 1e-9;  // any metered search trips
+    auto ctl = make(opts);
+    const auto d0 = ctl.step({0.0, {50.0, 50.0}, base(), 0.0});
+    EXPECT_TRUE(d0.invoked);
+    EXPECT_EQ(d0.mode, control_mode::full);  // the watchdog feeds the NEXT step
+    const auto d1 = ctl.step({240.0, {80.0, 50.0}, base(), 1.0});
+    EXPECT_EQ(d1.mode, control_mode::greedy);
+    EXPECT_TRUE(d1.invoked);
+    EXPECT_LE(d1.actions.size(), 1u);
+    EXPECT_GE(ctl.degraded().deadline_trips, 1);
+}
+
+TEST_F(ControllerTest, DegradedSubsystemIsInertOnHealthyInputs) {
+    controller_options off;
+    off.degraded.enabled = false;
+    auto with_guard = make();  // degraded-mode on by default
+    auto without_guard = make(off);
+    const std::vector<std::vector<req_per_sec>> steps = {
+        {50.0, 50.0}, {52.0, 49.0}, {65.0, 50.0}, {60.0, 58.0},
+        {40.0, 70.0}, {41.0, 69.0}, {90.0, 20.0}, {88.0, 22.0},
+    };
+    seconds t = 0.0;
+    for (const auto& rates : steps) {
+        const auto a = with_guard.step({t, rates, base(), 1.0});
+        const auto b = without_guard.step({t, rates, base(), 1.0});
+        ASSERT_EQ(a.invoked, b.invoked) << "t=" << t;
+        ASSERT_EQ(a.actions.size(), b.actions.size()) << "t=" << t;
+        for (std::size_t i = 0; i < a.actions.size(); ++i) {
+            ASSERT_EQ(cluster::to_string(model, a.actions[i]),
+                      cluster::to_string(model, b.actions[i]));
+        }
+        // Bit-exact utilities and windows: the subsystem never perturbed the
+        // pipeline on clean telemetry.
+        std::uint64_t ua = 0, ub = 0;
+        std::memcpy(&ua, &a.expected_utility, sizeof ua);
+        std::memcpy(&ub, &b.expected_utility, sizeof ub);
+        ASSERT_EQ(ua, ub) << "t=" << t;
+        ASSERT_EQ(a.control_window, b.control_window) << "t=" << t;
+        ASSERT_EQ(a.mode, control_mode::full);
+        ASSERT_EQ(a.telemetry_quality, wl::window_quality::healthy);
+        t += 120.0;
+    }
+    EXPECT_EQ(with_guard.degraded().demotions, 0);
+    EXPECT_EQ(with_guard.degraded().degraded_windows, 0);
 }
 
 }  // namespace

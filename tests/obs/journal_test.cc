@@ -107,6 +107,40 @@ TEST(Journal, EventRoundTripsThroughJsonl) {
     EXPECT_EQ(v.dump(), line);
 }
 
+// The degraded-mode event types carry a fixed field order; journal readers
+// may rely on it, so each is pinned by the same parse ∘ dump identity.
+TEST(Journal, DegradedModeEventsRoundTripWithFixedFieldOrder) {
+    event fault("telemetry_fault", 120.0);
+    fault.integer("app", 1).text("kind", "spike");
+
+    event ladder("ladder_transition", 240.0);
+    ladder.text("direction", "demote")
+        .text("from", "full")
+        .text("to", "greedy")
+        .text("reason", "telemetry_garbage");
+
+    event divergence("predictor_divergence", 360.0);
+    divergence.integer("app", 0)
+        .boolean("trusted", false)
+        .num("drift", 6.5)
+        .integer("reestimation_attempts", 1)
+        .boolean("reestimation_active", true);
+
+    for (const event* e : {&fault, &ladder, &divergence}) {
+        const std::string line = to_json_line(*e);
+        const auto v = json::value::parse(line);
+        EXPECT_EQ(v.find("type")->as_text(), e->type);
+        EXPECT_EQ(v.dump(), line) << line;
+    }
+    // Spot-check field order survives the trip.
+    const auto v = json::value::parse(to_json_line(ladder));
+    ASSERT_EQ(v.members().size(), 6u);
+    EXPECT_EQ(v.members()[2].first, "direction");
+    EXPECT_EQ(v.members()[3].first, "from");
+    EXPECT_EQ(v.members()[4].first, "to");
+    EXPECT_EQ(v.members()[5].first, "reason");
+}
+
 TEST(Journal, EventFindReturnsTypedFields) {
     event e("x", 0.0);
     e.num("a", 1.5).integer("b", 7);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -94,6 +95,153 @@ TEST(Arma, RejectsBadOptionsAndInputs) {
     EXPECT_THROW(stability_predictor{bad_gamma}, invariant_error);
     stability_predictor p;
     EXPECT_THROW(p.observe(-1.0), invariant_error);
+}
+
+// ---- divergence guard ------------------------------------------------------
+
+// Strict guard options so tests can drive alarms with short series.
+arma_options strict_guard() {
+    arma_options o;
+    o.divergence.slack = 0.1;
+    o.divergence.soft_threshold = 0.5;
+    o.divergence.hard_threshold = 1.0;
+    o.divergence.error_floor = 1.0;
+    o.divergence.reestimate_backoff = 2;
+    return o;
+}
+
+TEST(Guard, StaysTrustedOnTrackingSeries) {
+    stability_predictor p;  // default guard enabled
+    rng r(3);
+    for (int i = 0; i < 100; ++i) {
+        p.observe(300.0 * (1.0 + r.normal(0.0, 0.15)));
+        EXPECT_TRUE(p.trusted());
+        EXPECT_EQ(p.band_multiplier(), 1.0);
+    }
+    EXPECT_EQ(p.divergence_count(), 0);
+    EXPECT_EQ(p.drift(), 0.0);
+}
+
+TEST(Guard, EstimatesBitIdenticalToDisabledGuardWhileTrusted) {
+    arma_options off;
+    off.divergence.enabled = false;
+    stability_predictor with_guard{arma_options{}};
+    stability_predictor without_guard{off};
+    rng r(7);
+    for (int i = 0; i < 200; ++i) {
+        const double m = r.uniform(100.0, 700.0);
+        const double a = with_guard.observe(m);
+        const double b = without_guard.observe(m);
+        ASSERT_TRUE(with_guard.trusted());
+        ASSERT_EQ(a, b) << "observation " << i;  // identical bits
+    }
+}
+
+TEST(Guard, ColdStartErrorIsSkipped) {
+    // The initial 600 s estimate vs. a 30 s first measurement is a huge
+    // "error" that is nobody's prediction; the CUSUM must ignore it.
+    stability_predictor p(strict_guard());
+    p.observe(30.0);
+    EXPECT_EQ(p.drift(), 0.0);
+    EXPECT_TRUE(p.trusted());
+}
+
+TEST(Guard, SustainedDivergenceWidensBandsThenDeclaresUntrusted) {
+    stability_predictor p(strict_guard());
+    bool widened_before_untrusted = false;
+    rng r(11);
+    int i = 0;
+    while (p.trusted() && i < 200) {
+        // Period-2 series with noise: every one-step blend prediction is off
+        // by roughly the full amplitude.
+        const double base = (i % 2 == 0) ? 100.0 : 600.0;
+        p.observe(base * (1.0 + r.normal(0.0, 0.05)));
+        if (p.trusted() && p.band_multiplier() > 1.0) widened_before_untrusted = true;
+        ++i;
+    }
+    ASSERT_FALSE(p.trusted()) << "series never diverged";
+    EXPECT_TRUE(widened_before_untrusted);  // soft alarm precedes hard alarm
+    EXPECT_EQ(p.divergence_count(), 1);
+    EXPECT_GE(p.band_multiplier(), 1.0);
+    EXPECT_LE(p.band_multiplier(), arma_options{}.divergence.max_band_scale);
+}
+
+TEST(Guard, ReestimationFitsArModelOnPredictableSeries) {
+    stability_predictor p(strict_guard());
+    rng r(13);
+    for (int i = 0; i < 60; ++i) {
+        const double base = (i % 2 == 0) ? 100.0 : 600.0;
+        p.observe(base * (1.0 + r.normal(0.0, 0.05)));
+    }
+    ASSERT_FALSE(p.trusted());
+    // The noisy period-2 series is AR(2)-predictable: the refit must land.
+    EXPECT_TRUE(p.reestimation_active());
+    EXPECT_GE(p.reestimation_attempts(), 1);
+    EXPECT_FALSE(p.reestimation_exhausted());
+    EXPECT_GT(p.current_estimate(), 0.0);
+}
+
+TEST(Guard, SingularRegressionRetriesWithBackoffThenExhausts) {
+    // An *exact* period-2 series keeps blowing up the blend's error, but its
+    // normal equations are rank-deficient (two distinct regressor rows for a
+    // 3-coefficient system): every fit must be rejected as singular, retried
+    // with doubling backoff, and bounded — never garbage coefficients.
+    stability_predictor p(strict_guard());
+    std::vector<int> attempts_trace;
+    for (int i = 0; i < 80; ++i) {
+        p.observe((i % 2 == 0) ? 100.0 : 600.0);
+        attempts_trace.push_back(p.reestimation_attempts());
+        EXPECT_TRUE(std::isfinite(p.current_estimate()));
+        EXPECT_GT(p.current_estimate(), 0.0);
+    }
+    ASSERT_FALSE(p.trusted());
+    EXPECT_FALSE(p.reestimation_active());
+    EXPECT_TRUE(p.reestimation_exhausted());
+    EXPECT_EQ(p.reestimation_attempts(),
+              arma_options{}.divergence.reestimate_max_retries);
+    // Retries were spaced out (backoff), not burned consecutively.
+    int first_attempt = -1;
+    int last_attempt = -1;
+    for (std::size_t i = 0; i < attempts_trace.size(); ++i) {
+        if (first_attempt < 0 && attempts_trace[i] == 1) {
+            first_attempt = static_cast<int>(i);
+        }
+        if (last_attempt < 0 &&
+            attempts_trace[i] == p.reestimation_attempts()) {
+            last_attempt = static_cast<int>(i);
+        }
+    }
+    ASSERT_GE(first_attempt, 0);
+    ASSERT_GE(last_attempt, 0);
+    EXPECT_GE(last_attempt - first_attempt, 2 + 4);  // backoff 2 then 4
+}
+
+TEST(Guard, TrustRecoversWhenPredictionsTrackAgain) {
+    stability_predictor p(strict_guard());
+    for (int i = 0; i < 40; ++i) p.observe((i % 2 == 0) ? 100.0 : 600.0);
+    ASSERT_FALSE(p.trusted());
+    // Settle on a constant level: the blend re-converges, the accumulated
+    // drift drains below the soft threshold, trust returns.
+    int i = 0;
+    while (!p.trusted() && i < 500) {
+        p.observe(300.0);
+        ++i;
+    }
+    EXPECT_TRUE(p.trusted());
+    EXPECT_FALSE(p.reestimation_active());
+    EXPECT_LT(p.band_multiplier(), 1.0 + 1e-9);
+}
+
+TEST(Guard, RejectsBadDivergenceOptions) {
+    arma_options bad;
+    bad.divergence.hard_threshold = bad.divergence.soft_threshold;  // must be >
+    EXPECT_THROW(stability_predictor{bad}, invariant_error);
+    arma_options bad_order;
+    bad_order.divergence.reestimate_order = 0;
+    EXPECT_THROW(stability_predictor{bad_order}, invariant_error);
+    arma_options bad_scale;
+    bad_scale.divergence.max_band_scale = 0.5;
+    EXPECT_THROW(stability_predictor{bad_scale}, invariant_error);
 }
 
 TEST(Arma, BetaDropsToCurrentMeasurementAfterShock) {

@@ -1,6 +1,8 @@
 // Fault injector unit tests and testbed fault semantics.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -115,6 +117,158 @@ TEST(FaultInjector, RejectsInvalidOptions) {
     bad.straggler_probability.fill(0.1);
     bad.straggler_multiplier = 0.5;
     EXPECT_THROW(sim::fault_injector(bad, 1), invariant_error);
+}
+
+// ---- sensor_fault_injector -------------------------------------------------
+
+wl::telemetry_window make_window(seconds t, std::vector<req_per_sec> rates) {
+    wl::telemetry_window w;
+    w.time = t;
+    w.duration = 120.0;
+    w.samples.reserve(rates.size());
+    for (const auto r : rates) w.samples.push_back(r * w.duration);
+    w.rates = std::move(rates);
+    return w;
+}
+
+// Options where exactly one fault kind fires with probability 1.
+sim::sensor_fault_options only(sim::sensor_fault_kind kind) {
+    sim::sensor_fault_options o;
+    switch (kind) {
+        case sim::sensor_fault_kind::drop: o.drop_probability = 1.0; break;
+        case sim::sensor_fault_kind::delay: o.delay_probability = 1.0; break;
+        case sim::sensor_fault_kind::duplicate: o.duplicate_probability = 1.0; break;
+        case sim::sensor_fault_kind::spike: o.spike_probability = 1.0; break;
+        case sim::sensor_fault_kind::garbage: o.garbage_probability = 1.0; break;
+        case sim::sensor_fault_kind::stuck: o.stuck_probability = 1.0; break;
+        case sim::sensor_fault_kind::none: break;
+    }
+    return o;
+}
+
+TEST(SensorFaults, DefaultOptionsAreInertAndLeaveWindowsUntouched) {
+    EXPECT_TRUE(sim::sensor_fault_options{}.inert());
+    EXPECT_TRUE(sim::sensor_fault_options::uniform(0.0).inert());
+    EXPECT_FALSE(sim::sensor_fault_options::uniform(0.05).inert());
+
+    sim::sensor_fault_injector inj(sim::sensor_fault_options{}, 7);
+    EXPECT_TRUE(inj.inert());
+    for (int i = 0; i < 20; ++i) {
+        auto w = make_window(i * 120.0, {40.0, 55.0});
+        const auto original = w;
+        EXPECT_TRUE(inj.corrupt(w).empty());
+        EXPECT_EQ(w.rates, original.rates);
+        EXPECT_EQ(w.samples, original.samples);
+    }
+}
+
+TEST(SensorFaults, SameSeedReplaysBitIdentically) {
+    const auto opts = sim::sensor_fault_options::uniform(0.1);
+    sim::sensor_fault_injector a(opts, 99);
+    sim::sensor_fault_injector b(opts, 99);
+    std::size_t faults = 0;
+    for (int i = 0; i < 200; ++i) {
+        auto wa = make_window(i * 120.0, {40.0 + i, 55.0});
+        auto wb = wa;
+        const auto fa = a.corrupt(wa);
+        const auto fb = b.corrupt(wb);
+        ASSERT_EQ(fa, fb);
+        for (std::size_t k = 0; k < wa.rates.size(); ++k) {
+            // Bit-compare via memcmp semantics: NaN != NaN under operator==.
+            ASSERT_EQ(std::memcmp(&wa.rates[k], &wb.rates[k], sizeof(double)), 0);
+        }
+        faults += fa.size();
+    }
+    EXPECT_GT(faults, 0u);
+}
+
+TEST(SensorFaults, DropDeliversEmptyWindow) {
+    sim::sensor_fault_injector inj(only(sim::sensor_fault_kind::drop), 3);
+    auto w = make_window(0.0, {40.0});
+    const auto faults = inj.corrupt(w);
+    ASSERT_EQ(faults.size(), 1u);
+    EXPECT_EQ(faults[0].kind, sim::sensor_fault_kind::drop);
+    EXPECT_EQ(w.rates[0], 0.0);
+    EXPECT_EQ(w.samples[0], 0.0);
+}
+
+TEST(SensorFaults, DelayDeliversPreviousWindowAndIsANoOpOnTheFirst) {
+    sim::sensor_fault_injector inj(only(sim::sensor_fault_kind::delay), 3);
+    auto first = make_window(0.0, {40.0});
+    EXPECT_TRUE(inj.corrupt(first).empty());  // nothing to replay yet
+    EXPECT_EQ(first.rates[0], 40.0);
+    auto second = make_window(120.0, {70.0});
+    const auto faults = inj.corrupt(second);
+    ASSERT_EQ(faults.size(), 1u);
+    EXPECT_EQ(faults[0].kind, sim::sensor_fault_kind::delay);
+    EXPECT_EQ(second.rates[0], 40.0);  // the previous *true* value
+}
+
+TEST(SensorFaults, DuplicateDoublesRateAndSamples) {
+    sim::sensor_fault_injector inj(only(sim::sensor_fault_kind::duplicate), 3);
+    auto w = make_window(0.0, {40.0});
+    inj.corrupt(w);
+    EXPECT_EQ(w.rates[0], 80.0);
+    EXPECT_EQ(w.samples[0], 2.0 * 40.0 * 120.0);
+}
+
+TEST(SensorFaults, SpikeMultipliesWithinConfiguredBounds) {
+    auto opts = only(sim::sensor_fault_kind::spike);
+    opts.spike_multiplier = 6.0;
+    sim::sensor_fault_injector inj(opts, 3);
+    for (int i = 0; i < 50; ++i) {
+        auto w = make_window(i * 120.0, {40.0});
+        inj.corrupt(w);
+        EXPECT_GE(w.rates[0], 2.0 * 40.0);
+        EXPECT_LE(w.rates[0], 6.0 * 40.0);
+    }
+}
+
+TEST(SensorFaults, GarbageProducesPhysicallyImpossibleValues) {
+    sim::sensor_fault_injector inj(only(sim::sensor_fault_kind::garbage), 3);
+    bool nonfinite = false;
+    bool negative = false;
+    bool huge = false;
+    for (int i = 0; i < 80; ++i) {
+        auto w = make_window(i * 120.0, {40.0});
+        inj.corrupt(w);
+        const double r = w.rates[0];
+        if (!std::isfinite(r)) nonfinite = true;
+        if (r < 0.0) negative = true;
+        if (r > 1.0e6) huge = true;
+    }
+    EXPECT_TRUE(nonfinite);
+    EXPECT_TRUE(negative);
+    EXPECT_TRUE(huge);
+}
+
+TEST(SensorFaults, StuckLatchesForConfiguredWindows) {
+    auto opts = only(sim::sensor_fault_kind::stuck);
+    opts.stuck_windows = 3;
+    sim::sensor_fault_injector inj(opts, 3);
+    auto first = make_window(0.0, {40.0});
+    EXPECT_TRUE(inj.corrupt(first).empty());  // no last value to latch yet
+    for (int i = 1; i <= 6; ++i) {
+        auto w = make_window(i * 120.0, {40.0 + 10.0 * i});
+        const auto faults = inj.corrupt(w);
+        ASSERT_EQ(faults.size(), 1u) << "window " << i;
+        EXPECT_EQ(faults[0].kind, sim::sensor_fault_kind::stuck);
+        EXPECT_EQ(w.rates[0], 40.0) << "window " << i;  // latched forever at p=1
+    }
+}
+
+TEST(SensorFaults, RejectsInvalidOptions) {
+    EXPECT_THROW(
+        sim::sensor_fault_injector(sim::sensor_fault_options::uniform(0.2), 1),
+        invariant_error);  // six kinds at 0.2 sum to 1.2
+    auto bad = sim::sensor_fault_options{};
+    bad.spike_probability = 0.1;
+    bad.spike_multiplier = 1.5;
+    EXPECT_THROW(sim::sensor_fault_injector(bad, 1), invariant_error);
+    auto stuck = sim::sensor_fault_options{};
+    stuck.stuck_probability = 0.1;
+    stuck.stuck_windows = 0;
+    EXPECT_THROW(sim::sensor_fault_injector(stuck, 1), invariant_error);
 }
 
 // ---- testbed fault semantics ----------------------------------------------

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+#include <vector>
+
 #include "common/check.h"
 
 namespace mistral::wl {
@@ -103,6 +107,158 @@ TEST(Monitor, RejectsWrongRateCount) {
 
 TEST(Monitor, RejectsZeroApps) {
     EXPECT_THROW(workload_monitor(0, 8.0), invariant_error);
+}
+
+TEST(Monitor, BandScaleWidensContainmentWithoutMovingTheBand) {
+    workload_monitor m(1, 8.0);
+    m.observe(0.0, {50.0});
+    EXPECT_TRUE(m.observe(60.0, {55.0}).any_exceeded);  // outside ±4
+    m.set_band_scale(3.0);
+    EXPECT_FALSE(m.observe(120.0, {55.0}).any_exceeded);  // inside ±12
+    EXPECT_TRUE(m.observe(180.0, {63.0}).any_exceeded);
+    EXPECT_DOUBLE_EQ(m.band_of(0).center, 50.0);
+    EXPECT_DOUBLE_EQ(m.band_of(0).width, 8.0);  // stored width unscaled
+    EXPECT_THROW(m.set_band_scale(0.5), invariant_error);
+}
+
+// ---- telemetry_validator ---------------------------------------------------
+
+telemetry_window window_of(std::vector<req_per_sec> rates) {
+    telemetry_window w;
+    w.rates = std::move(rates);
+    return w;
+}
+
+TEST(Validator, HealthyWindowPassesRatesThroughBitIdentically) {
+    telemetry_validator v(2);
+    const auto verdict = v.validate(window_of({40.0, 55.5}));
+    EXPECT_TRUE(verdict.healthy());
+    EXPECT_EQ(verdict.flags, quality_ok);
+    EXPECT_EQ(verdict.rates, (std::vector<req_per_sec>{40.0, 55.5}));
+}
+
+TEST(Validator, NonFiniteRateIsGarbageAndSubstituted) {
+    telemetry_validator v(1);
+    v.validate(window_of({40.0}));
+    const auto verdict =
+        v.validate(window_of({std::numeric_limits<double>::quiet_NaN()}));
+    EXPECT_EQ(verdict.quality, window_quality::garbage);
+    EXPECT_TRUE(verdict.flags & quality_nonfinite);
+    EXPECT_EQ(verdict.rates[0], 40.0);  // last healthy value
+    // Same for a negative reading (no sensor measures a negative rate).
+    const auto neg = v.validate(window_of({-3.0}));
+    EXPECT_EQ(neg.quality, window_quality::garbage);
+    EXPECT_EQ(neg.rates[0], 40.0);
+}
+
+TEST(Validator, GarbageBeforeAnyHealthyValueFallsBackToZero) {
+    telemetry_validator v(1);
+    const auto verdict =
+        v.validate(window_of({std::numeric_limits<double>::infinity()}));
+    EXPECT_EQ(verdict.quality, window_quality::garbage);
+    EXPECT_EQ(verdict.rates[0], 0.0);
+}
+
+TEST(Validator, EmptyWindowIsDegradedAndSubstituted) {
+    telemetry_validator v(1);
+    telemetry_window w = window_of({40.0});
+    w.samples = {4800.0};
+    EXPECT_TRUE(v.validate(w).healthy());
+    // Zero completed requests: the reported rate is undefined, never NaN.
+    telemetry_window empty = window_of({0.0});
+    empty.samples = {0.0};
+    const auto verdict = v.validate(empty);
+    EXPECT_EQ(verdict.quality, window_quality::degraded);
+    EXPECT_TRUE(verdict.flags & quality_empty);
+    EXPECT_EQ(verdict.rates[0], 40.0);
+}
+
+TEST(Validator, OutOfRangeRateIsClampedAndFlagged) {
+    validator_options opts;
+    opts.max_rate = 1000.0;
+    telemetry_validator v(1, opts);
+    const auto verdict = v.validate(window_of({5000.0}));
+    EXPECT_EQ(verdict.quality, window_quality::degraded);
+    EXPECT_TRUE(verdict.flags & quality_out_of_range);
+    EXPECT_EQ(verdict.rates[0], 1000.0);
+}
+
+TEST(Validator, JumpCheckIsOptInAndKeepsTheValue) {
+    // Default: disabled — a 100× move is graded healthy.
+    telemetry_validator lax(1);
+    lax.validate(window_of({10.0}));
+    EXPECT_TRUE(lax.validate(window_of({1000.0})).healthy());
+
+    validator_options opts;
+    opts.max_jump_factor = 4.0;
+    opts.jump_slack = 0.0;
+    telemetry_validator strict(1, opts);
+    strict.validate(window_of({10.0}));
+    const auto up = strict.validate(window_of({100.0}));
+    EXPECT_EQ(up.quality, window_quality::degraded);
+    EXPECT_TRUE(up.flags & quality_jump);
+    EXPECT_EQ(up.rates[0], 100.0);  // flagged, not substituted
+    // The jumped value becomes the new reference: staying there is healthy.
+    EXPECT_TRUE(strict.validate(window_of({110.0})).healthy());
+    // And a symmetric drop trips too.
+    const auto down = strict.validate(window_of({5.0}));
+    EXPECT_TRUE(down.flags & quality_jump);
+}
+
+TEST(Validator, StuckDetectionIsOptInAndCountsBitIdenticalRepeats) {
+    validator_options opts;
+    opts.max_stuck_windows = 3;
+    telemetry_validator v(1, opts);
+    EXPECT_TRUE(v.validate(window_of({50.0})).healthy());
+    EXPECT_TRUE(v.validate(window_of({50.0})).healthy());
+    EXPECT_TRUE(v.validate(window_of({50.0})).healthy());
+    const auto verdict = v.validate(window_of({50.0}));  // 4th identical read
+    EXPECT_EQ(verdict.quality, window_quality::degraded);
+    EXPECT_TRUE(verdict.flags & quality_stale);
+    // A fresh value clears the streak.
+    EXPECT_TRUE(v.validate(window_of({51.0})).healthy());
+
+    // Default options never flag constant telemetry.
+    telemetry_validator relaxed(1);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(relaxed.validate(window_of({50.0})).healthy());
+    }
+}
+
+TEST(Validator, ResponseTimeChannelIsValidatedWhenPresent) {
+    telemetry_validator v(1);
+    telemetry_window w = window_of({40.0});
+    w.response_times = {std::numeric_limits<double>::quiet_NaN()};
+    const auto verdict = v.validate(w);
+    EXPECT_EQ(verdict.quality, window_quality::garbage);
+    // The rate itself was fine and stays the reference for substitution.
+    telemetry_window slow = window_of({41.0});
+    slow.response_times = {7200.0};
+    EXPECT_EQ(v.validate(slow).quality, window_quality::degraded);
+}
+
+TEST(Validator, PerAppFlagsAreIndependent) {
+    telemetry_validator v(2);
+    v.validate(window_of({40.0, 60.0}));
+    const auto verdict =
+        v.validate(window_of({std::numeric_limits<double>::quiet_NaN(), 61.0}));
+    EXPECT_TRUE(verdict.app_flags[0] & quality_nonfinite);
+    EXPECT_EQ(verdict.app_flags[1], quality_ok);
+    EXPECT_EQ(verdict.rates[0], 40.0);
+    EXPECT_EQ(verdict.rates[1], 61.0);
+}
+
+TEST(Validator, DescribeFlagsNamesEveryBit) {
+    EXPECT_EQ(describe_flags(quality_ok), "ok");
+    EXPECT_EQ(describe_flags(quality_nonfinite | quality_jump), "nonfinite|jump");
+    EXPECT_EQ(std::string(to_string(window_quality::degraded)), "degraded");
+}
+
+TEST(Validator, RejectsInvalidOptions) {
+    EXPECT_THROW(telemetry_validator(0), invariant_error);
+    validator_options bad;
+    bad.max_jump_factor = 0.5;  // neither disabled (0) nor a valid factor (>1)
+    EXPECT_THROW(telemetry_validator(1, bad), invariant_error);
 }
 
 }  // namespace
