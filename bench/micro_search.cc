@@ -21,8 +21,12 @@
 //  * --smoke: the CI gate. Runs the 8-host/4-app cell with delta evaluation
 //    on and off, fails if the chosen plans or utilities differ bit-wise, if
 //    the decision utility deviates from the committed golden value, or if
-//    delta evaluation does not cut LQN sub-solves by at least 2×. Perf
-//    numbers are printed but never gated (CI hardware varies).
+//    delta evaluation does not cut LQN sub-solves by at least 2×; then the
+//    pod gates — a single-pod coordinator must match the flat controller
+//    bit-for-bit (which transitively pins the single-pod utility to the
+//    golden value above), and the 256-host/64-app sharded refinement must
+//    stay under 1 s modeled. Perf numbers are printed but never gated (CI
+//    hardware varies).
 //
 //  * With any --benchmark* flag: the registered google-benchmark
 //    microbenchmarks run instead (e.g. --benchmark_filter=search).
@@ -35,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/coordinator.h"
 #include "core/experiment.h"
 #include "core/search.h"
 #include "cost/table.h"
@@ -146,6 +151,81 @@ sweep_cell run_cell(std::size_t apps, std::size_t threads, bool delta, int reps)
     return cell;
 }
 
+// One pods×hosts cell: a sharded coordinator over `hosts` hosts in pods of
+// `hosts / pods`, measuring the cold (first, full reconfiguration) and warm
+// (steady refinement after a 12 req/s drift) decisions. The modeled latency
+// is the meter's max-over-pods — pods decide concurrently in the model — and
+// is hardware-independent; wall clock is recorded alongside.
+struct pod_cell {
+    std::size_t hosts = 0;
+    std::size_t apps = 0;
+    std::size_t pods = 0;
+    std::size_t pod_hosts = 0;
+    double cold_modeled_s = 0.0;
+    double warm_modeled_s = 0.0;
+    double cold_wall_ms = 0.0;
+    double warm_wall_ms = 0.0;
+    std::size_t warm_expansions = 0;
+};
+
+pod_cell run_pod_cell(std::size_t hosts, std::size_t pods) {
+    const std::size_t apps = hosts / 4;
+    auto scn = core::make_rubis_scenario(
+        {.host_count = hosts, .app_count = apps});
+    core::coordinator_options copts;
+    copts.parallel_pods = true;  // wall-clock only; the model is unaffected
+    core::global_coordinator coord(scn.model,
+                                   cost::cost_table::paper_defaults(),
+                                   core::uniform_partition(scn.model, pods),
+                                   {}, copts);
+
+    pod_cell cell;
+    cell.hosts = hosts;
+    cell.apps = apps;
+    cell.pods = pods;
+    cell.pod_hosts = hosts / pods;
+
+    auto cfg = scn.initial;
+    const std::vector<req_per_sec> base_rates(apps, 60.0);
+    auto t0 = std::chrono::steady_clock::now();
+    const auto cold = coord.decide({0.0, base_rates, cfg, 1.0});
+    auto t1 = std::chrono::steady_clock::now();
+    cell.cold_modeled_s = cold.decision_delay;
+    cell.cold_wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    for (const auto& a : cold.actions) cfg = cluster::apply(scn.model, cfg, a);
+
+    // The recurring case a controller lives in: the cluster already adapted,
+    // the workload drifts past the band, every pod refines.
+    const std::vector<req_per_sec> drifted(apps, 72.0);
+    t0 = std::chrono::steady_clock::now();
+    const auto warm = coord.decide({120.0, drifted, cfg, 1.0});
+    t1 = std::chrono::steady_clock::now();
+    cell.warm_modeled_s = warm.decision_delay;
+    cell.warm_wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    cell.warm_expansions = warm.stats.expansions;
+    return cell;
+}
+
+std::vector<pod_cell> run_pod_sweep() {
+    std::vector<pod_cell> cells;
+    // Fixed 4-host pods while the cluster octuples (the scaling claim: the
+    // modeled decision cost tracks pod size, not cluster size), plus the
+    // pod-size axis at 256 hosts (what growing a pod costs).
+    const std::size_t grid[][2] = {
+        {32, 8}, {64, 16}, {128, 32}, {256, 64}, {256, 32}, {256, 16}};
+    for (const auto& [hosts, pods] : grid) {
+        cells.push_back(run_pod_cell(hosts, pods));
+        const auto& c = cells.back();
+        std::printf(
+            "pods: hosts=%3zu apps=%2zu pods=%2zu (%2zu hosts/pod)  "
+            "cold %8.3f s modeled / %8.1f ms wall   warm %7.3f s modeled / "
+            "%7.1f ms wall\n",
+            c.hosts, c.apps, c.pods, c.pod_hosts, c.cold_modeled_s,
+            c.cold_wall_ms, c.warm_modeled_s, c.warm_wall_ms);
+    }
+    return cells;
+}
+
 int run_sweep(const char* path) {
     constexpr int kReps = 3;
     std::vector<sweep_cell> cells;
@@ -196,6 +276,19 @@ int run_sweep(const char* path) {
                      static_cast<double>(c.charges) / static_cast<double>(c.slots),
                      c.charges, c.slots, c.hit_rate, c.app_hit_rate,
                      c.lqn_solves, i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"pod_cells\": [\n");
+    const auto pod_cells = run_pod_sweep();
+    for (std::size_t i = 0; i < pod_cells.size(); ++i) {
+        const auto& c = pod_cells[i];
+        std::fprintf(f,
+                     "    {\"hosts\": %zu, \"apps\": %zu, \"pods\": %zu, "
+                     "\"pod_hosts\": %zu, \"cold_modeled_s\": %.3f, "
+                     "\"warm_modeled_s\": %.3f, \"cold_wall_ms\": %.1f, "
+                     "\"warm_wall_ms\": %.1f, \"warm_expansions\": %zu}%s\n",
+                     c.hosts, c.apps, c.pods, c.pod_hosts, c.cold_modeled_s,
+                     c.warm_modeled_s, c.cold_wall_ms, c.warm_wall_ms,
+                     c.warm_expansions, i + 1 < pod_cells.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -315,6 +408,53 @@ int run_smoke() {
         if (off_modeled > 0.0 && on_modeled > 1.02 * off_modeled) {
             fail("degraded guard adds >2% modeled decision latency on the "
                  "healthy path");
+        }
+    }
+    // Pod gate 1: a single-pod coordinator is the flat controller, bit for
+    // bit — same invocations, same plans, same modeled stats. Together with
+    // the golden-utility gate above this pins the single-pod path's utility.
+    {
+        core::global_coordinator single(scn.model,
+                                        cost::cost_table::paper_defaults(),
+                                        core::uniform_partition(scn.model, 1));
+        core::mistral_strategy flat(scn.model,
+                                    cost::cost_table::paper_defaults());
+        auto cfg = scn.initial;
+        bool identical = true;
+        for (int i = 0; i < 3; ++i) {
+            const seconds t = i * 120.0;
+            const std::vector<req_per_sec> step_rates(4, 60.0 + 12.0 * i);
+            const auto a = single.decide({t, step_rates, cfg, 1.0});
+            const auto b = flat.decide({t, step_rates, cfg, 1.0});
+            identical = identical && a.invoked == b.invoked &&
+                        a.actions == b.actions &&
+                        a.decision_delay == b.decision_delay &&
+                        a.stats.expansions == b.stats.expansions &&
+                        a.stats.generated == b.stats.generated;
+            for (const auto& act : a.actions) {
+                cfg = cluster::apply(scn.model, cfg, act);
+            }
+        }
+        if (!identical) {
+            fail("single-pod coordinator diverged from the flat controller");
+        } else {
+            std::printf("smoke: single-pod == flat controller (3 decisions)\n");
+        }
+    }
+
+    // Pod gate 2: the headline scale point — 256 hosts / 64 apps in 4-host
+    // pods must decide in under a second of modeled latency, both the cold
+    // full reconfiguration and the post-drift refinement. The modeled number
+    // is deterministic (model-clock meter), so this gate is
+    // hardware-independent.
+    {
+        const auto c = run_pod_cell(256, 64);
+        std::printf(
+            "smoke: 256 hosts / 64 apps / 64 pods  cold %0.3f s / warm "
+            "%0.3f s modeled, %0.1f ms / %0.1f ms wall\n",
+            c.cold_modeled_s, c.warm_modeled_s, c.cold_wall_ms, c.warm_wall_ms);
+        if (!(c.cold_modeled_s < 1.0 && c.warm_modeled_s < 1.0)) {
+            fail("256-host sharded decision exceeds 1 s modeled latency");
         }
     }
     if (failures == 0) std::printf("smoke OK\n");

@@ -16,6 +16,7 @@
 #include "bench_util.h"
 #include "core/hierarchy.h"
 #include "core/perf_pwr.h"
+#include "obs/journal.h"
 
 using namespace mistral;
 
@@ -32,6 +33,44 @@ std::vector<std::vector<std::size_t>> split_hosts(std::size_t hosts,
     std::vector<std::vector<std::size_t>> out(groups);
     for (std::size_t h = 0; h < hosts; ++h) out[h * groups / hosts].push_back(h);
     return out;
+}
+
+// Journal off, metrics on: the pods register their per-pod histograms in
+// `registry` without perturbing decisions.
+class metrics_sink final : public mistral::obs::sink {
+public:
+    explicit metrics_sink(mistral::obs::metrics_registry* r) : registry_(r) {}
+    [[nodiscard]] bool enabled() const override { return false; }
+    void record(const mistral::obs::event&) override {}
+    [[nodiscard]] mistral::obs::metrics_registry* metrics() override {
+        return registry_;
+    }
+
+private:
+    mistral::obs::metrics_registry* registry_;
+};
+
+const std::vector<double> kSearchBounds = {0.05, 0.1,  0.25, 0.5, 1.0,
+                                           2.5,  5.0,  10.0, 30.0};
+
+double histo_mean(mistral::obs::metrics_registry& registry,
+                  const std::string& name) {
+    auto h = registry.register_histogram(name, kSearchBounds);
+    return h.count() > 0 ? h.sum() / static_cast<double>(h.count()) : 0.0;
+}
+
+double level1_mean(mistral::obs::metrics_registry& registry,
+                   std::size_t pods) {
+    std::int64_t count = 0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < pods; ++i) {
+        auto h = registry.register_histogram(
+            "mistral_pod_" + std::to_string(i) + "_search_seconds",
+            kSearchBounds);
+        count += h.count();
+        sum += h.sum();
+    }
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
 }
 
 }  // namespace
@@ -59,18 +98,25 @@ int main() {
             {.host_count = row.hosts, .app_count = row.apps});
 
         // Self-aware hierarchical run over the full day.
-        core::hierarchy_options ho;
-        core::hierarchical_controller mistral(scn.model, costs, row.groups, ho);
+        obs::metrics_registry registry;
+        metrics_sink sink(&registry);
+        core::controller_builder builder;
+        builder.sink(&sink);
+        core::hierarchical_controller mistral(scn.model, costs,
+                                              core::level1_pods(row.groups),
+                                              builder);
         const auto r = core::run_scenario(scn, mistral);
 
         // Naive variant: same hierarchy, pruning and early stop disabled.
         // Measured over a shortened window — the naive search's cost per
         // invocation is exactly what scales badly.
-        core::hierarchy_options naive_opts;
-        naive_opts.base.search.self_aware = false;
-        naive_opts.base.search.max_expansions = 1500;
-        core::hierarchical_controller naive(scn.model, costs, row.groups,
-                                            naive_opts);
+        core::controller_builder naive_builder;
+        naive_builder.self_aware(false).tweak([](core::controller_options& o) {
+            o.search.max_expansions = 1500;
+        });
+        core::hierarchical_controller naive(scn.model, costs,
+                                            core::level1_pods(row.groups),
+                                            naive_builder);
         auto short_scn = scn;
         const seconds t0 = scn.traces[0].start_time();
         std::vector<wl::trace> short_traces;
@@ -103,8 +149,9 @@ int main() {
                    std::to_string(scn.model.vm_count()) + " / " +
                        std::to_string(row.hosts),
                    table_printer::fmt(r.search_duration.mean(), 2),
-                   table_printer::fmt(mistral.level1_durations().mean(), 2),
-                   table_printer::fmt(mistral.level2_durations().mean(), 2),
+                   table_printer::fmt(level1_mean(registry, row.groups.size()), 2),
+                   table_printer::fmt(
+                       histo_mean(registry, "mistral_pod_global_search_seconds"), 2),
                    table_printer::fmt(rn.search_duration.mean(), 2),
                    table_printer::fmt(r.cumulative_utility, 1),
                    table_printer::fmt(ideal_total, 1)});

@@ -21,6 +21,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "core/builder.h"
 #include "core/experiment.h"
 #include "cost/table.h"
 #include "obs/journal.h"
@@ -54,22 +55,23 @@ int main() {
     // Guarded: degraded-mode defaults + the opt-in jump plausibility check
     // (spikes at least double the reading, so a 1.8× fence catches them).
     obs::memory_sink journal;
-    core::controller_options guarded_opts;
-    guarded_opts.degraded.validator.max_jump_factor = 1.8;
-    guarded_opts.degraded.validator.jump_slack = 10.0;
-    guarded_opts.sink = &journal;
+    core::controller_builder guarded_builder;
+    guarded_builder.sink(&journal).tweak([](core::controller_options& o) {
+        o.degraded.validator.max_jump_factor = 1.8;
+        o.degraded.validator.jump_slack = 10.0;
+    });
     auto scn = make_scenario(sensors, &journal);
     core::mistral_strategy guarded(scn.model, cost::cost_table::paper_defaults(),
-                                   guarded_opts);
+                                   guarded_builder.build());
     const auto with_guard = core::run_scenario(scn, guarded);
 
     // Naive: same corrupted observations, guard machinery disabled.
-    core::controller_options naive_opts;
-    naive_opts.degraded.enabled = false;
-    naive_opts.arma.divergence.enabled = false;
+    core::controller_builder naive_builder;
+    naive_builder.degraded(false).divergence_guard(false);
     auto scn_naive = make_scenario(sensors, nullptr);
     core::mistral_strategy naive(scn_naive.model,
-                                 cost::cost_table::paper_defaults(), naive_opts);
+                                 cost::cost_table::paper_defaults(),
+                                 naive_builder.build());
     const auto without_guard = core::run_scenario(scn_naive, naive);
 
     // Baseline: clean sensors.

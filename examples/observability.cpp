@@ -16,6 +16,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/builder.h"
 #include "core/experiment.h"
 #include "cost/table.h"
 #include "obs/json.h"
@@ -48,10 +49,10 @@ int main() {
     opts.sink = &sink;
     auto scn = core::make_rubis_scenario(opts);
 
-    core::controller_options copts;
-    copts.sink = &sink;  // decision + search + evaluator hooks
+    core::controller_builder builder;
+    builder.sink(&sink);  // decision + search + evaluator hooks
     core::mistral_strategy mistral(scn.model, cost::cost_table::paper_defaults(),
-                                   copts);
+                                   builder.build());
 
     const auto run = core::run_scenario(scn, mistral);
     sink.flush();

@@ -169,6 +169,11 @@ void mistral_controller::update_ladder(control_mode target, const char* reason,
     }
 }
 
+void mistral_controller::set_power_cap(watts cap) {
+    search_.set_power_cap(cap);
+    greedy_search_.set_power_cap(cap);
+}
+
 controller_decision mistral_controller::step(const decision_input& in) {
     const seconds now = in.now;
     MISTRAL_CHECK(in.rates.size() == model_->app_count());

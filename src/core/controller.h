@@ -187,6 +187,12 @@ public:
     // One monitoring-interval step over the interval's observations.
     controller_decision step(const decision_input& in);
 
+    // Runtime power-budget update (watts; infinity = uncapped). Forwarded to
+    // both the full search and the greedy rung without rebuilding either, so
+    // the evaluation caches survive a budget change. The global coordinator
+    // calls this each interval when redistributing the cluster budget.
+    void set_power_cap(watts cap);
+
     [[nodiscard]] const wl::workload_monitor& monitor() const { return monitor_; }
     [[nodiscard]] const std::vector<predict::stability_predictor>& predictors() const {
         return predictors_;

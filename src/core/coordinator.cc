@@ -1,0 +1,493 @@
+#include "core/coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/journal.h"
+
+namespace mistral::core {
+
+namespace {
+
+// Whole-cluster headroom report (the escalation controller's event row).
+pod_report cluster_report(const cluster::cluster_model& model,
+                          const cluster::configuration& config) {
+    pod_report r;
+    double cap_total = 0.0;
+    std::size_t healthy = 0;
+    for (std::size_t h = 0; h < model.host_count(); ++h) {
+        const host_id host{static_cast<std::int32_t>(h)};
+        const auto& hs = model.hosts()[h];
+        r.max_draw += hs.power.power(1.0);
+        if (!config.host_failed(host)) ++healthy;
+        if (!config.host_on(host)) continue;
+        cap_total += config.cap_sum(host);
+        r.draw += hs.power.power(config.cap_sum(host) / hs.cpu_capacity);
+    }
+    const double denom =
+        model.limits().host_cpu_cap * static_cast<double>(healthy);
+    r.pressure = denom > 0.0 ? cap_total / denom : 1.0;
+    return r;
+}
+
+void validate_level1(const cluster::cluster_model& model,
+                     const std::vector<pod_spec>& pods) {
+    MISTRAL_CHECK_MSG(!pods.empty(), "two-level mode needs level-1 pods");
+    std::vector<bool> claimed(model.host_count(), false);
+    for (std::size_t i = 0; i < pods.size(); ++i) {
+        MISTRAL_CHECK_MSG(pods[i].id == i, "pod ids must be sequential from 0");
+        MISTRAL_CHECK_MSG(!pods[i].hosts.empty(),
+                          "pod " << i << " owns no hosts");
+        for (const std::size_t h : pods[i].hosts) {
+            MISTRAL_CHECK_MSG(h < model.host_count(),
+                              "pod " << i << " references unknown host " << h);
+            MISTRAL_CHECK_MSG(!claimed[h], "host groups must be disjoint");
+            claimed[h] = true;
+        }
+    }
+}
+
+void accumulate(search_stats& into, const search_stats& from) {
+    into.expansions += from.expansions;
+    into.generated += from.generated;
+    into.pruned = into.pruned || from.pruned;
+    into.eval_cache_hits += from.eval_cache_hits;
+    into.eval_cache_misses += from.eval_cache_misses;
+    into.eval_app_solves += from.eval_app_solves;
+    into.eval_app_cache_hits += from.eval_app_cache_hits;
+    into.eval_app_cache_misses += from.eval_app_cache_misses;
+}
+
+}  // namespace
+
+global_coordinator::global_coordinator(const cluster::cluster_model& model,
+                                       cost::cost_table costs, partition parts,
+                                       controller_builder builder,
+                                       coordinator_options options)
+    : model_(&model),
+      costs_(std::move(costs)),
+      builder_(std::move(builder)),
+      options_(std::move(options)),
+      name_("Mistral-Pods"),
+      sharded_(true),
+      specs_(parts.pods()) {
+    MISTRAL_CHECK(options_.power_budget > 0.0);
+    MISTRAL_CHECK(options_.grow_margin >= 0.0);
+    MISTRAL_CHECK(options_.max_brokered_moves >= 0);
+    sink_ = builder_.build().sink;
+    if (auto* reg = obs::metrics_of(sink_)) {
+        obs_migrations_ = reg->register_counter(
+            "mistral_pod_migrations_total",
+            "Cross-pod app migrations committed by the broker");
+    }
+}
+
+global_coordinator::global_coordinator(const cluster::cluster_model& model,
+                                       cost::cost_table costs,
+                                       std::vector<pod_spec> level1,
+                                       controller_builder builder,
+                                       coordinator_options options)
+    : model_(&model),
+      costs_(std::move(costs)),
+      builder_(std::move(builder)),
+      options_(std::move(options)),
+      name_("Mistral-2L"),
+      sharded_(false) {
+    validate_level1(model, level1);
+    for (auto& spec : level1) {
+        pods_.push_back(std::make_unique<pod_controller>(
+            model, costs_, std::move(spec), std::vector<std::size_t>{},
+            builder_, pod_lens::scoped));
+    }
+    controller_options esc = builder_.build();
+    esc.band_width = options_.escalation_band;
+    escalation_ = std::make_unique<mistral_controller>(model, costs_, esc,
+                                                       builder_.make_meter());
+    sink_ = esc.sink;
+    if (auto* reg = obs::metrics_of(sink_)) {
+        obs_escalations_ = reg->register_counter(
+            "mistral_pod_global_decisions_total",
+            "Invoked decisions made by the escalation controller");
+        obs_escalation_actions_ = reg->register_counter(
+            "mistral_pod_global_actions_total",
+            "Actions emitted by escalation decisions");
+        obs_escalation_seconds_ = reg->register_histogram(
+            "mistral_pod_global_search_seconds",
+            {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0},
+            "Meter-elapsed search duration of invoked escalation decisions");
+    }
+}
+
+strategy::outcome global_coordinator::decide(const decision_input& in) {
+    return sharded_ ? decide_sharded(in) : decide_two_level(in);
+}
+
+void global_coordinator::ensure_pods(const cluster::configuration& current) {
+    if (!pods_.empty()) return;
+    const partition parts(*model_, specs_);
+    const auto owner = assign_apps(*model_, parts, current);
+    std::vector<std::vector<std::size_t>> per_pod(specs_.size());
+    for (std::size_t a = 0; a < owner.size(); ++a) {
+        per_pod[owner[a]].push_back(a);
+    }
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        pods_.push_back(std::make_unique<pod_controller>(
+            *model_, costs_, specs_[i], std::move(per_pod[i]), builder_,
+            pod_lens::sharded));
+    }
+}
+
+std::vector<watts> global_coordinator::redistribute(
+    watts total, double grow_margin, const std::vector<pod_report>& reports) {
+    MISTRAL_CHECK(total > 0.0 && std::isfinite(total));
+    const std::size_t n = reports.size();
+    MISTRAL_CHECK(n >= 1);
+    std::vector<double> demand(n, 0.0);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double p = std::clamp(reports[i].pressure, 0.0, 1.0);
+        demand[i] = reports[i].draw +
+                    grow_margin * p *
+                        std::max(0.0, reports[i].max_draw - reports[i].draw);
+        sum += demand[i];
+    }
+    if (sum <= 0.0) {
+        demand.assign(n, 1.0);
+        sum = static_cast<double>(n);
+    }
+    // Integer milliwatts with largest-remainder rounding: the shares sum to
+    // the cluster budget exactly, every interval, regardless of float dust.
+    const std::int64_t total_mw = std::llround(total * 1000.0);
+    std::vector<std::int64_t> share_mw(n, 0);
+    std::vector<std::pair<double, std::size_t>> remainders;
+    remainders.reserve(n);
+    std::int64_t assigned = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double exact = static_cast<double>(total_mw) * demand[i] / sum;
+        share_mw[i] = static_cast<std::int64_t>(std::floor(exact));
+        assigned += share_mw[i];
+        remainders.emplace_back(exact - std::floor(exact), i);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+              });
+    const std::int64_t leftover = total_mw - assigned;  // always in [0, n)
+    for (std::int64_t k = 0; k < leftover; ++k) {
+        ++share_mw[remainders[static_cast<std::size_t>(k) % n].second];
+    }
+    std::vector<watts> budgets(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        budgets[i] = static_cast<watts>(share_mw[i]) / 1000.0;
+    }
+    return budgets;
+}
+
+void global_coordinator::redistribute_budgets(const decision_input& in) {
+    std::vector<pod_report> reports;
+    reports.reserve(pods_.size());
+    for (const auto& pod : pods_) reports.push_back(pod->report(in.current));
+    budgets_ = redistribute(options_.power_budget, options_.grow_margin, reports);
+    for (std::size_t i = 0; i < pods_.size(); ++i) {
+        if (budgets_[i] > 0.0) {
+            pods_[i]->set_budget(budgets_[i]);
+        } else {
+            // A zero share (an all-idle pod under a tight budget) still needs
+            // a positive cap for the terminal gate; one milliwatt forbids
+            // any powered-on host just as effectively.
+            pods_[i]->set_budget(0.001);
+        }
+    }
+    if (obs::journaling(sink_)) {
+        obs::event e("pod_budget", in.now);
+        std::vector<double> draw, budget;
+        for (std::size_t i = 0; i < pods_.size(); ++i) {
+            draw.push_back(reports[i].draw);
+            budget.push_back(budgets_[i]);
+        }
+        e.num("cluster_budget_watts", options_.power_budget)
+            .num_list("draw_watts", std::move(draw))
+            .num_list("budget_watts", std::move(budget));
+        sink_->record(e);
+    }
+}
+
+void global_coordinator::emit_pod_decision(const pod_controller& pod,
+                                           const pod_outcome& po,
+                                           const cluster::configuration& at,
+                                           seconds now,
+                                           const char* level) const {
+    if (!obs::journaling(sink_)) return;
+    const pod_report r = pod.report(at);
+    const watts budget = pod.budget();
+    obs::event e("pod_decision", now);
+    e.integer("pod", static_cast<std::int64_t>(pod.spec().id))
+        .text("level", level)
+        .boolean("invoked", po.invoked)
+        .integer("actions", static_cast<std::int64_t>(po.actions.size()))
+        .num("duration", po.decision.stats.duration)
+        .integer("expansions",
+                 static_cast<std::int64_t>(po.decision.stats.expansions))
+        .integer("generated",
+                 static_cast<std::int64_t>(po.decision.stats.generated))
+        .num("expected_utility", po.decision.expected_utility)
+        // JSON has no infinity; -1 marks an uncapped pod.
+        .num("budget_watts", std::isfinite(budget) ? budget : -1.0)
+        .num("draw_watts", r.draw)
+        .num("pressure", r.pressure)
+        .text("mode", to_string(po.decision.mode));
+    sink_->record(e);
+}
+
+strategy::outcome global_coordinator::decide_two_level(const decision_input& in) {
+    outcome out;
+
+    const auto d2 = escalation_->step(in);
+    if (d2.invoked) {
+        obs_escalations_.add();
+        obs_escalation_actions_.add(static_cast<std::int64_t>(d2.actions.size()));
+        obs_escalation_seconds_.observe(d2.stats.duration);
+        if (obs::journaling(sink_)) {
+            const pod_report r = cluster_report(*model_, in.current);
+            obs::event e("pod_decision", in.now);
+            e.integer("pod", -1)
+                .text("level", "global")
+                .boolean("invoked", true)
+                .integer("actions", static_cast<std::int64_t>(d2.actions.size()))
+                .num("duration", d2.stats.duration)
+                .integer("expansions",
+                         static_cast<std::int64_t>(d2.stats.expansions))
+                .integer("generated",
+                         static_cast<std::int64_t>(d2.stats.generated))
+                .num("expected_utility", d2.expected_utility)
+                .num("budget_watts", -1.0)
+                .num("draw_watts", r.draw)
+                .num("pressure", r.pressure)
+                .text("mode", to_string(d2.mode));
+            sink_->record(e);
+        }
+        if (!d2.actions.empty()) {
+            // The escalation's reconfiguration preempts pod refinements for
+            // this interval (they would race the larger change).
+            out.invoked = true;
+            out.actions = d2.actions;
+            out.decision_delay = d2.stats.duration;
+            out.decision_power_cost = d2.stats.search_power_cost;
+            out.stats = d2.stats;
+            return out;
+        }
+    }
+
+    // Level-1 pods refine sequentially over a shared probe; their disjoint
+    // scopes keep sibling plans composable, and since they run concurrently
+    // in the model the decision delay is the slowest pod, not the sum.
+    cluster::configuration probe = in.current;
+    for (auto& pod : pods_) {
+        decision_input step_in;
+        step_in.now = in.now;
+        step_in.rates = in.rates;
+        step_in.current = probe;
+        step_in.last_interval_utility = in.last_interval_utility;
+        const auto po = pod->step(step_in);
+        emit_pod_decision(*pod, po, probe, in.now, "pod");
+        if (!po.invoked) continue;
+        out.invoked = true;
+        out.decision_delay = std::max(out.decision_delay, po.decision.stats.duration);
+        out.decision_power_cost += po.decision.stats.search_power_cost;
+        accumulate(out.stats, po.decision.stats);
+        for (const auto& a : po.actions) {
+            // Skip defensively if a sibling's change made one inapplicable.
+            if (!cluster::applicable(*model_, probe, a)) continue;
+            probe = cluster::apply(*model_, probe, a);
+            out.actions.push_back(a);
+        }
+    }
+    out.stats.duration = out.decision_delay;
+    out.stats.search_power_cost = out.decision_power_cost;
+    return out;
+}
+
+strategy::outcome global_coordinator::decide_sharded(const decision_input& in) {
+    ensure_pods(in.current);
+    if (std::isfinite(options_.power_budget)) redistribute_budgets(in);
+
+    outcome out;
+    if (pods_.size() == 1) {
+        // Single pod over the whole cluster: the identity lens passes the
+        // input straight through, so this path is byte-identical to the flat
+        // mistral_strategy (pod_equivalence_test.cc holds it to that).
+        const auto po = pods_[0]->step(in);
+        out.invoked = po.decision.invoked;
+        out.actions = po.actions;
+        out.decision_delay = po.decision.stats.duration;
+        out.decision_power_cost = po.decision.stats.search_power_cost;
+        out.stats = po.decision.stats;
+        emit_pod_decision(*pods_[0], po, in.current, in.now, "pod");
+        return out;
+    }
+
+    std::vector<pod_outcome> outs(pods_.size());
+    // Journal sinks are not thread-safe; journaling forces sequential pods.
+    if (options_.parallel_pods && !obs::journaling(sink_)) {
+        std::vector<std::thread> workers;
+        workers.reserve(pods_.size());
+        for (std::size_t i = 0; i < pods_.size(); ++i) {
+            workers.emplace_back(
+                [this, i, &in, &outs] { outs[i] = pods_[i]->step(in); });
+        }
+        for (auto& w : workers) w.join();
+    } else {
+        for (std::size_t i = 0; i < pods_.size(); ++i) {
+            outs[i] = pods_[i]->step(in);
+        }
+    }
+
+    cluster::configuration probe = in.current;
+    for (std::size_t i = 0; i < pods_.size(); ++i) {
+        const auto& po = outs[i];
+        emit_pod_decision(*pods_[i], po, in.current, in.now, "pod");
+        if (!po.invoked) continue;
+        out.invoked = true;
+        // Pods decide concurrently in the model: the cluster's decision
+        // latency is the slowest pod, the power self-cost the sum.
+        out.decision_delay = std::max(out.decision_delay, po.decision.stats.duration);
+        out.decision_power_cost += po.decision.stats.search_power_cost;
+        accumulate(out.stats, po.decision.stats);
+        for (const auto& a : po.actions) {
+            if (!cluster::applicable(*model_, probe, a)) continue;
+            probe = cluster::apply(*model_, probe, a);
+            out.actions.push_back(a);
+        }
+    }
+
+    broker_migrations(probe, out, in.now);
+
+    out.stats.duration = out.decision_delay;
+    out.stats.search_power_cost = out.decision_power_cost;
+    return out;
+}
+
+void global_coordinator::broker_migrations(cluster::configuration& probe,
+                                           outcome& out, seconds now) {
+    if (!options_.migration_broker || pods_.size() < 2) return;
+
+    // Deterministic first-fit placement of every deployed VM of `app` onto
+    // `hosts` (ascending), requiring the result to stay a candidate on each
+    // target host. Returns the migrate plan, or empty when infeasible.
+    const auto first_fit = [&](const cluster::configuration& from,
+                               std::size_t app,
+                               const std::vector<std::size_t>& hosts)
+        -> std::vector<cluster::action> {
+        std::vector<cluster::action> plan;
+        cluster::configuration scratch = from;
+        for (const auto& vm : model_->vms()) {
+            if (vm.app.index() != app) continue;
+            const auto& p = scratch.placement(vm.vm);
+            if (!p) continue;
+            bool placed = false;
+            for (const std::size_t h : hosts) {
+                const host_id host{static_cast<std::int32_t>(h)};
+                if (!scratch.host_on(host) || scratch.host_failed(host)) continue;
+                const cluster::action a = cluster::migrate{vm.vm, host};
+                if (!cluster::applicable(*model_, scratch, a)) continue;
+                if (scratch.cap_sum(host) + p->cpu_cap >
+                    model_->limits().host_cpu_cap + 1e-9) {
+                    continue;  // would overbook: keep the plan candidate-clean
+                }
+                scratch = cluster::apply(*model_, scratch, a);
+                plan.push_back(a);
+                placed = true;
+                break;
+            }
+            if (!placed) return {};
+        }
+        return plan;
+    };
+
+    for (int move = 0; move < options_.max_brokered_moves; ++move) {
+        std::vector<pod_report> reports;
+        reports.reserve(pods_.size());
+        for (const auto& pod : pods_) reports.push_back(pod->report(probe));
+
+        // Propose: the most pressured pod above the watermark offers its
+        // smallest deployed app (a donor keeps at least one app).
+        int donor = -1;
+        for (std::size_t i = 0; i < pods_.size(); ++i) {
+            if (reports[i].pressure <= options_.donor_pressure) continue;
+            if (pods_[i]->apps().size() < 2) continue;
+            if (donor < 0 || reports[i].pressure >
+                                 reports[static_cast<std::size_t>(donor)].pressure) {
+                donor = static_cast<int>(i);
+            }
+        }
+        if (donor < 0) return;
+
+        std::size_t app = model_->app_count();
+        double app_cap = 0.0;
+        for (const std::size_t a : pods_[static_cast<std::size_t>(donor)]->apps()) {
+            double cap = 0.0;
+            std::size_t deployed = 0;
+            for (const auto& vm : model_->vms()) {
+                if (vm.app.index() != a) continue;
+                const auto& p = probe.placement(vm.vm);
+                if (!p) continue;
+                cap += p->cpu_cap;
+                ++deployed;
+            }
+            if (deployed == 0) continue;  // nothing to move
+            if (app == model_->app_count() || cap < app_cap) {
+                app = a;
+                app_cap = cap;
+            }
+        }
+        if (app == model_->app_count()) return;
+
+        // Accept: pods under the accept watermark bid a first-fit plan; the
+        // lowest resulting pressure wins, ties to the lower pod id.
+        int best = -1;
+        double best_pressure = 0.0;
+        std::vector<cluster::action> best_plan;
+        for (std::size_t j = 0; j < pods_.size(); ++j) {
+            if (static_cast<int>(j) == donor) continue;
+            if (reports[j].pressure >= options_.accept_pressure) continue;
+            auto plan = first_fit(probe, app, pods_[j]->spec().hosts);
+            if (plan.empty()) continue;
+            cluster::configuration scratch = probe;
+            for (const auto& a : plan) scratch = cluster::apply(*model_, scratch, a);
+            const double pr = pods_[j]->report(scratch).pressure;
+            if (best < 0 || pr < best_pressure) {
+                best = static_cast<int>(j);
+                best_pressure = pr;
+                best_plan = std::move(plan);
+            }
+        }
+        if (best < 0) return;
+
+        std::size_t moved = best_plan.size();
+        for (const auto& a : best_plan) {
+            MISTRAL_CHECK(cluster::applicable(*model_, probe, a));
+            probe = cluster::apply(*model_, probe, a);
+            out.actions.push_back(a);
+        }
+        pods_[static_cast<std::size_t>(donor)]->release_app(app);
+        pods_[static_cast<std::size_t>(best)]->adopt_app(app);
+        ++brokered_migrations_;
+        obs_migrations_.add();
+        out.invoked = true;
+        if (obs::journaling(sink_)) {
+            obs::event e("pod_migration", now);
+            e.integer("app", static_cast<std::int64_t>(app))
+                .integer("from", static_cast<std::int64_t>(donor))
+                .integer("to", static_cast<std::int64_t>(best))
+                .integer("vms", static_cast<std::int64_t>(moved));
+            sink_->record(e);
+        }
+    }
+}
+
+}  // namespace mistral::core

@@ -1,0 +1,135 @@
+// The global coordination layer over pod controllers (DESIGN.md §13).
+//
+// A `global_coordinator` is a `strategy` composed of pod_controllers plus
+// cluster-wide coordination that no pod can do alone:
+//
+//  * budget broker — when a finite cluster power budget is set, the
+//    coordinator collects each pod's headroom/shortfall report (draw,
+//    saturated draw, pressure) every interval and redistributes the budget
+//    CloudPowerCap-style: demand-proportional shares computed in integer
+//    milliwatts with largest-remainder rounding, so the pod budgets sum to
+//    the cluster budget *exactly* every interval (the conservation
+//    invariant, coordinator_test.cc). Each share is pushed into the pod
+//    search's terminal gate via set_budget.
+//
+//  * migration broker — a pod whose pressure exceeds the donor watermark
+//    *proposes* evicting its smallest application; pods below the accept
+//    watermark respond with a deterministic first-fit placement plan, and
+//    the best bid (lowest resulting pressure, ties to the lower pod id)
+//    wins. The handshake emits ordinary migrate actions and re-assigns the
+//    app, so pod-local searches never see cross-pod moves.
+//
+// Two modes share the class:
+//  * sharded  ("Mistral-Pods") — a validated partition of view-lens pods
+//    stepping concurrently; this is the scale mode (256 hosts and beyond).
+//  * two_level ("Mistral-2L") — the paper's hierarchy: scoped level-1 pods
+//    plus a wide-band full-cluster escalation controller whose non-empty
+//    decisions preempt the pods for that interval (Section II-C).
+//
+// Journal events (fixed field order, obs/journal.h): `pod_decision` per pod
+// step, `pod_budget` per redistribution, `pod_migration` per brokered move.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/pod_controller.h"
+#include "core/pods.h"
+#include "core/strategies.h"
+
+namespace mistral::core {
+
+struct coordinator_options {
+    // Cluster-wide power budget (watts). Infinity disables the budget broker
+    // entirely: no reports, no events, no terminal gating.
+    watts power_budget = std::numeric_limits<watts>::infinity();
+    // Demand blend for redistribution: demand = draw + grow_margin ·
+    // min(pressure, 1) · (max_draw − draw). Pressured pods ask for headroom.
+    double grow_margin = 0.5;
+    // Migration broker watermarks (sharded mode, ≥ 2 pods).
+    bool migration_broker = true;
+    double donor_pressure = 0.85;   // propose eviction above this
+    double accept_pressure = 0.65;  // bid for adoption below this
+    int max_brokered_moves = 1;     // per interval
+    // Step pods on worker threads. Pod decisions are independent by
+    // construction; journaling forces sequential stepping anyway (the sink
+    // is not thread-safe), and the *modeled* decision latency is unaffected
+    // either way — pods are concurrent in the model (max, not sum).
+    bool parallel_pods = false;
+    // Escalation controller's band width (two-level mode; paper: 8 req/s).
+    req_per_sec escalation_band = 8.0;
+};
+
+class global_coordinator final : public strategy {
+public:
+    // Sharded mode over a validated partition. The app → pod assignment is
+    // derived from the first decide()'s configuration (assign_apps), so pods
+    // and their views materialize lazily on the first step.
+    global_coordinator(const cluster::cluster_model& model,
+                       cost::cost_table costs, partition parts,
+                       controller_builder builder = {},
+                       coordinator_options options = {});
+
+    // Two-level escalation mode: `level1` pods run the scoped lens (band 0,
+    // restricted menus — see level1_pods); a full-cluster escalation
+    // controller with escalation_band preempts them when it acts. Level-1
+    // pods need not cover every host, but must be disjoint and in range.
+    global_coordinator(const cluster::cluster_model& model,
+                       cost::cost_table costs, std::vector<pod_spec> level1,
+                       controller_builder builder = {},
+                       coordinator_options options = {});
+
+    [[nodiscard]] std::string name() const override { return name_; }
+    outcome decide(const decision_input& in) override;
+
+    [[nodiscard]] const std::vector<std::unique_ptr<pod_controller>>& pods() const {
+        return pods_;
+    }
+    [[nodiscard]] const coordinator_options& options() const { return options_; }
+    // Last redistributed pod budgets (empty before the first redistribution
+    // or when the budget broker is off). Sums to power_budget exactly.
+    [[nodiscard]] const std::vector<watts>& budgets() const { return budgets_; }
+    [[nodiscard]] std::int64_t brokered_migrations() const {
+        return brokered_migrations_;
+    }
+
+    // Demand-proportional integer-milliwatt split of `total` across the
+    // reports; the shares sum to `total` exactly (largest-remainder
+    // rounding, ties to the lower index). Exposed for the conservation test.
+    static std::vector<watts> redistribute(watts total, double grow_margin,
+                                           const std::vector<pod_report>& reports);
+
+private:
+    const cluster::cluster_model* model_;
+    cost::cost_table costs_;
+    controller_builder builder_;
+    coordinator_options options_;
+    std::string name_;
+    obs::sink* sink_ = nullptr;  // the builder's sink, cached
+    bool sharded_ = false;
+    std::vector<pod_spec> specs_;  // sharded: pods_ built lazily from these
+    std::vector<std::unique_ptr<pod_controller>> pods_;
+    std::unique_ptr<mistral_controller> escalation_;  // two-level only
+    std::vector<watts> budgets_;
+    std::int64_t brokered_migrations_ = 0;
+
+    obs::counter obs_escalations_;
+    obs::counter obs_escalation_actions_;
+    obs::histogram obs_escalation_seconds_;
+    obs::counter obs_migrations_;
+
+    void ensure_pods(const cluster::configuration& current);
+    outcome decide_two_level(const decision_input& in);
+    outcome decide_sharded(const decision_input& in);
+    void redistribute_budgets(const decision_input& in);
+    void broker_migrations(cluster::configuration& probe, outcome& out,
+                           seconds now);
+    void emit_pod_decision(const pod_controller& pod, const pod_outcome& po,
+                           const cluster::configuration& at, seconds now,
+                           const char* level) const;
+};
+
+}  // namespace mistral::core

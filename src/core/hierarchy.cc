@@ -1,90 +1,29 @@
 #include "core/hierarchy.h"
 
-#include <algorithm>
-
-#include "common/check.h"
-
 namespace mistral::core {
 
 hierarchical_controller::hierarchical_controller(
     const cluster::cluster_model& model, cost::cost_table costs,
-    std::vector<std::vector<std::size_t>> level1_groups, hierarchy_options options)
-    : model_(&model) {
-    MISTRAL_CHECK(!level1_groups.empty());
-    std::vector<bool> claimed(model.host_count(), false);
-    for (const auto& group : level1_groups) {
-        MISTRAL_CHECK(!group.empty());
-        for (std::size_t h : group) {
-            MISTRAL_CHECK(h < model.host_count());
-            MISTRAL_CHECK_MSG(!claimed[h], "host groups must be disjoint");
-            claimed[h] = true;
-        }
-    }
-
-    // First level: band 0, CPU tuning + intra-group migration only.
-    for (const auto& group : level1_groups) {
-        controller_options opts = options.base;
-        opts.band_width = 0.0;
-        opts.search.menu = {.cpu_tuning = true,
-                            .replication = false,
-                            .migration = true,
-                            .host_power = false};
-        opts.search.host_scope.assign(model.host_count(), false);
-        for (std::size_t h : group) opts.search.host_scope[h] = true;
-        level1_.push_back(std::make_unique<mistral_controller>(
-            model, costs, opts,
-            std::make_unique<model_clock_meter>(options.meter_per_expansion)));
-    }
-
-    // Second level: wide band, full action set, whole cluster.
-    controller_options opts2 = options.base;
-    opts2.band_width = options.level2_band;
-    level2_ = std::make_unique<mistral_controller>(
-        model, std::move(costs), opts2,
-        std::make_unique<model_clock_meter>(options.meter_per_expansion));
+    std::vector<pod_spec> level1, controller_builder builder,
+    req_per_sec escalation_band) {
+    coordinator_options copts;
+    copts.escalation_band = escalation_band;
+    coord_ = std::make_unique<global_coordinator>(
+        model, std::move(costs), std::move(level1), std::move(builder), copts);
 }
 
+hierarchical_controller::hierarchical_controller(
+    const cluster::cluster_model& model, cost::cost_table costs,
+    std::vector<std::vector<std::size_t>> level1_groups, hierarchy_options options)
+    : hierarchical_controller(
+          model, std::move(costs), level1_pods(std::move(level1_groups)),
+          controller_builder{}
+              .tweak([&](controller_options& o) { o = options.base; })
+              .meter_step(options.meter_per_expansion),
+          options.level2_band) {}
+
 strategy::outcome hierarchical_controller::decide(const decision_input& in) {
-    outcome out;
-
-    const auto d2 = level2_->step(in);
-    if (d2.invoked) {
-        level2_durations_.add(d2.stats.duration);
-        if (!d2.actions.empty()) {
-            out.invoked = true;
-            out.actions = d2.actions;
-            out.decision_delay = d2.stats.duration;
-            out.decision_power_cost = d2.stats.search_power_cost;
-            out.stats = d2.stats;
-            return out;
-        }
-    }
-
-    // First-level controllers refine in parallel over disjoint host groups;
-    // their action lists compose, and the decision delay is the slowest one.
-    cluster::configuration probe = in.current;
-    for (auto& controller : level1_) {
-        const auto d1 = controller->step(
-            {in.now, in.rates, probe, in.last_interval_utility});
-        if (!d1.invoked) continue;
-        out.invoked = true;
-        level1_durations_.add(d1.stats.duration);
-        out.decision_delay = std::max(out.decision_delay, d1.stats.duration);
-        out.decision_power_cost += d1.stats.search_power_cost;
-        out.stats.expansions += d1.stats.expansions;
-        out.stats.generated += d1.stats.generated;
-        out.stats.pruned = out.stats.pruned || d1.stats.pruned;
-        for (const auto& a : d1.actions) {
-            // Disjoint scopes keep sibling plans composable; skip defensively
-            // if a race ever makes one inapplicable.
-            if (!cluster::applicable(*model_, probe, a)) continue;
-            probe = cluster::apply(*model_, probe, a);
-            out.actions.push_back(a);
-        }
-    }
-    out.stats.duration = out.decision_delay;
-    out.stats.search_power_cost = out.decision_power_cost;
-    return out;
+    return coord_->decide(in);
 }
 
 }  // namespace mistral::core

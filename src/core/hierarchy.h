@@ -6,23 +6,27 @@
 // times between invocation, larger sets of more potent actions to choose
 // from, more hosts and applications to consider."
 //
-// This two-level implementation matches the paper's evaluation: each
-// first-level controller owns a disjoint group of hosts, runs with band 0,
-// and may only tune CPU caps and migrate VMs within its group; the single
-// second-level controller sees every host, runs with a wide band (8 req/s),
-// and wields the full action set. When the second level fires with a
-// reconfiguration, the first level stands down for that interval (its
-// refinements would race the larger change).
+// `hierarchical_controller` is now a thin special case of the pod-sharded
+// control stack (DESIGN.md §13): it is a `global_coordinator` in two-level
+// mode — scoped level-1 pod_controllers (band 0, CPU tuning + intra-pod
+// migration) under a wide-band full-cluster escalation controller whose
+// reconfigurations preempt the pods for that interval. Per-level statistics
+// moved from the retired bespoke running_stats accessors to the obs metrics
+// the pods register (`mistral_pod_<id>_*` and `mistral_pod_global_*`).
 #pragma once
 
 #include <memory>
 #include <vector>
 
-#include "common/stats.h"
+#include "core/builder.h"
+#include "core/coordinator.h"
+#include "core/pods.h"
 #include "core/strategies.h"
 
 namespace mistral::core {
 
+// Retained for the deprecated raw-group constructor only; new code sets the
+// same knobs on a controller_builder (+ coordinator escalation_band).
 struct hierarchy_options {
     controller_options base{};
     // Second-level band width (paper: 8 req/s); first level always uses 0.
@@ -33,8 +37,19 @@ struct hierarchy_options {
 
 class hierarchical_controller final : public strategy {
 public:
-    // `level1_groups`: disjoint host-index groups, one first-level controller
-    // per group.
+    // `level1`: disjoint typed pods (see level1_pods for the paper's level-1
+    // shape); they need not cover every host.
+    hierarchical_controller(const cluster::cluster_model& model,
+                            cost::cost_table costs,
+                            std::vector<pod_spec> level1,
+                            controller_builder builder = {},
+                            req_per_sec escalation_band = 8.0);
+
+    // Deprecated shim for the raw host-group API (one release): forwards to
+    // the typed constructor via level1_pods.
+    [[deprecated(
+        "pass core::pod_spec level-1 pods (see core::level1_pods) and a "
+        "controller_builder")]]
     hierarchical_controller(const cluster::cluster_model& model,
                             cost::cost_table costs,
                             std::vector<std::vector<std::size_t>> level1_groups,
@@ -43,16 +58,10 @@ public:
     [[nodiscard]] std::string name() const override { return "Mistral-2L"; }
     outcome decide(const decision_input& in) override;
 
-    // Mean search duration per level so far (Table I's per-level rows).
-    [[nodiscard]] const running_stats& level1_durations() const { return level1_durations_; }
-    [[nodiscard]] const running_stats& level2_durations() const { return level2_durations_; }
+    [[nodiscard]] const global_coordinator& coordinator() const { return *coord_; }
 
 private:
-    const cluster::cluster_model* model_ = nullptr;
-    std::vector<std::unique_ptr<mistral_controller>> level1_;
-    std::unique_ptr<mistral_controller> level2_;
-    running_stats level1_durations_;
-    running_stats level2_durations_;
+    std::unique_ptr<global_coordinator> coord_;
 };
 
 }  // namespace mistral::core

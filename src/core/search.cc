@@ -107,6 +107,7 @@ adaptation_search::adaptation_search(const cluster::cluster_model& model,
     MISTRAL_CHECK(options_.stop_factor >= 1.0);
     MISTRAL_CHECK(options_.max_plan_actions >= 1);
     MISTRAL_CHECK(options_.per_action_overhead >= 0.0);
+    MISTRAL_CHECK(options_.power_cap > 0.0);
     if (!options_.app_hosts.empty()) {
         MISTRAL_CHECK(options_.app_hosts.size() == model.app_count());
         for (const auto& row : options_.app_hosts) {
@@ -128,6 +129,11 @@ adaptation_search::adaptation_search(const cluster::cluster_model& model,
             {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0},
             "Meter-elapsed duration of each adaptation search");
     }
+}
+
+void adaptation_search::set_power_cap(watts cap) {
+    MISTRAL_CHECK(cap > 0.0);
+    options_.power_cap = cap;
 }
 
 search_result adaptation_search::find(const configuration& current,
@@ -424,7 +430,10 @@ search_result adaptation_search::find(const configuration& current,
     auto add_terminal = [&](std::size_t idx) {
         const vertex& v = vertices[idx];
         const auto pe = engine.evaluate(v.config);
-        if (!pe.candidate) return;
+        // The power budget gates terminal candidacy only: like the packing
+        // constraint, intermediates may exceed it while a plan is in flight,
+        // but the plan must land inside the cap.
+        if (!pe.candidate || pe.power > options_.power_cap) return;
         vertex term = v;
         term.parent = static_cast<int>(idx);
         term.via.reset();

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include <memory>
@@ -94,6 +95,12 @@ struct search_options {
     // in-scope hosts, and only power-cycles in-scope hosts (Section II-C's
     // first-level controllers manage "a small number of machines").
     std::vector<bool> host_scope;
+    // Power budget (watts): configurations drawing more than this are not
+    // accepted as terminals, so the returned plan's destination respects the
+    // cap (CloudPowerCap-style pod budgets redistribute this each interval
+    // via set_power_cap). Intermediates may exceed it transiently, exactly
+    // like the packing constraint. Infinity = uncapped.
+    watts power_cap = std::numeric_limits<watts>::infinity();
     // Observability hook (obs/journal.h): when journaling, every find() emits
     // one "search" profile event (obs/profile.h) — per-depth expansion counts
     // and meter time, memo hit rate, budget/pruning state — and the search
@@ -142,6 +149,10 @@ public:
                       std::shared_ptr<utility_evaluator> evaluator);
 
     [[nodiscard]] const search_options& options() const { return options_; }
+    // Runtime budget update (the global coordinator redistributes pod power
+    // budgets each interval); does not rebuild the evaluation engine, so the
+    // memo and app cache survive. Must be > 0 (infinity = uncapped).
+    void set_power_cap(watts cap);
     [[nodiscard]] utility_evaluator& evaluator() const { return *evaluator_; }
     // The engine itself, for building sibling searches (e.g. the degraded
     // ladder's greedy rung) that share this search's memo and app cache.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/rubis.h"
+#include "obs/journal.h"
 
 namespace mistral::core {
 namespace {
@@ -31,19 +32,25 @@ struct fixture : ::testing::Test {
         }
         return c;
     }
+
+    static std::vector<pod_spec> halves() {
+        return level1_pods({{0, 1, 2}, {3, 4, 5}});
+    }
 };
 
 using HierarchyTest = fixture;
 
 TEST_F(HierarchyTest, RejectsOverlappingGroups) {
-    EXPECT_THROW(hierarchical_controller(model, costs, {{0, 1}, {1, 2}}),
+    EXPECT_THROW(hierarchical_controller(model, costs, level1_pods({{0, 1}, {1, 2}})),
                  invariant_error);
-    EXPECT_THROW(hierarchical_controller(model, costs, {{0, 99}}), invariant_error);
-    EXPECT_THROW(hierarchical_controller(model, costs, {}), invariant_error);
+    EXPECT_THROW(hierarchical_controller(model, costs, level1_pods({{0, 99}})),
+                 invariant_error);
+    EXPECT_THROW(hierarchical_controller(model, costs, std::vector<pod_spec>{}),
+                 invariant_error);
 }
 
 TEST_F(HierarchyTest, DecisionsAreExecutable) {
-    hierarchical_controller h(model, costs, {{0, 1, 2}, {3, 4, 5}});
+    hierarchical_controller h(model, costs, halves());
     auto cfg = base();
     seconds t = 0.0;
     for (double rate : {40.0, 42.0, 55.0, 70.0}) {
@@ -61,7 +68,7 @@ TEST_F(HierarchyTest, DecisionsAreExecutable) {
 }
 
 TEST_F(HierarchyTest, LevelOneActsWithinItsGroup) {
-    hierarchical_controller h(model, costs, {{0, 1, 2}, {3, 4, 5}});
+    hierarchical_controller h(model, costs, halves());
     auto cfg = base();
     // Small drift: second level's 8 req/s band does not trip after the first
     // invocation, so any actions come from level-1 controllers.
@@ -77,30 +84,66 @@ TEST_F(HierarchyTest, LevelOneActsWithinItsGroup) {
 }
 
 TEST_F(HierarchyTest, LevelTwoFiresOnLargeShift) {
-    hierarchical_controller h(model, costs, {{0, 1, 2}, {3, 4, 5}});
+    obs::metrics_registry registry;
+    obs::memory_sink sink(&registry);
+    controller_builder builder;
+    builder.sink(&sink);
+    hierarchical_controller h(model, costs, halves(), builder);
     auto cfg = base();
     h.decide({0.0, {40.0, 40.0, 40.0}, cfg, 1.0});
     h.decide({120.0, {80.0, 40.0, 40.0}, cfg, 1.0});
-    EXPECT_GT(h.level2_durations().count(), 1u);  // first step + the shift
+    // first step + the shift, via the escalation controller's metrics
+    EXPECT_GT(registry.counter_value("mistral_pod_global_decisions_total"), 1);
 }
 
-TEST_F(HierarchyTest, PerLevelDurationsAccumulate) {
-    hierarchical_controller h(model, costs, {{0, 1, 2}, {3, 4, 5}});
+TEST_F(HierarchyTest, PerPodMetricsAccumulate) {
+    obs::metrics_registry registry;
+    obs::memory_sink sink(&registry);
+    controller_builder builder;
+    builder.sink(&sink);
+    hierarchical_controller h(model, costs, halves(), builder);
     auto cfg = base();
     seconds t = 0.0;
     for (int i = 0; i < 5; ++i) {
         h.decide({t, {40.0 + i, 40.0, 40.0}, cfg, 1.0});
         t += 120.0;
     }
-    EXPECT_GT(h.level1_durations().count(), 0u);
-    EXPECT_GT(h.level1_durations().mean(), 0.0);
-    EXPECT_GT(h.level2_durations().count(), 0u);
+    // The retired running_stats accessors' successors: per-pod and global
+    // decision counters plus search-duration histograms.
+    const std::int64_t pods =
+        registry.counter_value("mistral_pod_0_decisions_total") +
+        registry.counter_value("mistral_pod_1_decisions_total");
+    EXPECT_GT(pods, 0);
+    EXPECT_GT(registry.counter_value("mistral_pod_global_decisions_total"), 0);
+    auto histo = registry.register_histogram(
+        "mistral_pod_0_search_seconds",
+        {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0});
+    EXPECT_GE(histo.count() >= 1 ? histo.sum() : 0.0, 0.0);
+    // Every decide() with journaling emits per-pod pod_decision events.
+    EXPECT_GT(sink.count("pod_decision"), 0u);
 }
 
 TEST_F(HierarchyTest, NameIdentifiesTwoLevels) {
-    hierarchical_controller h(model, costs, {{0, 1, 2, 3, 4, 5}});
+    hierarchical_controller h(model, costs, level1_pods({{0, 1, 2, 3, 4, 5}}));
     EXPECT_EQ(h.name(), "Mistral-2L");
 }
+
+// The raw host-group constructor survives one release as a deprecated shim
+// and must behave exactly like the typed route.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(HierarchyTest, DeprecatedGroupShimStillWorks) {
+    hierarchical_controller shim(model, costs, {{0, 1, 2}, {3, 4, 5}});
+    hierarchical_controller typed(model, costs, halves());
+    EXPECT_EQ(shim.name(), typed.name());
+    auto cfg = base();
+    const auto a = shim.decide({0.0, {40.0, 40.0, 40.0}, cfg, 1.0});
+    const auto b = typed.decide({0.0, {40.0, 40.0, 40.0}, cfg, 1.0});
+    EXPECT_EQ(a.invoked, b.invoked);
+    EXPECT_EQ(a.actions, b.actions);
+    EXPECT_EQ(a.decision_delay, b.decision_delay);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace mistral::core

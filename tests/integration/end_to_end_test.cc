@@ -4,6 +4,7 @@
 
 #include "core/experiment.h"
 #include "core/hierarchy.h"
+#include "obs/journal.h"
 #include "sim/cost_campaign.h"
 #include "workload/generators.h"
 
@@ -78,11 +79,16 @@ TEST_F(EndToEnd, ControllersSurviveFullCampaignTable) {
 }
 
 TEST_F(EndToEnd, HierarchicalControllerRunsTheScenario) {
-    hierarchical_controller h(scn().model, costs(), {{0, 1, 2, 3}});
+    obs::metrics_registry registry;
+    obs::memory_sink sink(&registry);
+    controller_builder builder;
+    builder.sink(&sink);
+    hierarchical_controller h(scn().model, costs(), level1_pods({{0, 1, 2, 3}}),
+                              builder);
     const auto r = run_scenario(scn(), h);
     EXPECT_EQ(r.strategy_name, "Mistral-2L");
     EXPECT_GT(r.invocations, 10u);   // level-1 runs every interval
-    EXPECT_GT(h.level1_durations().count(), 0u);
+    EXPECT_GT(registry.counter_value("mistral_pod_0_decisions_total"), 0);
 }
 
 TEST_F(EndToEnd, SearchSelfAwarenessImprovesOrMatchesUtility) {
