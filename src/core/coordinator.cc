@@ -51,6 +51,44 @@ void validate_level1(const cluster::cluster_model& model,
     }
 }
 
+// Deterministic first-fit placement of every deployed VM of `app` not
+// already inside `hosts` onto `hosts` (ascending), requiring the result to
+// stay a candidate on each target host. Returns the migrate plan, or empty
+// when infeasible.
+std::vector<cluster::action> first_fit_plan(const cluster::cluster_model& model,
+                                            const cluster::configuration& from,
+                                            std::size_t app,
+                                            const std::vector<std::size_t>& hosts) {
+    std::vector<cluster::action> plan;
+    cluster::configuration scratch = from;
+    for (const auto& vm : model.vms()) {
+        if (vm.app.index() != app) continue;
+        const auto& p = scratch.placement(vm.vm);
+        if (!p) continue;
+        if (std::find(hosts.begin(), hosts.end(),
+                      static_cast<std::size_t>(p->host.index())) != hosts.end()) {
+            continue;  // already on a target host: nothing to move
+        }
+        bool placed = false;
+        for (const std::size_t h : hosts) {
+            const host_id host{static_cast<std::int32_t>(h)};
+            if (!scratch.host_on(host) || scratch.host_failed(host)) continue;
+            const cluster::action a = cluster::migrate{vm.vm, host};
+            if (!cluster::applicable(model, scratch, a)) continue;
+            if (scratch.cap_sum(host) + p->cpu_cap >
+                model.limits().host_cpu_cap + 1e-9) {
+                continue;  // would overbook: keep the plan candidate-clean
+            }
+            scratch = cluster::apply(model, scratch, a);
+            plan.push_back(a);
+            placed = true;
+            break;
+        }
+        if (!placed) return {};
+    }
+    return plan;
+}
+
 void accumulate(search_stats& into, const search_stats& from) {
     into.expansions += from.expansions;
     into.generated += from.generated;
@@ -83,6 +121,9 @@ global_coordinator::global_coordinator(const cluster::cluster_model& model,
         obs_migrations_ = reg->register_counter(
             "mistral_pod_migrations_total",
             "Cross-pod app migrations committed by the broker");
+        obs_reconciles_ = reg->register_counter(
+            "mistral_pod_ownership_reconciles_total",
+            "App ownership changes made by placement reconciliation");
     }
 }
 
@@ -129,6 +170,10 @@ strategy::outcome global_coordinator::decide(const decision_input& in) {
 void global_coordinator::ensure_pods(const cluster::configuration& current) {
     if (!pods_.empty()) return;
     const partition parts(*model_, specs_);
+    host_pod_.resize(model_->host_count());
+    for (std::size_t h = 0; h < host_pod_.size(); ++h) {
+        host_pod_[h] = parts.pod_of_host(h);
+    }
     const auto owner = assign_apps(*model_, parts, current);
     std::vector<std::vector<std::size_t>> per_pod(specs_.size());
     for (std::size_t a = 0; a < owner.size(); ++a) {
@@ -138,6 +183,66 @@ void global_coordinator::ensure_pods(const cluster::configuration& current) {
         pods_.push_back(std::make_unique<pod_controller>(
             *model_, costs_, specs_[i], std::move(per_pod[i]), builder_,
             pod_lens::sharded));
+    }
+}
+
+void global_coordinator::reconcile_ownership(
+    const cluster::configuration& current, seconds now) {
+    stray_apps_.clear();
+    if (pods_.size() < 2) return;  // one pod owns everything by construction
+
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> owner(model_->app_count(), npos);
+    for (std::size_t i = 0; i < pods_.size(); ++i) {
+        for (const std::size_t a : pods_[i]->apps()) owner[a] = i;
+    }
+    // Where each app's VMs actually are. Brokered migrations are plans the
+    // executor can abort or still be running; ownership must follow the
+    // placements, never the plan, or the owning pod's view will reject the
+    // next projection.
+    std::vector<std::size_t> home(model_->app_count(), npos);
+    std::vector<bool> straddles(model_->app_count(), false);
+    for (const auto& vm : model_->vms()) {
+        const auto& p = current.placement(vm.vm);
+        if (!p) continue;
+        const std::size_t pod = host_pod_[static_cast<std::size_t>(p->host.index())];
+        auto& h = home[vm.app.index()];
+        if (h == npos) {
+            h = pod;
+        } else if (h != pod) {
+            straddles[vm.app.index()] = true;
+        }
+    }
+    for (std::size_t a = 0; a < model_->app_count(); ++a) {
+        std::size_t target;
+        if (straddles[a]) {
+            // A half-moved app (partially executed brokered plan): no pod's
+            // view can contain it. Park it unowned for the interval; the
+            // gather pass emits the completing migrations.
+            target = npos;
+            stray_apps_.push_back(a);
+        } else if (home[a] != npos) {
+            target = home[a];
+        } else {
+            // Undeployed app: keep its owner, parking orphans in pod 0
+            // (assign_apps' rule).
+            target = owner[a] == npos ? 0 : owner[a];
+        }
+        if (target == owner[a]) continue;
+        if (owner[a] != npos) pods_[owner[a]]->release_app(a);
+        if (target != npos) pods_[target]->adopt_app(a);
+        obs_reconciles_.add();
+        if (obs::journaling(sink_)) {
+            obs::event e("pod_reconcile", now);
+            e.integer("app", static_cast<std::int64_t>(a))
+                .integer("from", owner[a] == npos
+                                     ? -1
+                                     : static_cast<std::int64_t>(owner[a]))
+                .integer("to", target == npos
+                                   ? -1
+                                   : static_cast<std::int64_t>(target));
+            sink_->record(e);
+        }
     }
 }
 
@@ -193,15 +298,25 @@ void global_coordinator::redistribute_budgets(const decision_input& in) {
     reports.reserve(pods_.size());
     for (const auto& pod : pods_) reports.push_back(pod->report(in.current));
     budgets_ = redistribute(options_.power_budget, options_.grow_margin, reports);
+    // A zero share (an all-idle pod under a tight budget) still needs a
+    // positive cap for the terminal gate; one milliwatt forbids any
+    // powered-on host just as effectively. The milliwatt is *borrowed* from
+    // the currently largest share, so the applied caps keep summing to the
+    // cluster budget exactly (whenever the budget affords a milliwatt per
+    // pod — below that no positive-cap split can conserve).
+    std::vector<std::int64_t> mw(budgets_.size());
+    for (std::size_t i = 0; i < budgets_.size(); ++i) {
+        mw[i] = std::llround(budgets_[i] * 1000.0);
+    }
+    for (std::size_t i = 0; i < mw.size(); ++i) {
+        if (mw[i] > 0) continue;
+        const auto big = std::max_element(mw.begin(), mw.end());
+        if (*big >= 2) --*big;
+        mw[i] = 1;
+    }
     for (std::size_t i = 0; i < pods_.size(); ++i) {
-        if (budgets_[i] > 0.0) {
-            pods_[i]->set_budget(budgets_[i]);
-        } else {
-            // A zero share (an all-idle pod under a tight budget) still needs
-            // a positive cap for the terminal gate; one milliwatt forbids
-            // any powered-on host just as effectively.
-            pods_[i]->set_budget(0.001);
-        }
+        budgets_[i] = static_cast<watts>(mw[i]) / 1000.0;
+        pods_[i]->set_budget(budgets_[i]);
     }
     if (obs::journaling(sink_)) {
         obs::event e("pod_budget", in.now);
@@ -271,13 +386,16 @@ strategy::outcome global_coordinator::decide_two_level(const decision_input& in)
                 .text("mode", to_string(d2.mode));
             sink_->record(e);
         }
+        // An invoked search costs time and power whether or not a plan came
+        // back; self-aware accounting keeps the empty-plan case on the books.
+        out.invoked = true;
+        out.decision_delay = d2.stats.duration;
+        out.decision_power_cost = d2.stats.search_power_cost;
+        accumulate(out.stats, d2.stats);
         if (!d2.actions.empty()) {
             // The escalation's reconfiguration preempts pod refinements for
             // this interval (they would race the larger change).
-            out.invoked = true;
             out.actions = d2.actions;
-            out.decision_delay = d2.stats.duration;
-            out.decision_power_cost = d2.stats.search_power_cost;
             out.stats = d2.stats;
             return out;
         }
@@ -285,8 +403,10 @@ strategy::outcome global_coordinator::decide_two_level(const decision_input& in)
 
     // Level-1 pods refine sequentially over a shared probe; their disjoint
     // scopes keep sibling plans composable, and since they run concurrently
-    // in the model the decision delay is the slowest pod, not the sum.
+    // in the model the decision delay is the slowest pod, not the sum —
+    // added to the escalation search's duration when one preceded them.
     cluster::configuration probe = in.current;
+    seconds pod_delay = 0.0;
     for (auto& pod : pods_) {
         decision_input step_in;
         step_in.now = in.now;
@@ -297,7 +417,7 @@ strategy::outcome global_coordinator::decide_two_level(const decision_input& in)
         emit_pod_decision(*pod, po, probe, in.now, "pod");
         if (!po.invoked) continue;
         out.invoked = true;
-        out.decision_delay = std::max(out.decision_delay, po.decision.stats.duration);
+        pod_delay = std::max(pod_delay, po.decision.stats.duration);
         out.decision_power_cost += po.decision.stats.search_power_cost;
         accumulate(out.stats, po.decision.stats);
         for (const auto& a : po.actions) {
@@ -307,6 +427,7 @@ strategy::outcome global_coordinator::decide_two_level(const decision_input& in)
             out.actions.push_back(a);
         }
     }
+    out.decision_delay += pod_delay;
     out.stats.duration = out.decision_delay;
     out.stats.search_power_cost = out.decision_power_cost;
     return out;
@@ -314,6 +435,7 @@ strategy::outcome global_coordinator::decide_two_level(const decision_input& in)
 
 strategy::outcome global_coordinator::decide_sharded(const decision_input& in) {
     ensure_pods(in.current);
+    reconcile_ownership(in.current, in.now);
     if (std::isfinite(options_.power_budget)) redistribute_budgets(in);
 
     outcome out;
@@ -365,6 +487,7 @@ strategy::outcome global_coordinator::decide_sharded(const decision_input& in) {
         }
     }
 
+    gather_strays(probe, out, in.now);
     broker_migrations(probe, out, in.now);
 
     out.stats.duration = out.decision_delay;
@@ -372,42 +495,49 @@ strategy::outcome global_coordinator::decide_sharded(const decision_input& in) {
     return out;
 }
 
+void global_coordinator::gather_strays(cluster::configuration& probe,
+                                       outcome& out, seconds now) {
+    for (const std::size_t app : stray_apps_) {
+        // Reunify on the pod holding the largest deployed share (ties to
+        // the lower pod id) — the cheapest completion of the interrupted
+        // move. Ownership follows at the next reconciliation, once the
+        // migrations have actually executed.
+        std::vector<double> share(pods_.size(), 0.0);
+        for (const auto& vm : model_->vms()) {
+            if (vm.app.index() != app) continue;
+            const auto& p = probe.placement(vm.vm);
+            if (!p) continue;
+            share[host_pod_[static_cast<std::size_t>(p->host.index())]] +=
+                p->cpu_cap;
+        }
+        std::size_t target = 0;
+        for (std::size_t i = 1; i < pods_.size(); ++i) {
+            if (share[i] > share[target]) target = i;
+        }
+        const auto plan =
+            first_fit_plan(*model_, probe, app, pods_[target]->spec().hosts);
+        if (plan.empty()) continue;  // no room yet: retry next interval
+        for (const auto& a : plan) {
+            MISTRAL_CHECK(cluster::applicable(*model_, probe, a));
+            probe = cluster::apply(*model_, probe, a);
+            out.actions.push_back(a);
+        }
+        out.invoked = true;
+        obs_migrations_.add();
+        if (obs::journaling(sink_)) {
+            obs::event e("pod_migration", now);
+            e.integer("app", static_cast<std::int64_t>(app))
+                .integer("from", -1)  // gather, not a brokered donor
+                .integer("to", static_cast<std::int64_t>(target))
+                .integer("vms", static_cast<std::int64_t>(plan.size()));
+            sink_->record(e);
+        }
+    }
+}
+
 void global_coordinator::broker_migrations(cluster::configuration& probe,
                                            outcome& out, seconds now) {
     if (!options_.migration_broker || pods_.size() < 2) return;
-
-    // Deterministic first-fit placement of every deployed VM of `app` onto
-    // `hosts` (ascending), requiring the result to stay a candidate on each
-    // target host. Returns the migrate plan, or empty when infeasible.
-    const auto first_fit = [&](const cluster::configuration& from,
-                               std::size_t app,
-                               const std::vector<std::size_t>& hosts)
-        -> std::vector<cluster::action> {
-        std::vector<cluster::action> plan;
-        cluster::configuration scratch = from;
-        for (const auto& vm : model_->vms()) {
-            if (vm.app.index() != app) continue;
-            const auto& p = scratch.placement(vm.vm);
-            if (!p) continue;
-            bool placed = false;
-            for (const std::size_t h : hosts) {
-                const host_id host{static_cast<std::int32_t>(h)};
-                if (!scratch.host_on(host) || scratch.host_failed(host)) continue;
-                const cluster::action a = cluster::migrate{vm.vm, host};
-                if (!cluster::applicable(*model_, scratch, a)) continue;
-                if (scratch.cap_sum(host) + p->cpu_cap >
-                    model_->limits().host_cpu_cap + 1e-9) {
-                    continue;  // would overbook: keep the plan candidate-clean
-                }
-                scratch = cluster::apply(*model_, scratch, a);
-                plan.push_back(a);
-                placed = true;
-                break;
-            }
-            if (!placed) return {};
-        }
-        return plan;
-    };
 
     for (int move = 0; move < options_.max_brokered_moves; ++move) {
         std::vector<pod_report> reports;
@@ -455,7 +585,7 @@ void global_coordinator::broker_migrations(cluster::configuration& probe,
         for (std::size_t j = 0; j < pods_.size(); ++j) {
             if (static_cast<int>(j) == donor) continue;
             if (reports[j].pressure >= options_.accept_pressure) continue;
-            auto plan = first_fit(probe, app, pods_[j]->spec().hosts);
+            auto plan = first_fit_plan(*model_, probe, app, pods_[j]->spec().hosts);
             if (plan.empty()) continue;
             cluster::configuration scratch = probe;
             for (const auto& a : plan) scratch = cluster::apply(*model_, scratch, a);
@@ -474,6 +604,9 @@ void global_coordinator::broker_migrations(cluster::configuration& probe,
             probe = cluster::apply(*model_, probe, a);
             out.actions.push_back(a);
         }
+        // Optimistic transfer: it keeps this interval's loop from re-offering
+        // the app, and if the executor aborts the plan the next decide()'s
+        // reconcile_ownership re-derives ownership from actual placements.
         pods_[static_cast<std::size_t>(donor)]->release_app(app);
         pods_[static_cast<std::size_t>(best)]->adopt_app(app);
         ++brokered_migrations_;

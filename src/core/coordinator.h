@@ -19,6 +19,18 @@
 //    wins. The handshake emits ordinary migrate actions and re-assigns the
 //    app, so pod-local searches never see cross-pod moves.
 //
+//  * ownership reconciliation — brokered migrate actions are *plans*; the
+//    executor can abort them (decision_input::failed) or still be running
+//    them (in_flight). Every sharded decide() therefore re-derives app
+//    ownership from the placements in `in.current` before any pod steps:
+//    an app whose VMs all sit in one pod belongs to that pod (re-adopting
+//    it if a brokered transfer never landed), and a half-moved app whose
+//    VMs straddle pods is parked unowned for the interval while the
+//    coordinator emits the completing first-fit migrations (gather). No
+//    pod's view ever projects a configuration it does not contain, so an
+//    aborted brokered plan degrades to a retry instead of an
+//    invariant_error.
+//
 // Two modes share the class:
 //  * sharded  ("Mistral-Pods") — a validated partition of view-lens pods
 //    stepping concurrently; this is the scale mode (256 hosts and beyond).
@@ -27,7 +39,9 @@
 //    decisions preempt the pods for that interval (Section II-C).
 //
 // Journal events (fixed field order, obs/journal.h): `pod_decision` per pod
-// step, `pod_budget` per redistribution, `pod_migration` per brokered move.
+// step, `pod_budget` per redistribution, `pod_migration` per brokered move
+// (`from` = -1 marks a gather of a half-moved app), `pod_reconcile` per
+// ownership change the reconciliation pass makes (`from`/`to` = -1: unowned).
 #pragma once
 
 #include <limits>
@@ -89,8 +103,11 @@ public:
         return pods_;
     }
     [[nodiscard]] const coordinator_options& options() const { return options_; }
-    // Last redistributed pod budgets (empty before the first redistribution
-    // or when the budget broker is off). Sums to power_budget exactly.
+    // Last *applied* pod budgets (empty before the first redistribution or
+    // when the budget broker is off): the redistributed shares after the
+    // one-milliwatt floor for zero-share pods, which borrows from the
+    // largest share. Sums to power_budget exactly whenever the budget
+    // affords one milliwatt per pod.
     [[nodiscard]] const std::vector<watts>& budgets() const { return budgets_; }
     [[nodiscard]] std::int64_t brokered_migrations() const {
         return brokered_migrations_;
@@ -111,17 +128,24 @@ private:
     obs::sink* sink_ = nullptr;  // the builder's sink, cached
     bool sharded_ = false;
     std::vector<pod_spec> specs_;  // sharded: pods_ built lazily from these
+    std::vector<std::size_t> host_pod_;  // host index → pod id (sharded)
     std::vector<std::unique_ptr<pod_controller>> pods_;
     std::unique_ptr<mistral_controller> escalation_;  // two-level only
     std::vector<watts> budgets_;
     std::int64_t brokered_migrations_ = 0;
+    // Apps whose VMs straddle pods this interval (a partially executed
+    // brokered plan); unowned until gather_strays reunifies them.
+    std::vector<std::size_t> stray_apps_;
 
     obs::counter obs_escalations_;
     obs::counter obs_escalation_actions_;
     obs::histogram obs_escalation_seconds_;
     obs::counter obs_migrations_;
+    obs::counter obs_reconciles_;
 
     void ensure_pods(const cluster::configuration& current);
+    void reconcile_ownership(const cluster::configuration& current, seconds now);
+    void gather_strays(cluster::configuration& probe, outcome& out, seconds now);
     outcome decide_two_level(const decision_input& in);
     outcome decide_sharded(const decision_input& in);
     void redistribute_budgets(const decision_input& in);

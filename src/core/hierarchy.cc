@@ -17,8 +17,11 @@ hierarchical_controller::hierarchical_controller(
     std::vector<std::vector<std::size_t>> level1_groups, hierarchy_options options)
     : hierarchical_controller(
           model, std::move(costs), level1_pods(std::move(level1_groups)),
+          // By value: the builder outlives this constructor (the coordinator
+          // copies and retains it), so the lambda must not capture the
+          // by-value ctor parameter by reference.
           controller_builder{}
-              .tweak([&](controller_options& o) { o = options.base; })
+              .tweak([base = options.base](controller_options& o) { o = base; })
               .meter_step(options.meter_per_expansion),
           options.level2_band) {}
 

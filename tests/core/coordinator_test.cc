@@ -4,12 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <variant>
 
 #include "apps/rubis.h"
 #include "common/check.h"
 #include "obs/journal.h"
 #include "obs/json.h"
+#include "sim/testbed.h"
 
 namespace mistral::core {
 namespace {
@@ -166,6 +169,161 @@ TEST_F(CoordinatorTest, BrokeredMigrationIsLegalAndWholeApp) {
     EXPECT_EQ(coord.pods()[to]->apps()[0], app);
 }
 
+// The broker's migrate actions are *plans* the executor can abort. When the
+// whole plan fails, the next decide() must re-derive ownership from the
+// placements (the app never left the donor) instead of crashing in the
+// acceptor's view projection.
+TEST_F(CoordinatorTest, ReconcileRecoversFromAFullyAbortedBrokeredPlan) {
+    obs::metrics_registry registry;
+    obs::memory_sink sink(&registry);
+    controller_builder builder;
+    builder.sink(&sink);
+    coordinator_options opts;
+    opts.donor_pressure = 0.2;
+    opts.accept_pressure = 0.5;
+    global_coordinator coord(model, costs, halves(), builder, opts);
+
+    const auto cfg = packed();
+    const auto out = coord.decide({0.0, {40.0, 30.0}, cfg, 1.0});
+    ASSERT_GE(coord.brokered_migrations(), 1);
+
+    // Every submitted action aborted: the testbed still runs `cfg`, yet the
+    // acceptor owns the brokered app. Deciding again must not throw.
+    decision_input next{120.0, {40.0, 30.0}, cfg, 1.0};
+    next.failed = out.actions;
+    strategy::outcome out2;
+    ASSERT_NO_THROW(out2 = coord.decide(next));
+
+    // Ownership was handed back to the pod actually hosting the VMs before
+    // any pod stepped, and the hand-back was journaled.
+    EXPECT_GE(registry.counter_value("mistral_pod_ownership_reconciles_total"), 1);
+    const obs::event* rec = nullptr;
+    for (const auto& e : sink.events()) {
+        if (e.type == "pod_reconcile") rec = &e;
+    }
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->find("to")->integer, 0);    // back to the donor pod
+    EXPECT_EQ(rec->find("from")->integer, 1);  // from the would-be acceptor
+}
+
+// A plan aborted midway leaves the app straddling two pods — a state no
+// pod's view can contain. Reconciliation parks it unowned and the gather
+// pass emits the completing migrations.
+TEST_F(CoordinatorTest, GatherReunifiesAHalfMovedApp) {
+    obs::metrics_registry registry;
+    obs::memory_sink sink(&registry);
+    controller_builder builder;
+    builder.sink(&sink);
+    coordinator_options opts;
+    opts.donor_pressure = 0.2;
+    opts.accept_pressure = 0.5;
+    global_coordinator coord(model, costs, halves(), builder, opts);
+
+    auto cfg = packed();
+    const auto out = coord.decide({0.0, {40.0, 30.0}, cfg, 1.0});
+    ASSERT_GE(coord.brokered_migrations(), 1);
+    const obs::event* ev = nullptr;
+    for (const auto& e : sink.events()) {
+        if (e.type == "pod_migration") ev = &e;
+    }
+    ASSERT_NE(ev, nullptr);
+    const auto app = static_cast<std::size_t>(ev->find("app")->integer);
+
+    const auto app_of = [&](vm_id vm) -> std::size_t {
+        for (const auto& v : model.vms()) {
+            if (v.vm == vm) return v.app.index();
+        }
+        return model.app_count();
+    };
+    const auto pod_of = [&](host_id h) {
+        const auto& p0 = coord.pods()[0]->spec().hosts;
+        return std::find(p0.begin(), p0.end(),
+                         static_cast<std::size_t>(h.index())) != p0.end()
+                   ? 0
+                   : 1;
+    };
+
+    // The brokered moves are the tail of the plan; abort just the last one.
+    // The app is left half-moved, straddling both pods.
+    const auto* tail = std::get_if<cluster::migrate>(&out.actions.back());
+    ASSERT_NE(tail, nullptr);
+    ASSERT_EQ(app_of(tail->vm), app);
+    for (std::size_t i = 0; i + 1 < out.actions.size(); ++i) {
+        cfg = apply(model, cfg, out.actions[i]);
+    }
+
+    decision_input next{120.0, {40.0, 30.0}, cfg, 1.0};
+    next.failed = {out.actions.back()};
+    strategy::outcome out2;
+    ASSERT_NO_THROW(out2 = coord.decide(next));
+
+    // The app was parked unowned (journaled with to = -1)…
+    bool parked = false;
+    for (const auto& e : sink.events()) {
+        if (e.type == "pod_reconcile" &&
+            e.find("app")->integer == static_cast<std::int64_t>(app) &&
+            e.find("to")->integer == -1) {
+            parked = true;
+        }
+    }
+    EXPECT_TRUE(parked);
+
+    // …and the gather's completing migrations make it whole again.
+    auto cfg2 = cfg;
+    for (const auto& a : out2.actions) {
+        std::string why;
+        ASSERT_TRUE(applicable(model, cfg2, a, &why))
+            << to_string(model, a) << ": " << why;
+        cfg2 = apply(model, cfg2, a);
+    }
+    int home = -1;
+    bool straddles = false;
+    for (const auto& vm : model.vms()) {
+        if (vm.app.index() != app) continue;
+        const auto& p = cfg2.placement(vm.vm);
+        if (!p) continue;
+        const int pod = pod_of(p->host);
+        if (home < 0) home = pod;
+        straddles = straddles || pod != home;
+    }
+    ASSERT_GE(home, 0);
+    EXPECT_FALSE(straddles) << "gather left app " << app << " half-moved";
+
+    // Once the gather executed, ownership follows to exactly one pod.
+    ASSERT_NO_THROW(coord.decide({240.0, {40.0, 30.0}, cfg2, 1.0}));
+    int owners = 0;
+    for (const auto& pod : coord.pods()) {
+        owners += std::count(pod->apps().begin(), pod->apps().end(), app);
+    }
+    EXPECT_EQ(owners, 1);
+}
+
+TEST_F(CoordinatorTest, AppliedBudgetFloorStillConservesTheBudget) {
+    coordinator_options opts;
+    opts.power_budget = 500.0;
+    opts.migration_broker = false;
+    global_coordinator coord(model, costs, halves(), {}, opts);
+    // Pod 1 dark and empty: zero draw, zero pressure, zero demand — its
+    // redistributed share is exactly zero and the one-milliwatt floor must
+    // borrow from pod 0 rather than overspend the cluster budget.
+    auto cfg = packed();
+    for (std::int32_t h = 3; h < 6; ++h) cfg.set_host_power(host_id{h}, false);
+    (void)coord.decide({0.0, {40.0, 30.0}, cfg, 1.0});
+
+    ASSERT_EQ(coord.budgets().size(), 2u);
+    EXPECT_EQ(milliwatts(coord.budgets()[1]), 1);  // the floored idle pod
+    std::int64_t stored = 0;
+    for (const watts b : coord.budgets()) stored += milliwatts(b);
+    EXPECT_EQ(stored, milliwatts(opts.power_budget));
+    // budgets() reflects the *applied* caps, not pre-floor shares.
+    std::int64_t applied = 0;
+    for (const auto& pod : coord.pods()) {
+        EXPECT_GT(pod->budget(), 0.0);
+        applied += milliwatts(pod->budget());
+    }
+    EXPECT_EQ(applied, milliwatts(opts.power_budget));
+}
+
 TEST_F(CoordinatorTest, BrokerRespectsDisableAndWatermarks) {
     coordinator_options off;
     off.migration_broker = false;
@@ -179,6 +337,52 @@ TEST_F(CoordinatorTest, BrokerRespectsDisableAndWatermarks) {
     global_coordinator calm(model, costs, halves(), {}, high);
     (void)calm.decide({0.0, {40.0, 30.0}, cfg, 1.0});
     EXPECT_EQ(calm.brokered_migrations(), 0);
+}
+
+// The reviewer scenario end-to-end: a fault-injecting testbed aborts a large
+// share of the broker's migrate actions across many intervals. The sharded
+// control loop must survive every abort/partial-plan shape the injector
+// produces — ownership follows placements, never the plan.
+TEST_F(CoordinatorTest, ShardedLoopSurvivesAbortedMigrationsUnderFaultInjection) {
+    for (const std::uint64_t seed : {7ULL, 21ULL, 1337ULL}) {
+        sim::testbed_options tb_opts;
+        tb_opts.seed = seed;
+        // Every action kind flaky, migrations most of all.
+        for (auto& p : tb_opts.faults.failure_probability) p = 0.3;
+        tb_opts.faults
+            .failure_probability[static_cast<std::size_t>(
+                cluster::action_kind::migrate)] = 0.6;
+        sim::testbed tb(model, packed(), tb_opts);
+
+        coordinator_options opts;
+        opts.donor_pressure = 0.2;  // broker fires whenever it can
+        opts.accept_pressure = 0.5;
+        opts.max_brokered_moves = 2;
+        global_coordinator coord(model, costs, halves(), {}, opts);
+
+        std::vector<cluster::action> pending_failed;
+        seconds t = 0.0;
+        for (int i = 0; i < 12; ++i) {
+            if (!tb.busy()) {
+                decision_input in{t, {40.0, 30.0}, tb.config(), 1.0};
+                in.failed = std::move(pending_failed);
+                pending_failed.clear();
+                strategy::outcome out;
+                ASSERT_NO_THROW(out = coord.decide(in))
+                    << "seed " << seed << " interval " << i;
+                if (!out.actions.empty()) {
+                    tb.submit(out.actions, out.decision_delay);
+                }
+            }
+            const auto obs = tb.advance(120.0, {40.0, 30.0});
+            pending_failed.insert(pending_failed.end(), obs.failed.begin(),
+                                  obs.failed.end());
+            std::string why;
+            ASSERT_TRUE(structurally_valid(model, tb.config(), &why))
+                << "seed " << seed << " interval " << i << ": " << why;
+            t += 120.0;
+        }
+    }
 }
 
 // --- Journal schema --------------------------------------------------------
