@@ -17,6 +17,7 @@
 #include "cost/table.h"
 #include "obs/journal.h"
 #include "sim/cost_campaign.h"
+#include "workload/generators.h"
 
 namespace mistral::bench {
 
@@ -42,6 +43,30 @@ inline const cost::cost_table& measured_costs() {
         return sim::run_cost_campaign(apps::rubis_browsing("campaign"), opts);
     }();
     return table;
+}
+
+// The flash-crowd World-Cup scenario the lookahead planner is evaluated on:
+// app "wc" carries the paper's World-Cup shape scaled so the crowd peak
+// saturates the small cluster, app "crowd" a flash crowd whose ramp spans
+// ten monitoring intervals — long enough for the forecast trend to see it
+// coming, sharp enough that reacting late is expensive. Shared between
+// bench/lookahead_flash_crowd (the EXPERIMENTS.md table) and micro_search's
+// lookahead smoke gate / sweep cells so the CI gate pins the published
+// numbers.
+inline core::scenario lookahead_crowd_scenario() {
+    core::scenario_options opts;
+    opts.host_count = 4;
+    opts.app_count = 2;
+    wl::generator_options gen;
+    gen.duration = 2.0 * 3600.0;  // 60 monitoring intervals
+    gen.seed = 5;
+    gen.noise = 0.02;
+    auto wc = wl::world_cup_trace(gen, 0).scaled_to_range(10.0, 80.0);
+    opts.traces = {wc.renamed("wc"),
+                   wl::flash_crowd_trace("crowd", 15.0, 95.0, 2400.0, 1200.0,
+                                         1800.0, gen)};
+    opts.sink = journal_from_env();
+    return core::make_rubis_scenario(opts);
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

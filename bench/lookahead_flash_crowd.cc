@@ -1,0 +1,70 @@
+// Pre-provision vs. react: the receding-horizon lookahead planner on a
+// flash-crowd World-Cup scenario.
+//
+// The single-interval controller is purely reactive — it pays the adaptation
+// transient *during* the crowd, when every lost request-second is at peak
+// rate. The lookahead planner rolls the ARMA forecast K intervals forward;
+// when the discounted multi-interval value of booting the hosts the forecast
+// peak wants (on top of the reactive plan) beats staying reactive, it
+// commits those boosts early and replans next window. This bench sweeps the
+// horizon and prints the pre-provision-vs-reactive table EXPERIMENTS.md
+// records.
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace mistral;
+
+int main() {
+    bench::print_header(
+        "Lookahead — pre-provision vs. react on a flash crowd",
+        "receding-horizon planner, K in {1..4}, vs. the reactive controller");
+
+    // The scenario lives in bench_util.h: micro_search's smoke gate runs the
+    // same one, so the table printed here is the table CI pins.
+    const auto scn = bench::lookahead_crowd_scenario();
+    const auto costs = cost::cost_table::paper_defaults();
+
+    table_printer t({"planner", "invocations", "actions", "preprovisions",
+                     "mean power (W)", "cumulative utility", "delta vs react"});
+
+    double reactive_utility = 0.0;
+    auto run_with = [&](const std::string& label,
+                        core::controller_options opts, bool is_baseline) {
+        opts.sink = bench::journal_from_env();
+        core::mistral_strategy s(scn.model, costs, opts);
+        const auto r = core::run_scenario(scn, s);
+        if (is_baseline) reactive_utility = r.cumulative_utility;
+        const auto& ls = s.controller().lookahead();
+        t.add_row({label, std::to_string(r.invocations),
+                   std::to_string(r.total_actions),
+                   std::to_string(ls.preprovision_commits),
+                   table_printer::fmt(r.mean_power, 1),
+                   table_printer::fmt(r.cumulative_utility, 1),
+                   is_baseline
+                       ? std::string("--")
+                       : table_printer::fmt(
+                             r.cumulative_utility - reactive_utility, 1)});
+    };
+
+    run_with("reactive (single-interval)", {}, true);
+    for (const int k : {1, 2, 3, 4}) {
+        core::controller_options opts;
+        opts.lookahead.enabled = true;
+        opts.lookahead.horizon = k;
+        run_with("lookahead K=" + std::to_string(k), opts, false);
+    }
+    t.print(std::cout);
+    std::cout <<
+        "\nReading: K=1 is the differential anchor — bit-identical to the\n"
+        "reactive controller (delta exactly 0). For K>=2 the planner watches\n"
+        "the forecast peak; when it rises past today's demand and the\n"
+        "reactive plan leaves a healthy host dark, it boots those hosts\n"
+        "early (augmenting — never replacing — the reactive plan), paying\n"
+        "the boot transient at baseline rate instead of peak rate. Deeper\n"
+        "horizons see the ramp sooner but discount it harder (geometric x\n"
+        "band confidence); away from the commit the planner's own modeled\n"
+        "search time is screened to near zero, so deltas off the crowd are\n"
+        "trajectory noise around the same single commit.\n";
+    return 0;
+}

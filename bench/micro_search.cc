@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/coordinator.h"
 #include "core/experiment.h"
 #include "core/search.h"
@@ -206,6 +207,46 @@ pod_cell run_pod_cell(std::size_t hosts, std::size_t pods) {
     return cell;
 }
 
+// One planning-mode cell of the flash-crowd scenario (bench_util.h's
+// lookahead_crowd_scenario): the reactive single-interval controller
+// (horizon 0) or the lookahead planner at horizon K. Utility and the
+// meter-modeled per-decision latency are deterministic, so the smoke gate
+// can pin them hardware-independently.
+struct lookahead_cell {
+    int horizon = 0;  // 0 = reactive single-interval baseline
+    std::size_t invocations = 0;
+    std::size_t actions = 0;
+    std::size_t preprovisions = 0;
+    double utility = 0.0;
+    double mean_decision_s = 0.0;
+    double max_decision_s = 0.0;
+    double wall_ms = 0.0;
+};
+
+lookahead_cell run_lookahead_cell(const core::scenario& scn, int horizon) {
+    core::controller_options opts;
+    if (horizon > 0) {
+        opts.lookahead.enabled = true;
+        opts.lookahead.horizon = horizon;
+    }
+    core::mistral_strategy s(scn.model, cost::cost_table::paper_defaults(),
+                             opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = core::run_scenario(scn, s);
+    const auto t1 = std::chrono::steady_clock::now();
+    lookahead_cell cell;
+    cell.horizon = horizon;
+    cell.invocations = r.invocations;
+    cell.actions = r.total_actions;
+    cell.preprovisions = static_cast<std::size_t>(
+        s.controller().lookahead().preprovision_commits);
+    cell.utility = r.cumulative_utility;
+    cell.mean_decision_s = r.search_duration.mean();
+    cell.max_decision_s = r.search_duration.max();
+    cell.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return cell;
+}
+
 std::vector<pod_cell> run_pod_sweep() {
     std::vector<pod_cell> cells;
     // Fixed 4-host pods while the cluster octuples (the scaling claim: the
@@ -289,6 +330,35 @@ int run_sweep(const char* path) {
                      c.hosts, c.apps, c.pods, c.pod_hosts, c.cold_modeled_s,
                      c.warm_modeled_s, c.cold_wall_ms, c.warm_wall_ms,
                      c.warm_expansions, i + 1 < pod_cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"lookahead_cells\": [\n");
+    // Planning-mode axis on the flash-crowd scenario: reactive baseline
+    // (horizon 0), the K=1 differential anchor (identical numbers by
+    // construction), and the default K=3 planner. Utility and modeled
+    // latency are deterministic; delta is relative to the horizon-0 row.
+    const auto la_scn = bench::lookahead_crowd_scenario();
+    std::vector<lookahead_cell> la_cells;
+    for (const int k : {0, 1, 3}) {
+        la_cells.push_back(run_lookahead_cell(la_scn, k));
+        const auto& c = la_cells.back();
+        std::printf(
+            "lookahead: K=%d  utility %8.2f  preprovisions=%zu  "
+            "decision %6.2f s mean / %6.2f s max modeled  %7.1f ms wall\n",
+            c.horizon, c.utility, c.preprovisions, c.mean_decision_s,
+            c.max_decision_s, c.wall_ms);
+    }
+    for (std::size_t i = 0; i < la_cells.size(); ++i) {
+        const auto& c = la_cells[i];
+        std::fprintf(f,
+                     "    {\"horizon\": %d, \"invocations\": %zu, "
+                     "\"actions\": %zu, \"preprovisions\": %zu, "
+                     "\"utility\": %.3f, \"delta_vs_reactive\": %.3f, "
+                     "\"mean_decision_s\": %.3f, \"max_decision_s\": %.3f, "
+                     "\"wall_ms\": %.1f}%s\n",
+                     c.horizon, c.invocations, c.actions, c.preprovisions,
+                     c.utility, c.utility - la_cells[0].utility,
+                     c.mean_decision_s, c.max_decision_s, c.wall_ms,
+                     i + 1 < la_cells.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -455,6 +525,64 @@ int run_smoke() {
             c.cold_modeled_s, c.warm_modeled_s, c.cold_wall_ms, c.warm_wall_ms);
         if (!(c.cold_modeled_s < 1.0 && c.warm_modeled_s < 1.0)) {
             fail("256-host sharded decision exceeds 1 s modeled latency");
+        }
+    }
+
+    // Lookahead gate 1: the K=1 differential anchor. An *enabled* lookahead
+    // planner at horizon 1 must step bit-identically to the flat controller
+    // — same invocations, plans, utilities, and modeled latencies. Together
+    // with the golden-utility gate above this pins the K=1 path's utility.
+    {
+        core::controller_options la1;
+        la1.lookahead.enabled = true;
+        la1.lookahead.horizon = 1;
+        core::mistral_controller planning(scn.model,
+                                          cost::cost_table::paper_defaults(),
+                                          la1);
+        core::mistral_controller flat(scn.model,
+                                      cost::cost_table::paper_defaults(), {});
+        bool identical = true;
+        for (int i = 0; i < 20; ++i) {
+            const seconds t = i * 120.0;
+            const std::vector<req_per_sec> step_rates(
+                4, 40.0 + 20.0 * static_cast<double>(i % 3));
+            const auto da = planning.step({t, step_rates, scn.initial, 1.0});
+            const auto db = flat.step({t, step_rates, scn.initial, 1.0});
+            identical = identical && da.invoked == db.invoked &&
+                        da.actions == db.actions &&
+                        da.expected_utility == db.expected_utility &&
+                        da.stats.duration == db.stats.duration;
+        }
+        if (!identical) {
+            fail("lookahead K=1 diverged from the flat controller");
+        } else {
+            std::printf("smoke: lookahead K=1 == flat controller (20 steps)\n");
+        }
+    }
+
+    // Lookahead gate 2: the flash-crowd payoff. On the World-Cup scenario the
+    // K=3 planner must not lose utility to the reactive controller, and its
+    // mean modeled decision latency must stay within 4x reactive — the
+    // planner's self-cost (peak + tail searches) is real decision delay, and
+    // the screens in lookahead.cc exist to keep it near zero off the crowd.
+    // Both numbers are deterministic (model-clock meter), so this gate is
+    // hardware-independent.
+    {
+        const auto la_scn = bench::lookahead_crowd_scenario();
+        const auto reactive = run_lookahead_cell(la_scn, 0);
+        const auto k3 = run_lookahead_cell(la_scn, 3);
+        std::printf(
+            "smoke: flash crowd  reactive %0.2f  K=3 %0.2f (delta %+0.2f, "
+            "%zu preprovision)  decision %0.2f s vs %0.2f s mean modeled\n",
+            reactive.utility, k3.utility, k3.utility - reactive.utility,
+            k3.preprovisions, k3.mean_decision_s, reactive.mean_decision_s);
+        if (!(k3.utility >= reactive.utility)) {
+            fail("lookahead K=3 lost utility to the reactive controller on "
+                 "the flash crowd");
+        }
+        if (!(k3.mean_decision_s <= 4.0 * reactive.mean_decision_s)) {
+            fail("lookahead K=3 mean modeled decision latency exceeds 4x "
+                 "the single-interval controller");
         }
     }
     if (failures == 0) std::printf("smoke OK\n");

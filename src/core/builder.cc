@@ -32,6 +32,12 @@ controller_builder& controller_builder::divergence_guard(bool on) {
     return *this;
 }
 
+controller_builder& controller_builder::lookahead(int horizon) {
+    base_.lookahead.enabled = horizon >= 1;
+    if (horizon >= 1) base_.lookahead.horizon = horizon;
+    return *this;
+}
+
 controller_builder& controller_builder::sink(obs::sink* s) {
     base_.sink = s;
     return *this;

@@ -35,6 +35,11 @@ public:
     controller_builder& delta_eval(bool on);
     controller_builder& degraded(bool on);
     controller_builder& divergence_guard(bool on);
+    // Receding-horizon lookahead over `horizon` control windows; 0 disables.
+    // horizon = 1 enables the rung with byte-identical decisions to the flat
+    // controller (the differential anchor). Per-pod horizons come from the
+    // usual pod(id, fn) override on options.lookahead.
+    controller_builder& lookahead(int horizon);
     controller_builder& sink(obs::sink* s);
     controller_builder& power_cap(watts cap);
     controller_builder& menu(cluster::action_menu m);

@@ -36,11 +36,27 @@ search_options greedy_rung_options(const controller_options& options) {
 
 const char* to_string(control_mode mode) {
     switch (mode) {
+        case control_mode::lookahead: return "lookahead";
         case control_mode::full: return "full";
         case control_mode::greedy: return "greedy";
         case control_mode::hold: return "hold";
     }
     return "?";
+}
+
+control_mode promote_one(control_mode mode, control_mode top) {
+    control_mode up = mode;
+    switch (mode) {
+        case control_mode::lookahead: up = control_mode::lookahead; break;
+        case control_mode::full: up = control_mode::lookahead; break;
+        case control_mode::greedy: up = control_mode::full; break;
+        case control_mode::hold: up = control_mode::greedy; break;
+    }
+    // Only the climb full → lookahead can exceed the configured top rung (a
+    // controller without lookahead enabled stops at full).
+    return (up == control_mode::lookahead && top != control_mode::lookahead)
+               ? top
+               : up;
 }
 
 mistral_controller::mistral_controller(const cluster::cluster_model& model,
@@ -73,6 +89,19 @@ mistral_controller::mistral_controller(const cluster::cluster_model& model,
         predictors_.emplace_back(arma);
     }
     prev_trusted_.assign(model.app_count(), true);
+    if (options_.lookahead.enabled) {
+        // The planner's interval-1 searches go through this controller's own
+        // search_ (same object, same shared caches), which is what makes the
+        // horizon = 1 decision trace bit-identical to the flat controller.
+        lookahead_ = std::make_unique<lookahead_planner>(
+            model, utility_, costs_, search_, options_.lookahead);
+        rate_forecasters_.reserve(model.app_count());
+        for (std::size_t a = 0; a < model.app_count(); ++a) {
+            rate_forecasters_.emplace_back(options_.lookahead.rate_arma);
+        }
+        prev_forecaster_trusted_.assign(model.app_count(), true);
+        mode_ = control_mode::lookahead;
+    }
     if (auto* reg = obs::metrics_of(options_.sink)) {
         obs_decisions_ = reg->register_counter(
             "mistral_controller_decisions_total",
@@ -101,6 +130,12 @@ mistral_controller::mistral_controller(const cluster::cluster_model& model,
         obs_promotions_ = reg->register_counter(
             "mistral_controller_ladder_promotions_total",
             "Fallback-ladder moves toward full");
+        obs_lookahead_decisions_ = reg->register_counter(
+            "mistral_controller_lookahead_decisions_total",
+            "Plans made on the receding-horizon lookahead rung");
+        obs_preprovisions_ = reg->register_counter(
+            "mistral_controller_lookahead_preprovisions_total",
+            "Lookahead decisions that committed a pre-provision plan");
     }
 }
 
@@ -134,10 +169,12 @@ void mistral_controller::account_faults(const decision_input& in,
 
 void mistral_controller::update_ladder(control_mode target, const char* reason,
                                        seconds now) {
-    const auto rank = [](control_mode m) { return static_cast<int>(m); };
+    // Rung comparisons and the climb are enum-based (control_mode declares
+    // the rungs in capability order; promote_one names each step explicitly),
+    // so inserting a rung cannot silently renumber the ladder.
     control_mode from = mode_;
     const char* direction = nullptr;
-    if (rank(target) > rank(mode_)) {
+    if (target > mode_) {
         // Demote immediately: a rung was selected because the inputs cannot
         // support anything more ambitious right now.
         mode_ = target;
@@ -145,11 +182,11 @@ void mistral_controller::update_ladder(control_mode target, const char* reason,
         ++dstats_.demotions;
         obs_demotions_.add();
         direction = "demote";
-    } else if (rank(target) < rank(mode_)) {
+    } else if (target < mode_) {
         // Promote with hysteresis, one rung at a time.
         ++clean_steps_;
         if (clean_steps_ >= options_.degraded.promote_after) {
-            mode_ = static_cast<control_mode>(rank(mode_) - 1);
+            mode_ = promote_one(mode_, top_rung());
             clean_steps_ = 0;
             ++dstats_.promotions;
             obs_promotions_.add();
@@ -172,6 +209,7 @@ void mistral_controller::update_ladder(control_mode target, const char* reason,
 void mistral_controller::set_power_cap(watts cap) {
     search_.set_power_cap(cap);
     greedy_search_.set_power_cap(cap);
+    if (lookahead_) lookahead_->set_power_cap(cap);
 }
 
 controller_decision mistral_controller::step(const decision_input& in) {
@@ -284,6 +322,25 @@ controller_decision mistral_controller::step(const decision_input& in) {
         monitor_.set_band_scale(band_scale);
     }
 
+    // Rate forecasters feed the lookahead horizon. Observing is passive — it
+    // affects no decision until the lookahead rung consumes a forecast — so a
+    // horizon = 1 controller stays bit-identical to the flat one. A trust
+    // loss here is the lookahead-specific divergence alarm; the ladder below
+    // answers it by demoting to full (today's behavior), not greedy.
+    if (options_.lookahead.enabled) {
+        for (std::size_t a = 0; a < rate_forecasters_.size(); ++a) {
+            if (std::isfinite(rates[a]) && rates[a] >= 0.0) {
+                rate_forecasters_[a].observe(rates[a]);
+            }
+            if (rate_forecasters_[a].trusted() != prev_forecaster_trusted_[a]) {
+                prev_forecaster_trusted_[a] = rate_forecasters_[a].trusted();
+                if (!rate_forecasters_[a].trusted()) {
+                    ++lstats_.forecast_divergences;
+                }
+            }
+        }
+    }
+
     const auto& rec = options_.reconcile;
     account_faults(in, rates);
     const bool fault_signal = !in.failed.empty() || !in.hosts_failed.empty() ||
@@ -349,6 +406,21 @@ controller_decision mistral_controller::step(const decision_input& in) {
         } else if (deadline_tripped_) {
             target = control_mode::greedy;
             reason = "search_deadline";
+        } else if (options_.lookahead.enabled) {
+            // Healthy inputs: the top rung is lookahead, unless one of its
+            // own alarms (forecast divergence, blown lookahead deadline)
+            // holds it at full — the single-interval controller's behavior.
+            bool forecasters_trusted = true;
+            for (const auto& f : rate_forecasters_) {
+                forecasters_trusted = forecasters_trusted && f.trusted();
+            }
+            if (!forecasters_trusted) {
+                reason = "forecast_divergence";
+            } else if (lookahead_deadline_tripped_) {
+                reason = "lookahead_deadline";
+            } else {
+                target = control_mode::lookahead;
+            }
         }
         update_ladder(target, reason, now);
     }
@@ -407,16 +479,97 @@ controller_decision mistral_controller::step(const decision_input& in) {
 
     const bool greedy = mode_ == control_mode::greedy;
     const dollars uh = pessimistic_expected_utility(cw);
-    auto result = (greedy ? greedy_search_ : search_).find(base, rates, cw, uh,
-                                                           *meter_, now);
-    if (greedy) ++dstats_.greedy_decisions;
+    search_result result;
+    if (mode_ == control_mode::lookahead) {
+        // Receding horizon: forecast intervals 2..K from the rate
+        // forecasters, plan a sequence, commit only interval 1, replan next
+        // window. At horizon = 1 this is one find() on the controller's own
+        // search — the flat controller's exact call.
+        const int k = options_.lookahead.horizon;
+        std::vector<std::vector<req_per_sec>> forecast;
+        std::vector<double> confidence;
+        if (k > 1) {
+            std::vector<std::vector<predict::forecast_band>> bands;
+            bands.reserve(rate_forecasters_.size());
+            for (const auto& f : rate_forecasters_) {
+                bands.push_back(
+                    f.forecast_horizon(k, options_.lookahead.horizon_model));
+            }
+            forecast.reserve(static_cast<std::size_t>(k) - 1);
+            confidence.reserve(static_cast<std::size_t>(k) - 1);
+            for (int i = 1; i < k; ++i) {
+                std::vector<req_per_sec> fr(bands.size());
+                double spread = 0.0;
+                for (std::size_t a = 0; a < bands.size(); ++a) {
+                    const auto& b = bands[a][static_cast<std::size_t>(i)];
+                    fr[a] = b.center;
+                    spread = std::max(spread,
+                                      b.half_width / std::max(b.center, 1.0));
+                }
+                forecast.push_back(std::move(fr));
+                confidence.push_back(1.0 / (1.0 + spread));
+            }
+        }
+        auto la = lookahead_->plan(base, rates, forecast, confidence, cw, uh,
+                                   *meter_, now);
+        ++lstats_.lookahead_decisions;
+        obs_lookahead_decisions_.add();
+        if (la.preprovisioned) {
+            ++lstats_.preprovision_commits;
+            obs_preprovisions_.add();
+        } else {
+            ++lstats_.reactive_commits;
+        }
+        if (deg.enabled) {
+            // The single-interval watchdog sees only the committed plan's own
+            // search (identical to the flat controller at horizon = 1); the
+            // lookahead watchdog sees the whole plan and demotes one rung to
+            // full via the ladder above.
+            const bool tripped =
+                la.first_duration > deg.search_deadline_fraction * cw;
+            if (tripped && !deadline_tripped_) ++dstats_.deadline_trips;
+            deadline_tripped_ = tripped;
+            const bool la_tripped =
+                la.total_duration > options_.lookahead.deadline_fraction * cw;
+            if (la_tripped && !lookahead_deadline_tripped_) {
+                ++lstats_.deadline_demotions;
+            }
+            lookahead_deadline_tripped_ = la_tripped;
+        }
+        if (obs::journaling(options_.sink)) {
+            std::vector<double> step_utilities;
+            step_utilities.reserve(la.steps.size());
+            for (const auto& s : la.steps) {
+                step_utilities.push_back(s.predicted_utility);
+            }
+            obs::event e("lookahead", now);
+            e.integer("horizon", la.horizon)
+                .text("commit", la.commit_reason)
+                .boolean("preprovision", la.preprovisioned)
+                .num("total_value", la.total_value)
+                .num_list("step_utilities", std::move(step_utilities))
+                .integer("searches", static_cast<std::int64_t>(la.searches))
+                .num("first_duration", la.first_duration)
+                .num("total_duration", la.total_duration);
+            options_.sink->record(e);
+        }
+        result = std::move(la.committed);
+    } else {
+        result = (greedy ? greedy_search_ : search_).find(base, rates, cw, uh,
+                                                          *meter_, now);
+        if (greedy) ++dstats_.greedy_decisions;
 
-    // Deadline watchdog feeding the next step's rung selection.
-    if (deg.enabled) {
-        const bool tripped =
-            result.stats.duration > deg.search_deadline_fraction * cw;
-        if (tripped && !deadline_tripped_) ++dstats_.deadline_trips;
-        deadline_tripped_ = tripped;
+        // Deadline watchdog feeding the next step's rung selection.
+        if (deg.enabled) {
+            const bool tripped =
+                result.stats.duration > deg.search_deadline_fraction * cw;
+            if (tripped && !deadline_tripped_) ++dstats_.deadline_trips;
+            deadline_tripped_ = tripped;
+            // A decision completed inside the single-interval deadline also
+            // drains the lookahead watchdog, so the ladder can eventually
+            // promote back onto the lookahead rung.
+            if (!tripped) lookahead_deadline_tripped_ = false;
+        }
     }
 
     decision.invoked = true;

@@ -21,6 +21,7 @@
 
 #include "cluster/configuration.h"
 #include "cluster/model.h"
+#include "core/lookahead.h"
 #include "core/search.h"
 #include "core/search_meter.h"
 #include "cost/table.h"
@@ -54,6 +55,9 @@ struct reconcile_options {
 // clean steps (hysteresis), so a flapping sensor cannot make the controller
 // oscillate between full optimization and holding.
 enum class control_mode {
+    lookahead,  // opt-in top rung: receding-horizon planning over K intervals;
+                // a forecast divergence alarm or a blown lookahead deadline
+                // demotes to full (today's single-interval behavior)
     full,    // healthy inputs: the self-aware A* plans freely
     greedy,  // degraded telemetry or a blown search deadline: single-action plans
              // under a small expansion budget
@@ -61,6 +65,11 @@ enum class control_mode {
              // only fenced safety actions (structural repair) still execute
 };
 [[nodiscard]] const char* to_string(control_mode mode);
+// The next rung up (toward lookahead); `top` clamps the climb — a controller
+// without lookahead enabled promotes no higher than full. Enum-based rather
+// than integer rank arithmetic so rung insertions cannot silently renumber
+// the ladder.
+[[nodiscard]] control_mode promote_one(control_mode mode, control_mode top);
 
 // Degraded-mode operation: telemetry validation and the fallback ladder.
 // Enabled by default and provably inert on healthy inputs — the validator
@@ -101,6 +110,11 @@ struct controller_options {
     int utility_history = 5;
     reconcile_options reconcile{};
     degraded_options degraded{};
+    // Receding-horizon lookahead planning (core/lookahead.h). Disabled by
+    // default: the flat single-interval controller is bit-identical with this
+    // struct at its defaults, and at horizon = 1 even an *enabled* lookahead
+    // produces byte-identical decision traces (the differential anchor).
+    lookahead_options lookahead{};
     // Observability hook (obs/journal.h): when journaling, the controller
     // emits one "decision" record per step — trigger, predicted vs realized
     // utility, plan, search self-cost, wasted-adaptation ledger — and wires
@@ -166,6 +180,15 @@ struct reconcile_stats {
     dollars wasted_transient_cost = 0.0;
 };
 
+// Running totals of lookahead planning (all zero with lookahead disabled).
+struct lookahead_stats {
+    std::int64_t lookahead_decisions = 0;   // plans made on the lookahead rung
+    std::int64_t preprovision_commits = 0;  // ... that committed a pre-provision plan
+    std::int64_t reactive_commits = 0;      // ... that committed the reactive plan
+    std::int64_t forecast_divergences = 0;  // rate-forecaster trust losses
+    std::int64_t deadline_demotions = 0;    // lookahead-deadline watchdog firings
+};
+
 // Running totals of degraded-mode operation (all zero on healthy inputs).
 struct degraded_stats {
     std::int64_t degraded_windows = 0;  // telemetry verdicts below healthy
@@ -183,6 +206,10 @@ public:
     mistral_controller(const cluster::cluster_model& model, cost::cost_table costs,
                        controller_options options = {},
                        std::unique_ptr<search_meter> meter = nullptr);
+    // Pinned in place: the lookahead planner (and the greedy rung's shared
+    // evaluator) hold pointers into this object's own members.
+    mistral_controller(const mistral_controller&) = delete;
+    mistral_controller& operator=(const mistral_controller&) = delete;
 
     // One monitoring-interval step over the interval's observations.
     controller_decision step(const decision_input& in);
@@ -203,6 +230,13 @@ public:
     // Current ladder rung and degraded-mode totals.
     [[nodiscard]] control_mode mode() const { return mode_; }
     [[nodiscard]] const degraded_stats& degraded() const { return dstats_; }
+    // Lookahead totals and the per-application rate forecasters (empty unless
+    // options.lookahead.enabled).
+    [[nodiscard]] const lookahead_stats& lookahead() const { return lstats_; }
+    [[nodiscard]] const std::vector<predict::stability_predictor>&
+    rate_forecasters() const {
+        return rate_forecasters_;
+    }
     [[nodiscard]] const wl::telemetry_validator& validator() const { return validator_; }
     [[nodiscard]] dollars wasted_transient_cost() const {
         return rstats_.wasted_transient_cost;
@@ -223,6 +257,13 @@ private:
     std::vector<predict::stability_predictor> predictors_;
     std::vector<dollars> utility_history_;
     bool first_step_ = true;
+
+    // Lookahead state (all empty/null unless options_.lookahead.enabled).
+    std::unique_ptr<lookahead_planner> lookahead_;
+    std::vector<predict::stability_predictor> rate_forecasters_;
+    std::vector<bool> prev_forecaster_trusted_;
+    bool lookahead_deadline_tripped_ = false;
+    lookahead_stats lstats_;
 
     // Reconciliation state.
     reconcile_stats rstats_;
@@ -247,6 +288,8 @@ private:
     obs::counter obs_degraded_windows_;
     obs::counter obs_demotions_;
     obs::counter obs_promotions_;
+    obs::counter obs_lookahead_decisions_;
+    obs::counter obs_preprovisions_;
 
     [[nodiscard]] dollars pessimistic_expected_utility(seconds cw) const;
     void account_faults(const decision_input& in,
@@ -254,6 +297,11 @@ private:
     // One ladder step: demote immediately to `target` when it is a lower
     // rung, climb one rung after promote_after consecutive cleaner steps.
     void update_ladder(control_mode target, const char* reason, seconds now);
+    // The most capable rung this controller can occupy.
+    [[nodiscard]] control_mode top_rung() const {
+        return options_.lookahead.enabled ? control_mode::lookahead
+                                          : control_mode::full;
+    }
 };
 
 }  // namespace mistral::core

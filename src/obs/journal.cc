@@ -108,6 +108,18 @@ std::string to_json_line(const event& e) {
     return out;
 }
 
+const std::vector<std::string>& known_event_types() {
+    static const std::vector<std::string> types = {
+        "action_fail",    "action_finish", "action_start",
+        "decision",       "host_crash",    "host_recover",
+        "interval",       "ladder_transition", "lookahead",
+        "pod_budget",     "pod_decision",  "pod_migration",
+        "pod_reconcile",  "predictor_divergence", "search",
+        "telemetry_fault",
+    };
+    return types;
+}
+
 jsonl_file_sink::jsonl_file_sink(const std::string& path,
                                  metrics_registry* metrics)
     : out_(path), metrics_(metrics) {

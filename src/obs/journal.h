@@ -65,6 +65,12 @@ struct event {
 // <fields in order>}`.
 [[nodiscard]] std::string to_json_line(const event& e);
 
+// Every event type an instrumented component emits, sorted. The obs
+// round-trip suite iterates this registry and fails when a type lacks a
+// parse∘dump round-trip sample, so a new event type cannot ship untested:
+// extend this list together with the emitter and the test's sample.
+[[nodiscard]] const std::vector<std::string>& known_event_types();
+
 // The hook interface. `enabled()` gates journal emission; `metrics()` is the
 // registry hooks register their handles in (nullptr = metrics off).
 class sink {

@@ -76,6 +76,59 @@ seconds stability_predictor::observe(seconds measured) {
     return estimate_;
 }
 
+std::vector<forecast_band> stability_predictor::forecast_horizon(
+    int k, const horizon_options& horizon) const {
+    MISTRAL_CHECK(k >= 1);
+    MISTRAL_CHECK(horizon.width_growth >= 1.0);
+    MISTRAL_CHECK(horizon.trend_damping >= 0.0 && horizon.trend_damping <= 1.0);
+    MISTRAL_CHECK(horizon.min_width_fraction >= 0.0);
+
+    // Step 1 is the one-step prediction, bit-for-bit. (estimate_ is finite by
+    // construction — observe() rejects non-finite input via its range check —
+    // but the fallback keeps the API total under any future caller.)
+    double center = std::isfinite(estimate_) ? estimate_ : options_.initial_estimate;
+
+    // Step-1 uncertainty: the smoothed recent prediction errors, floored so a
+    // perfectly tracking filter still reports nonzero spread, scaled by the
+    // divergence guard's band multiplier (a drifting filter is less certain).
+    double base_width = 0.0;
+    if (!recent_errors_.empty()) {
+        for (double e : recent_errors_) base_width += e;
+        base_width /= static_cast<double>(recent_errors_.size());
+    }
+    const double floor =
+        horizon.min_width_fraction * std::max(std::abs(center), 1.0);
+    double width = std::max(base_width, floor) * band_multiplier();
+    if (!std::isfinite(width)) width = floor;
+
+    // Damped trend over the history window's endpoints: the mean successive
+    // difference of the last k measurements.
+    double slope = 0.0;
+    if (recent_measured_.size() >= 2) {
+        slope = (recent_measured_.back() - recent_measured_.front()) /
+                static_cast<double>(recent_measured_.size() - 1);
+    }
+    if (!std::isfinite(slope)) slope = 0.0;
+
+    std::vector<forecast_band> out;
+    out.reserve(static_cast<std::size_t>(k));
+    double damp = 1.0;
+    for (int i = 0; i < k; ++i) {
+        if (i > 0) {
+            // Non-finite arithmetic (overflow from extreme-but-finite state)
+            // keeps the previous step's values: centers stay finite, widths
+            // stay non-decreasing (equal counts as non-tightening).
+            const double next_center = center + slope * damp;
+            if (std::isfinite(next_center)) center = std::max(0.0, next_center);
+            damp *= horizon.trend_damping;
+            const double next_width = width * horizon.width_growth;
+            if (std::isfinite(next_width)) width = next_width;
+        }
+        out.push_back({center, width});
+    }
+    return out;
+}
+
 double stability_predictor::mape_percent() const {
     double sum = 0.0;
     std::size_t n = 0;

@@ -79,6 +79,37 @@ struct arma_options {
     divergence_options divergence;
 };
 
+// One future step of a multi-interval forecast (forecast_horizon below): the
+// filter's point prediction plus a symmetric uncertainty half-width. Bands
+// only widen with lookahead depth — never tighten — so a receding-horizon
+// planner discounting by band spread trusts later intervals monotonically
+// less.
+struct forecast_band {
+    double center = 0.0;
+    double half_width = 0.0;
+    [[nodiscard]] double lower() const {
+        return center > half_width ? center - half_width : 0.0;
+    }
+    [[nodiscard]] double upper() const { return center + half_width; }
+};
+
+// Horizon-model knobs for forecast_horizon.
+struct horizon_options {
+    // Multiplicative per-step widening of the uncertainty band (≥ 1):
+    // width_{i+1} = width_i · width_growth, which makes the monotone
+    // non-tightening invariant hold by construction.
+    double width_growth = 1.35;
+    // Damped-trend extrapolation: step i (i ≥ 2) extends the step-1 center by
+    // slope · trend_damping^(i−2), where slope is the mean successive
+    // difference over the history window. The pure β-blend converges to the
+    // history mean and would never anticipate a ramp; the damped trend does,
+    // while the damping keeps a transient slope from extrapolating forever.
+    double trend_damping = 0.7;
+    // Step-1 half-width floor as a fraction of max(|center|, 1): a filter
+    // that has tracked perfectly still does not pretend the future is exact.
+    double min_width_fraction = 0.05;
+};
+
 class stability_predictor {
 public:
     explicit stability_predictor(arma_options options = {});
@@ -89,6 +120,20 @@ public:
 
     // The current prediction for the upcoming stability interval.
     [[nodiscard]] seconds current_estimate() const { return estimate_; }
+
+    // Per-interval forecast for the next k steps, for the receding-horizon
+    // planner. The filter is unit-agnostic (the same β-blend forecasts
+    // request rates when fed rates), so the bands carry whatever unit the
+    // observations did. Guarantees, pinned by randomized invariant tests:
+    //  * step 1's center is *exactly* current_estimate() — the horizon API
+    //    cannot drift from the one-step code path;
+    //  * half-widths are monotonically non-tightening in the step index;
+    //  * every field is finite, whatever (validated, finite) telemetry the
+    //    filter was fed — non-finite intermediate arithmetic falls back to
+    //    the previous step's values.
+    // const: forecasting never perturbs the filter state.
+    [[nodiscard]] std::vector<forecast_band> forecast_horizon(
+        int k, const horizon_options& horizon = {}) const;
 
     // β chosen at the last observe() (0 until two observations exist).
     [[nodiscard]] double last_beta() const { return beta_; }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -139,6 +140,108 @@ TEST(Journal, DegradedModeEventsRoundTripWithFixedFieldOrder) {
     EXPECT_EQ(v.members()[3].first, "from");
     EXPECT_EQ(v.members()[4].first, "to");
     EXPECT_EQ(v.members()[5].first, "reason");
+}
+
+// The lookahead planner's event: fixed field order (horizon, commit,
+// preprovision, total_value, step_utilities, searches, first_duration,
+// total_duration), pinned by the parse ∘ dump identity like every other type.
+TEST(Journal, LookaheadEventRoundTripsWithFixedFieldOrder) {
+    event e("lookahead", 480.0);
+    e.integer("horizon", 3)
+        .text("commit", "preprovision")
+        .boolean("preprovision", true)
+        .num("total_value", 6120.5)
+        .num_list("step_utilities", {2100.25, 2010.0, 2010.25})
+        .integer("searches", 5)
+        .num("first_duration", 1.75)
+        .num("total_duration", 4.5);
+
+    const std::string line = to_json_line(e);
+    const auto v = json::value::parse(line);
+    EXPECT_EQ(v.find("type")->as_text(), "lookahead");
+    EXPECT_EQ(v.find("horizon")->as_number(), 3.0);
+    EXPECT_EQ(v.find("commit")->as_text(), "preprovision");
+    EXPECT_TRUE(v.find("preprovision")->as_bool());
+    EXPECT_EQ(v.find("total_value")->as_number(), 6120.5);
+    ASSERT_EQ(v.find("step_utilities")->items().size(), 3u);
+    EXPECT_EQ(v.find("step_utilities")->items()[2].as_number(), 2010.25);
+    EXPECT_EQ(v.find("searches")->as_number(), 5.0);
+    EXPECT_EQ(v.find("first_duration")->as_number(), 1.75);
+    EXPECT_EQ(v.find("total_duration")->as_number(), 4.5);
+    EXPECT_EQ(v.dump(), line);
+
+    const auto& m = v.members();
+    ASSERT_EQ(m.size(), 10u);
+    const char* expected[] = {"type",        "t",
+                              "horizon",     "commit",
+                              "preprovision", "total_value",
+                              "step_utilities", "searches",
+                              "first_duration", "total_duration"};
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        EXPECT_EQ(m[i].first, expected[i]) << "position " << i;
+    }
+}
+
+// A representative sample of every event type an emitter produces. A new
+// event type must be added to known_event_types() *and* here, or the
+// coverage test below fails — event schemas cannot ship untested.
+std::vector<event> event_samples() {
+    std::vector<event> samples;
+    auto add = [&samples](const char* type) -> event& {
+        samples.emplace_back(type, 100.0);
+        return samples.back();
+    };
+    add("action_start").integer("id", 1).text("action", "migrate vm0 -> h1");
+    add("action_finish").integer("id", 1).num("duration", 22.5);
+    add("action_fail").integer("id", 2).text("action", "power_on h3")
+        .text("reason", "host_crash");
+    add("decision").text("trigger", "band").boolean("invoked", true)
+        .boolean("pruned", false).num("cw", 300.0)
+        .num("expected_utility", 15.5).integer("expansions", 64);
+    add("host_crash").integer("host", 3);
+    add("host_recover").integer("host", 3);
+    add("interval").num("rate", 42.5).num("power", 910.0);
+    add("ladder_transition").text("direction", "demote").text("from", "full")
+        .text("to", "greedy").text("reason", "deadline");
+    add("lookahead").integer("horizon", 3).text("commit", "reactive")
+        .boolean("preprovision", false).num("total_value", 123.0)
+        .num_list("step_utilities", {41.0, 41.0, 41.0}).integer("searches", 4)
+        .num("first_duration", 0.5).num("total_duration", 1.25);
+    add("pod_budget").integer("pod", 0).num("power_budget", 1200.0);
+    add("pod_decision").integer("pod", 1).boolean("invoked", true);
+    add("pod_migration").integer("vm", 7).integer("from_pod", 0)
+        .integer("to_pod", 1);
+    add("pod_reconcile").integer("pods", 4).num("total_power", 3600.0);
+    add("predictor_divergence").integer("app", 0).boolean("trusted", false)
+        .num("drift", 6.5);
+    add("search").integer("expansions", 128).num("duration", 0.25)
+        .boolean("pruned", false);
+    add("telemetry_fault").integer("app", 1).text("kind", "spike");
+    return samples;
+}
+
+// Registry coverage: every known event type has a round-trip sample, and no
+// sample covers an unregistered type. Adding an emitter without extending
+// both the registry and the samples breaks this test by construction.
+TEST(Journal, EveryKnownEventTypeHasARoundTripSample) {
+    const auto& registry = known_event_types();
+    // Registry is sorted and duplicate-free (it doubles as documentation).
+    for (std::size_t i = 1; i < registry.size(); ++i) {
+        EXPECT_LT(registry[i - 1], registry[i]);
+    }
+
+    std::vector<std::string> covered;
+    for (const auto& e : event_samples()) {
+        const std::string line = to_json_line(e);
+        const auto v = json::value::parse(line);
+        EXPECT_EQ(v.find("type")->as_text(), e.type);
+        EXPECT_EQ(v.dump(), line) << line;
+        covered.push_back(e.type);
+    }
+    std::sort(covered.begin(), covered.end());
+    covered.erase(std::unique(covered.begin(), covered.end()), covered.end());
+    EXPECT_EQ(covered, registry)
+        << "known_event_types() and event_samples() must cover the same set";
 }
 
 TEST(Journal, EventFindReturnsTypedFields) {

@@ -1,0 +1,161 @@
+// Randomized invariants for the multi-interval forecast API
+// (predict/arma.h's forecast_horizon), which the receding-horizon lookahead
+// planner consumes:
+//
+//  * step 1 is the one-step prediction bit-for-bit — the horizon API cannot
+//    drift from current_estimate(), whatever k is asked for;
+//  * uncertainty half-widths are monotonically non-tightening in the step
+//    index, and a longer horizon is an exact bitwise extension of a shorter
+//    one (the prefix property);
+//  * every band stays finite (centers ≥ 0) under spiked/garbage telemetry
+//    pushed through the PR 5 sensor-fault injector and validator, exactly
+//    the path the controller feeds its rate forecasters from.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "predict/arma.h"
+#include "sim/faults.h"
+#include "workload/monitor.h"
+
+namespace mistral::predict {
+namespace {
+
+bool same_bits(double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+TEST(ForecastHorizon, StepOneMatchesCurrentEstimateBitwise) {
+    rng r(101);
+    for (int trial = 0; trial < 50; ++trial) {
+        stability_predictor p;
+        const int feeds = 1 + static_cast<int>(r.uniform(0.0, 40.0));
+        for (int i = 0; i < feeds; ++i) p.observe(r.uniform(0.0, 900.0));
+        const auto one = p.forecast_horizon(1);
+        ASSERT_EQ(one.size(), 1u);
+        EXPECT_TRUE(same_bits(one[0].center, p.current_estimate()));
+        for (int k = 2; k <= 8; ++k) {
+            const auto bands = p.forecast_horizon(k);
+            ASSERT_EQ(bands.size(), static_cast<std::size_t>(k));
+            // No drift between code paths: step 1 of any horizon is the
+            // one-step band, bit-for-bit.
+            EXPECT_TRUE(same_bits(bands[0].center, one[0].center));
+            EXPECT_TRUE(same_bits(bands[0].half_width, one[0].half_width));
+        }
+    }
+}
+
+TEST(ForecastHorizon, LongerHorizonIsBitwisePrefixExtension) {
+    rng r(202);
+    for (int trial = 0; trial < 30; ++trial) {
+        stability_predictor p;
+        for (int i = 0; i < 12; ++i) p.observe(r.uniform(10.0, 500.0));
+        const auto longest = p.forecast_horizon(8);
+        for (int k = 1; k < 8; ++k) {
+            const auto bands = p.forecast_horizon(k);
+            for (int i = 0; i < k; ++i) {
+                EXPECT_TRUE(same_bits(bands[i].center, longest[i].center));
+                EXPECT_TRUE(
+                    same_bits(bands[i].half_width, longest[i].half_width));
+            }
+        }
+    }
+}
+
+TEST(ForecastHorizon, BandsMonotonicallyNonTightening) {
+    rng r(303);
+    for (int trial = 0; trial < 100; ++trial) {
+        stability_predictor p;
+        const int feeds = static_cast<int>(r.uniform(0.0, 30.0));
+        for (int i = 0; i < feeds; ++i) p.observe(r.uniform(0.0, 2000.0));
+        const auto bands = p.forecast_horizon(10);
+        for (std::size_t i = 1; i < bands.size(); ++i) {
+            EXPECT_GE(bands[i].half_width, bands[i - 1].half_width)
+                << "trial " << trial << " step " << i;
+        }
+        for (const auto& b : bands) {
+            EXPECT_GT(b.half_width, 0.0);  // perfect tracking still has a floor
+            EXPECT_LE(b.lower(), b.upper());
+        }
+    }
+}
+
+TEST(ForecastHorizon, FiniteUnderSpikedAndGarbageTelemetry) {
+    constexpr std::size_t kApps = 3;
+    rng workload(404);
+    sim::sensor_fault_injector injector(
+        sim::sensor_fault_options::uniform(0.12), 405);
+    wl::telemetry_validator validator(kApps, {});
+    std::vector<stability_predictor> forecasters(kApps, stability_predictor{});
+    for (int step = 0; step < 200; ++step) {
+        wl::telemetry_window window;
+        window.time = step * 120.0;
+        window.duration = 120.0;
+        for (std::size_t a = 0; a < kApps; ++a) {
+            const double rate = workload.uniform(5.0, 120.0);
+            window.rates.push_back(rate);
+            window.samples.push_back(rate * 120.0);
+        }
+        (void)injector.corrupt(window);
+        const auto verdict = validator.validate(window);
+        for (std::size_t a = 0; a < kApps; ++a) {
+            // The controller's guard: only finite non-negative validated
+            // rates reach a forecaster.
+            if (std::isfinite(verdict.rates[a]) && verdict.rates[a] >= 0.0) {
+                forecasters[a].observe(verdict.rates[a]);
+            }
+            const auto bands = forecasters[a].forecast_horizon(5);
+            for (const auto& b : bands) {
+                ASSERT_TRUE(std::isfinite(b.center))
+                    << "step " << step << " app " << a;
+                ASSERT_TRUE(std::isfinite(b.half_width))
+                    << "step " << step << " app " << a;
+                ASSERT_GE(b.center, 0.0);
+                ASSERT_GE(b.half_width, 0.0);
+            }
+        }
+    }
+}
+
+TEST(ForecastHorizon, DampedTrendAnticipatesARamp) {
+    stability_predictor p;
+    // A steady climb: 100, 130, 160, ... — the blend alone converges to the
+    // history mean and would forecast *below* the latest level; the damped
+    // trend must extrapolate the ramp upward instead.
+    for (int i = 0; i < 8; ++i) p.observe(100.0 + 30.0 * i);
+    const auto bands = p.forecast_horizon(4);
+    for (std::size_t i = 1; i < bands.size(); ++i) {
+        EXPECT_GT(bands[i].center, bands[0].center) << "step " << i;
+    }
+    // Damping: successive increments shrink.
+    const double d1 = bands[1].center - bands[0].center;
+    const double d2 = bands[2].center - bands[1].center;
+    EXPECT_GT(d1, 0.0);
+    EXPECT_LT(d2, d1 + 1e-12);
+}
+
+TEST(ForecastHorizon, FlatHistoryForecastsFlatCenters) {
+    stability_predictor p;
+    for (int i = 0; i < 10; ++i) p.observe(250.0);
+    const auto bands = p.forecast_horizon(5);
+    for (const auto& b : bands) EXPECT_NEAR(b.center, 250.0, 1e-9);
+}
+
+TEST(ForecastHorizon, ForecastingNeverPerturbsFilterState) {
+    rng r(505);
+    stability_predictor a, b;
+    for (int i = 0; i < 50; ++i) {
+        const double m = r.uniform(1.0, 800.0);
+        a.observe(m);
+        (void)a.forecast_horizon(6);  // interleaved forecasts on `a` only
+        b.observe(m);
+        ASSERT_TRUE(same_bits(a.current_estimate(), b.current_estimate()));
+        ASSERT_TRUE(same_bits(a.last_beta(), b.last_beta()));
+    }
+}
+
+}  // namespace
+}  // namespace mistral::predict
