@@ -6,9 +6,13 @@
 // the measured cost table so that every figure comes from the same system.
 #pragma once
 
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "apps/rubis.h"
@@ -67,6 +71,42 @@ inline core::scenario lookahead_crowd_scenario() {
                                          1800.0, gen)};
     opts.sink = journal_from_env();
     return core::make_rubis_scenario(opts);
+}
+
+// Merges one top-level section ("key": <value_json>) into the JSON results
+// file micro_search's sweep owns (BENCH_search.json). The file is treated as
+// an object: a missing file is created, an existing one has the section
+// spliced in before the final '}'. A file that already carries the key is
+// left untouched (returns false) so re-running one bench never duplicates or
+// clobbers another's cells — delete the file to regenerate everything.
+inline bool append_bench_section(const std::string& path, const std::string& key,
+                                 const std::string& value_json) {
+    std::string text;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            text = ss.str();
+        }
+    }
+    if (text.find('"' + key + '"') != std::string::npos) return false;
+    const auto brace = text.rfind('}');
+    if (brace == std::string::npos) {
+        text = "{\n  \"" + key + "\": " + value_json + "\n}\n";
+    } else {
+        std::string head = text.substr(0, brace);
+        while (!head.empty() &&
+               std::isspace(static_cast<unsigned char>(head.back()))) {
+            head.pop_back();
+        }
+        const bool empty_object = !head.empty() && head.back() == '{';
+        text = head + (empty_object ? "\n  \"" : ",\n  \"") + key + "\": " +
+               value_json + "\n" + text.substr(brace);
+    }
+    std::ofstream out(path);
+    out << text;
+    return true;
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

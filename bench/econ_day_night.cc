@@ -1,0 +1,179 @@
+// Day/night tariff cell: time-of-use economics for the controller.
+//
+// The same flash-crowd afternoon (15:00–21:30, so the run crosses the 20:00
+// day→night price step) is run twice under identical *measured* economics —
+// the harness prices every interval's power at the tariff in force:
+//
+//   * price-blind — the plain controller planning at the paper's constant
+//     $0.01/W·interval, never told the tariff moved;
+//   * econ-aware  — the same controller with the day/night tariff bound:
+//     every search prices power at the block in force, and the 20:00 price
+//     step itself forces a replan (trigger "tariff").
+//
+// The econ-aware controller consolidates harder while daytime power is
+// expensive and relaxes when the night block arrives, which is worth real
+// dollars under the measured tariff. A third flat-tariff cell pins the
+// differential contract: an all-default econ binding is byte-identical to
+// the plain controller.
+//
+// `--smoke` is the CI gate: flat-cell bit-identity plus econ-aware ≥
+// price-blind measured dollars. The full run also appends its cells to
+// BENCH_search.json (key "econ_day_night_cells").
+#include <cstdint>
+#include <cstring>
+
+#include "bench_util.h"
+#include "core/strategies.h"
+
+using namespace mistral;
+
+namespace {
+
+constexpr double kDayPrice = 0.05;     // $/W·interval, 08:00–20:00
+constexpr double kNightPrice = 0.004;  // $/W·interval, 20:00–08:00
+
+core::econ_profile day_night_profile() {
+    core::econ_profile p;
+    p.enabled = true;
+    p.tariff = wl::day_night_tariff(kDayPrice, kNightPrice);
+    p.carbon_price_per_kg = 0.0;  // carbon is *reported*, not priced, here
+    return p;
+}
+
+// The paper's afternoon window with workloads that actually move, measured
+// under the day/night tariff regardless of what the controller believes.
+core::scenario day_night_scenario() {
+    core::scenario_options opts;
+    opts.host_count = 4;
+    opts.app_count = 2;
+    wl::generator_options gen;  // 15:00–21:30 defaults
+    gen.seed = 7;
+    gen.noise = 0.02;
+    auto wc = wl::world_cup_trace(gen, 0).scaled_to_range(10.0, 70.0);
+    opts.traces = {wc.renamed("wc"),
+                   wl::flash_crowd_trace("crowd", 15.0, 80.0, 2.0 * 3600.0,
+                                         1200.0, 1800.0, gen)};
+    opts.econ = day_night_profile();
+    opts.sink = bench::journal_from_env();
+    return core::make_rubis_scenario(opts);
+}
+
+struct cell {
+    std::string name;
+    core::run_result result;
+};
+
+cell run_cell(const core::scenario& scn, const std::string& name,
+              bool econ_aware) {
+    core::controller_options opts;
+    if (econ_aware) opts.econ = day_night_profile();
+    core::mistral_strategy strat(scn.model, bench::measured_costs(), opts);
+    return {name, core::run_scenario(scn, strat)};
+}
+
+std::uint64_t bits_of(double v) {
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
+// Flat-tariff differential: an all-default econ binding must reproduce the
+// plain controller's run byte for byte. Returns the number of mismatches.
+int check_flat_identity() {
+    core::scenario scn = day_night_scenario();
+    scn.options.econ = {};  // measure both at the paper's constant price
+
+    core::controller_options plain;
+    core::mistral_strategy a(scn.model, bench::measured_costs(), plain);
+    core::controller_options flat;
+    flat.econ.enabled = true;  // all defaults: flat tariff, flat pricing
+    core::mistral_strategy b(scn.model, bench::measured_costs(), flat);
+
+    const auto ra = core::run_scenario(scn, a);
+    const auto rb = core::run_scenario(scn, b);
+    int failures = 0;
+    if (bits_of(ra.cumulative_utility) != bits_of(rb.cumulative_utility)) {
+        std::fprintf(stderr,
+                     "smoke FAILED: flat-econ utility %.17g != plain %.17g\n",
+                     rb.cumulative_utility, ra.cumulative_utility);
+        ++failures;
+    }
+    if (ra.invocations != rb.invocations || ra.total_actions != rb.total_actions) {
+        std::fprintf(stderr, "smoke FAILED: flat-econ decision stream diverged "
+                             "(%zu/%zu invocations, %zu/%zu actions)\n",
+                     rb.invocations, ra.invocations, rb.total_actions,
+                     ra.total_actions);
+        ++failures;
+    }
+    if (failures == 0) {
+        std::printf("smoke: flat-econ == plain controller ($%.6f, %zu actions)\n",
+                    ra.cumulative_utility, ra.total_actions);
+    }
+    return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+
+    const auto scn = day_night_scenario();
+    const auto blind = run_cell(scn, "price-blind", false);
+    const auto aware = run_cell(scn, "econ-aware", true);
+
+    if (!smoke) {
+        bench::print_header(
+            "Day/night tariff: econ-aware vs price-blind control",
+            "Economics subsystem, DESIGN.md §15; day $" +
+                std::to_string(kDayPrice) + " / night $" +
+                std::to_string(kNightPrice) + " per W·interval");
+        table_printer t({"strategy", "utility ($)", "energy ($)", "carbon (g)",
+                         "revenue ($)", "mean W", "invocations", "actions"});
+        for (const auto* c : {&blind, &aware}) {
+            t.add_row({c->name, table_printer::fmt(c->result.cumulative_utility, 2),
+                       table_printer::fmt(c->result.energy_dollars, 2),
+                       table_printer::fmt(c->result.carbon_grams, 0),
+                       table_printer::fmt(c->result.revenue_dollars, 2),
+                       table_printer::fmt(c->result.mean_power, 1),
+                       std::to_string(c->result.invocations),
+                       std::to_string(c->result.total_actions)});
+        }
+        t.print(std::cout);
+        std::cout << "\nThe econ-aware controller prices each search at the "
+                     "block in force;\nthe tariff step at 20:00 itself "
+                     "triggers a replan.\n";
+
+        std::string cells = "[\n";
+        for (const auto* c : {&blind, &aware}) {
+            char buf[256];
+            std::snprintf(buf, sizeof(buf),
+                          "    {\"strategy\": \"%s\", \"utility_dollars\": %.6f, "
+                          "\"energy_dollars\": %.6f, \"carbon_grams\": %.1f, "
+                          "\"mean_watts\": %.2f}%s\n",
+                          c->name.c_str(), c->result.cumulative_utility,
+                          c->result.energy_dollars, c->result.carbon_grams,
+                          c->result.mean_power, c == &aware ? "" : ",");
+            cells += buf;
+        }
+        cells += "  ]";
+        if (bench::append_bench_section("BENCH_search.json",
+                                        "econ_day_night_cells", cells)) {
+            std::cout << "appended econ_day_night_cells to BENCH_search.json\n";
+        }
+        return 0;
+    }
+
+    // --- CI gate ---------------------------------------------------------
+    int failures = check_flat_identity();
+    std::printf("smoke: price-blind $%.2f | econ-aware $%.2f (day/night tariff)\n",
+                blind.result.cumulative_utility, aware.result.cumulative_utility);
+    if (!(aware.result.cumulative_utility >= blind.result.cumulative_utility)) {
+        std::fprintf(stderr, "smoke FAILED: econ-aware ($%.4f) worse than "
+                             "price-blind ($%.4f) under the day/night tariff\n",
+                     aware.result.cumulative_utility,
+                     blind.result.cumulative_utility);
+        ++failures;
+    }
+    if (failures == 0) std::printf("smoke OK\n");
+    return failures == 0 ? 0 : 1;
+}

@@ -14,7 +14,7 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "core/hierarchy.h"
+#include "core/coordinator.h"
 #include "core/perf_pwr.h"
 #include "obs/journal.h"
 
@@ -102,9 +102,9 @@ int main() {
         metrics_sink sink(&registry);
         core::controller_builder builder;
         builder.sink(&sink);
-        core::hierarchical_controller mistral(scn.model, costs,
-                                              core::level1_pods(row.groups),
-                                              builder);
+        core::global_coordinator mistral(scn.model, costs,
+                                         core::level1_pods(row.groups),
+                                         builder);
         const auto r = core::run_scenario(scn, mistral);
 
         // Naive variant: same hierarchy, pruning and early stop disabled.
@@ -114,9 +114,9 @@ int main() {
         naive_builder.self_aware(false).tweak([](core::controller_options& o) {
             o.search.max_expansions = 1500;
         });
-        core::hierarchical_controller naive(scn.model, costs,
-                                            core::level1_pods(row.groups),
-                                            naive_builder);
+        core::global_coordinator naive(scn.model, costs,
+                                       core::level1_pods(row.groups),
+                                       naive_builder);
         auto short_scn = scn;
         const seconds t0 = scn.traces[0].start_time();
         std::vector<wl::trace> short_traces;

@@ -12,8 +12,8 @@
 #include <iostream>
 
 #include "common/table_printer.h"
+#include "core/coordinator.h"
 #include "core/experiment.h"
-#include "core/hierarchy.h"
 #include "cost/table.h"
 #include "obs/journal.h"
 
@@ -40,7 +40,7 @@ int main() {
 
     core::controller_builder builder;
     builder.sink(&sink);
-    core::hierarchical_controller controller(
+    core::global_coordinator controller(
         scn.model, cost::cost_table::paper_defaults(),
         core::level1_pods({{0, 1, 2}, {3, 4, 5}}), builder);
     const auto r = core::run_scenario(scn, controller);

@@ -43,6 +43,11 @@ controller_builder& controller_builder::sink(obs::sink* s) {
     return *this;
 }
 
+controller_builder& controller_builder::econ(econ_profile profile) {
+    base_.econ = std::move(profile);
+    return *this;
+}
+
 controller_builder& controller_builder::power_cap(watts cap) {
     base_.search.power_cap = cap;
     return *this;
@@ -66,7 +71,17 @@ controller_builder& controller_builder::tweak(
 
 controller_builder& controller_builder::pod(
     std::size_t id, const std::function<void(controller_options&)>& fn) {
-    pod_overrides_[id] = fn;
+    // Overrides for the same pod compose in registration order rather than
+    // replacing: the coordinator layers its per-region econ override on top
+    // of whatever the caller registered, and both must take effect.
+    if (auto it = pod_overrides_.find(id); it != pod_overrides_.end()) {
+        it->second = [prev = std::move(it->second), fn](controller_options& opts) {
+            prev(opts);
+            fn(opts);
+        };
+    } else {
+        pod_overrides_[id] = fn;
+    }
     return *this;
 }
 

@@ -1,8 +1,8 @@
 // One composable way to configure controllers.
 //
 // Before this builder existed, every example and bench re-plumbed the same
-// handful of fields across three option structs (`controller_options`,
-// `hierarchy_options`, `search_options` plus the evaluation sub-options):
+// handful of fields across several option structs (`controller_options`,
+// `coordinator_options`, `search_options` plus the evaluation sub-options):
 // band width here, sink there, meter step in a third place. The builder
 // collapses that sprawl into a single fluent surface with two escape
 // hatches — `tweak()` for any field without a dedicated setter, and
@@ -41,6 +41,10 @@ public:
     // usual pod(id, fn) override on options.lookahead.
     controller_builder& lookahead(int horizon);
     controller_builder& sink(obs::sink* s);
+    // Economics layer: tariff, pricing model, carbon price, cap schedule
+    // (core/utility.h econ_profile). The coordinator layers per-region
+    // tariffs on top of this via pod overrides.
+    controller_builder& econ(econ_profile profile);
     controller_builder& power_cap(watts cap);
     controller_builder& menu(cluster::action_menu m);
     // Deterministic model-clock meter step (seconds per A* expansion).
@@ -49,7 +53,8 @@ public:
     // Escape hatch: arbitrary mutation of the assembled base options.
     controller_builder& tweak(const std::function<void(controller_options&)>& fn);
     // Per-pod override, applied after the pod_spec's band/menu when this
-    // builder configures pod `id` of a partition.
+    // builder configures pod `id` of a partition. Repeated registrations for
+    // the same pod compose in order (each sees the previous one's result).
     controller_builder& pod(std::size_t id,
                             const std::function<void(controller_options&)>& fn);
 

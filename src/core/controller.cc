@@ -21,6 +21,16 @@ controller_options inherit_search_sink(controller_options options) {
     return options;
 }
 
+// The controller's utility model, with the econ profile bound before any
+// copy is taken: search_, greedy_search_, the lookahead planner, and the
+// evaluators all copy utility_, and a bound model's copies share one econ
+// state — one update_econ() call at the top of step() re-prices every layer.
+utility_model make_bound_utility(const controller_options& options) {
+    utility_model utility(options.utility);
+    if (options.econ.enabled) utility.bind_econ(options.econ);
+    return utility;
+}
+
 // The greedy rung plans at most one action under a small expansion budget;
 // everything else (menu, scopes, evaluation tuning) matches the main search.
 search_options greedy_rung_options(const controller_options& options) {
@@ -65,7 +75,7 @@ mistral_controller::mistral_controller(const cluster::cluster_model& model,
                                        std::unique_ptr<search_meter> meter)
     : model_(&model),
       options_(inherit_search_sink(std::move(options))),
-      utility_(options_.utility),
+      utility_(make_bound_utility(options_)),
       costs_(std::move(costs)),
       search_(model, utility_, costs_, options_.search),
       meter_(meter ? std::move(meter) : std::make_unique<model_clock_meter>()),
@@ -216,6 +226,30 @@ controller_decision mistral_controller::step(const decision_input& in) {
     const seconds now = in.now;
     MISTRAL_CHECK(in.rates.size() == model_->app_count());
     controller_decision decision;
+
+    // Economics: re-index the tariff at this step's timestamp before anything
+    // evaluates (the searches and evaluators share utility_'s econ state), and
+    // apply the power-cap schedule on top of the search's terminal legality.
+    // A changed factor forces a replan below — the workload band only reacts
+    // to rate movement and would happily sit through a price step — and is
+    // journaled as a tariff_change. Inert without an econ binding; inert in
+    // effect under a flat tariff (no factor ever changes).
+    bool tariff_changed = false;
+    if (utility_.econ_bound()) {
+        const econ_factors before = utility_.econ_now();
+        tariff_changed = utility_.update_econ(now);
+        if (options_.econ.power_cap_schedule) {
+            set_power_cap(options_.econ.power_cap_schedule->at(now));
+        }
+        if (tariff_changed && obs::journaling(options_.sink)) {
+            obs::event e("tariff_change", now);
+            e.num("price", utility_.econ_now().power_price)
+                .num("carbon_intensity", utility_.econ_now().carbon_intensity)
+                .num("prev_price", before.power_price)
+                .num("prev_carbon_intensity", before.carbon_intensity);
+            options_.sink->record(e);
+        }
+    }
 
     // Grade the window before anything downstream sees it. A disabled
     // validator — and a healthy verdict — pass the measured rates through
@@ -442,10 +476,12 @@ controller_decision mistral_controller::step(const decision_input& in) {
         obs_fault_replans_.add();
     }
 
-    const bool trigger = first_step_ || event.any_exceeded || force;
+    const bool trigger =
+        first_step_ || event.any_exceeded || force || tariff_changed;
     const char* trigger_name = first_step_          ? "first"
                                : force              ? "fault"
                                : event.any_exceeded ? "band"
+                               : tariff_changed     ? "tariff"
                                                     : "none";
     first_step_ = false;
     if (!trigger) {
@@ -591,6 +627,22 @@ controller_decision mistral_controller::step(const decision_input& in) {
     // after a single action and strand a half-adapted configuration.
     if (!greedy) monitor_.recenter(now, rates);
     budget = uh;
+    // Every invoked econ-aware decision journals the economic context it was
+    // priced under — the analysis side joins these against "decision" records
+    // to attribute follow-the-price consolidation.
+    if (utility_.econ_bound() && obs::journaling(options_.sink)) {
+        const econ_factors& f = utility_.econ_now();
+        const watts cap = search_.options().power_cap;
+        obs::event e("econ_decision", now);
+        e.num("price", f.power_price)
+            .num("carbon_intensity", f.carbon_intensity)
+            .num("carbon_dollars_per_watt_interval",
+                 f.carbon_dollars_per_watt_interval)
+            .boolean("performance_based", f.performance_based)
+            .num("power_cap", std::isfinite(cap) ? cap : -1.0)
+            .num("expected_utility", decision.expected_utility);
+        options_.sink->record(e);
+    }
     emit_decision(trigger_name);
     return decision;
 }

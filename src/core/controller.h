@@ -94,6 +94,12 @@ struct degraded_options {
 
 struct controller_options {
     utility_params utility{};
+    // Economics layer (src/econ): a time-of-use tariff, pricing model, and
+    // optional carbon price / power-cap schedule bound into the utility model
+    // shared by the searches and evaluators. Disabled by default; with a flat
+    // default tariff and flat pricing the controller is bit-identical to one
+    // without the binding (ctest -L econ).
+    econ_profile econ{};
     // Workload band width b (req/s). 0 re-evaluates on any change — the
     // paper's first-level setting; the second level uses 8 req/s.
     req_per_sec band_width = 8.0;
@@ -226,6 +232,7 @@ public:
     }
     [[nodiscard]] const controller_options& options() const { return options_; }
     [[nodiscard]] const adaptation_search& search() const { return search_; }
+    [[nodiscard]] const utility_model& utility() const { return utility_; }
     [[nodiscard]] const reconcile_stats& reconciliation() const { return rstats_; }
     // Current ladder rung and degraded-mode totals.
     [[nodiscard]] control_mode mode() const { return mode_; }

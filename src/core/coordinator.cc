@@ -116,6 +116,27 @@ global_coordinator::global_coordinator(const cluster::cluster_model& model,
     MISTRAL_CHECK(options_.power_budget > 0.0);
     MISTRAL_CHECK(options_.grow_margin >= 0.0);
     MISTRAL_CHECK(options_.max_brokered_moves >= 0);
+    if (options_.budget_schedule) {
+        for (const auto& p : options_.budget_schedule->points()) {
+            MISTRAL_CHECK_MSG(p.value > 0.0, "budget schedule must be positive watts");
+        }
+    }
+    if (!options_.regions.empty()) {
+        MISTRAL_CHECK_MSG(options_.regions.pod_count() == specs_.size(),
+                          "pod→region map covers " << options_.regions.pod_count()
+                                                   << " pods, partition has "
+                                                   << specs_.size());
+        // Each pod's controller plans under its own region's tariff: layer an
+        // econ override per pod on top of whatever the caller registered
+        // (pod overrides compose in order, builder.h).
+        for (std::size_t i = 0; i < specs_.size(); ++i) {
+            const auto& region = options_.regions.region(options_.regions.region_of(i));
+            builder_.pod(i, [tariff = region.tariff](controller_options& opts) {
+                opts.econ.enabled = true;
+                opts.econ.tariff = tariff;
+            });
+        }
+    }
     sink_ = builder_.build().sink;
     if (auto* reg = obs::metrics_of(sink_)) {
         obs_migrations_ = reg->register_counter(
@@ -124,6 +145,11 @@ global_coordinator::global_coordinator(const cluster::cluster_model& model,
         obs_reconciles_ = reg->register_counter(
             "mistral_pod_ownership_reconciles_total",
             "App ownership changes made by placement reconciliation");
+        if (!options_.regions.empty()) {
+            obs_region_moves_ = reg->register_counter(
+                "mistral_econ_region_moves_total",
+                "Brokered migrations that landed in a strictly cheaper region");
+        }
     }
 }
 
@@ -138,6 +164,10 @@ global_coordinator::global_coordinator(const cluster::cluster_model& model,
       options_(std::move(options)),
       name_("Mistral-2L"),
       sharded_(false) {
+    MISTRAL_CHECK_MSG(options_.regions.empty(),
+                      "regions are a sharded-mode feature");
+    MISTRAL_CHECK_MSG(!options_.budget_schedule,
+                      "budget schedules are a sharded-mode feature");
     validate_level1(model, level1);
     for (auto& spec : level1) {
         pods_.push_back(std::make_unique<pod_controller>(
@@ -247,17 +277,27 @@ void global_coordinator::reconcile_ownership(
 }
 
 std::vector<watts> global_coordinator::redistribute(
-    watts total, double grow_margin, const std::vector<pod_report>& reports) {
+    watts total, double grow_margin, const std::vector<pod_report>& reports,
+    const std::vector<double>* growth_weight) {
     MISTRAL_CHECK(total > 0.0 && std::isfinite(total));
     const std::size_t n = reports.size();
     MISTRAL_CHECK(n >= 1);
+    MISTRAL_CHECK(growth_weight == nullptr || growth_weight->size() == n);
     std::vector<double> demand(n, 0.0);
     double sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
         const double p = std::clamp(reports[i].pressure, 0.0, 1.0);
-        demand[i] = reports[i].draw +
-                    grow_margin * p *
-                        std::max(0.0, reports[i].max_draw - reports[i].draw);
+        // The draw term is a pod's metered entitlement; only the *growth*
+        // headroom is regionally weighted — a pod in an expensive region asks
+        // for less room to grow, never less than it already draws.
+        double grow = grow_margin * p *
+                      std::max(0.0, reports[i].max_draw - reports[i].draw);
+        if (growth_weight != nullptr) {
+            const double w = (*growth_weight)[i];
+            MISTRAL_CHECK(std::isfinite(w) && w >= 0.0);
+            grow *= w;
+        }
+        demand[i] = reports[i].draw + grow;
         sum += demand[i];
     }
     if (sum <= 0.0) {
@@ -293,11 +333,35 @@ std::vector<watts> global_coordinator::redistribute(
     return budgets;
 }
 
-void global_coordinator::redistribute_budgets(const decision_input& in) {
+std::vector<double> global_coordinator::pod_prices(seconds now) const {
+    std::vector<double> prices;
+    if (options_.regions.empty()) return prices;
+    prices.resize(pods_.size());
+    for (std::size_t i = 0; i < pods_.size(); ++i) {
+        prices[i] = options_.regions.price_of_pod(i, now);
+    }
+    return prices;
+}
+
+void global_coordinator::redistribute_budgets(const decision_input& in,
+                                              watts total) {
     std::vector<pod_report> reports;
     reports.reserve(pods_.size());
     for (const auto& pod : pods_) reports.push_back(pod->report(in.current));
-    budgets_ = redistribute(options_.power_budget, options_.grow_margin, reports);
+    // Regional bias: growth headroom is weighted cheapest/price, so at equal
+    // pressure a cheap region's pod receives the larger share of the slack.
+    std::vector<double> weight;
+    const std::vector<double>* weight_ptr = nullptr;
+    if (!options_.regions.empty()) {
+        const std::vector<double> prices = pod_prices(in.now);
+        const double cheapest = *std::min_element(prices.begin(), prices.end());
+        weight.resize(prices.size());
+        for (std::size_t i = 0; i < prices.size(); ++i) {
+            weight[i] = cheapest / prices[i];
+        }
+        weight_ptr = &weight;
+    }
+    budgets_ = redistribute(total, options_.grow_margin, reports, weight_ptr);
     // A zero share (an all-idle pod under a tight budget) still needs a
     // positive cap for the terminal gate; one milliwatt forbids any
     // powered-on host just as effectively. The milliwatt is *borrowed* from
@@ -325,7 +389,7 @@ void global_coordinator::redistribute_budgets(const decision_input& in) {
             draw.push_back(reports[i].draw);
             budget.push_back(budgets_[i]);
         }
-        e.num("cluster_budget_watts", options_.power_budget)
+        e.num("cluster_budget_watts", total)
             .num_list("draw_watts", std::move(draw))
             .num_list("budget_watts", std::move(budget));
         sink_->record(e);
@@ -436,7 +500,14 @@ strategy::outcome global_coordinator::decide_two_level(const decision_input& in)
 strategy::outcome global_coordinator::decide_sharded(const decision_input& in) {
     ensure_pods(in.current);
     reconcile_ownership(in.current, in.now);
-    if (std::isfinite(options_.power_budget)) redistribute_budgets(in);
+    // A budget schedule (stepped power-cap emergency) overrides the static
+    // budget interval by interval; its values are validated positive, so a
+    // scheduled run always has a finite cap.
+    const watts budget_now = options_.budget_schedule
+                                 ? options_.budget_schedule->at(in.now)
+                                 : options_.power_budget;
+    if (std::isfinite(budget_now)) redistribute_budgets(in, budget_now);
+    const std::int64_t moves_before = brokered_migrations_;
 
     outcome out;
     if (pods_.size() == 1) {
@@ -490,6 +561,17 @@ strategy::outcome global_coordinator::decide_sharded(const decision_input& in) {
     gather_strays(probe, out, in.now);
     broker_migrations(probe, out, in.now);
 
+    // Region-aware runs journal the economic context each interval: the
+    // per-pod prices the biases used, the budget in force, and how many
+    // brokered moves they produced.
+    if (!options_.regions.empty() && obs::journaling(sink_)) {
+        obs::event e("econ_decision", in.now);
+        e.num_list("pod_prices", pod_prices(in.now))
+            .num("budget_watts", std::isfinite(budget_now) ? budget_now : -1.0)
+            .integer("brokered_moves", brokered_migrations_ - moves_before);
+        sink_->record(e);
+    }
+
     out.stats.duration = out.decision_delay;
     out.stats.search_power_cost = out.decision_power_cost;
     return out;
@@ -539,19 +621,39 @@ void global_coordinator::broker_migrations(cluster::configuration& probe,
                                            outcome& out, seconds now) {
     if (!options_.migration_broker || pods_.size() < 2) return;
 
+    // Regional price bias. The watermarks and bid scores are scaled by the
+    // pod's price relative to the cheapest region in force *now*: an
+    // expensive pod's donor watermark drops (it offers load sooner), its
+    // accept watermark drops (it adopts load only when very idle), and a
+    // cheap pod's bid wins ties. Every scale is exactly 1 when regions are
+    // unset, so the region-blind broker is untouched.
+    const bool regional = !options_.regions.empty();
+    const std::vector<double> price = pod_prices(now);
+    double cheapest = 1.0;
+    if (regional) cheapest = *std::min_element(price.begin(), price.end());
+    const auto scale = [&](std::size_t i) {
+        return regional ? cheapest / price[i] : 1.0;
+    };
+
     for (int move = 0; move < options_.max_brokered_moves; ++move) {
         std::vector<pod_report> reports;
         reports.reserve(pods_.size());
         for (const auto& pod : pods_) reports.push_back(pod->report(probe));
 
-        // Propose: the most pressured pod above the watermark offers its
-        // smallest deployed app (a donor keeps at least one app).
+        // Propose: the most urgent pod above its (price-scaled) watermark
+        // offers its smallest deployed app (a donor keeps at least one app).
+        // Urgency is pressure weighted by price/cheapest, so at equal
+        // pressure the expensive region donates first.
+        const auto urgency = [&](std::size_t i) {
+            return regional ? reports[i].pressure * (price[i] / cheapest)
+                            : reports[i].pressure;
+        };
         int donor = -1;
         for (std::size_t i = 0; i < pods_.size(); ++i) {
-            if (reports[i].pressure <= options_.donor_pressure) continue;
+            if (reports[i].pressure <= options_.donor_pressure * scale(i)) continue;
             if (pods_[i]->apps().size() < 2) continue;
-            if (donor < 0 || reports[i].pressure >
-                                 reports[static_cast<std::size_t>(donor)].pressure) {
+            if (donor < 0 ||
+                urgency(i) > urgency(static_cast<std::size_t>(donor))) {
                 donor = static_cast<int>(i);
             }
         }
@@ -577,22 +679,25 @@ void global_coordinator::broker_migrations(cluster::configuration& probe,
         }
         if (app == model_->app_count()) return;
 
-        // Accept: pods under the accept watermark bid a first-fit plan; the
-        // lowest resulting pressure wins, ties to the lower pod id.
+        // Accept: pods under their (price-scaled) accept watermark bid a
+        // first-fit plan; the lowest price-weighted resulting pressure wins,
+        // ties to the lower pod id — cheap regions out-bid expensive ones at
+        // equal load.
         int best = -1;
-        double best_pressure = 0.0;
+        double best_score = 0.0;
         std::vector<cluster::action> best_plan;
         for (std::size_t j = 0; j < pods_.size(); ++j) {
             if (static_cast<int>(j) == donor) continue;
-            if (reports[j].pressure >= options_.accept_pressure) continue;
+            if (reports[j].pressure >= options_.accept_pressure * scale(j)) continue;
             auto plan = first_fit_plan(*model_, probe, app, pods_[j]->spec().hosts);
             if (plan.empty()) continue;
             cluster::configuration scratch = probe;
             for (const auto& a : plan) scratch = cluster::apply(*model_, scratch, a);
             const double pr = pods_[j]->report(scratch).pressure;
-            if (best < 0 || pr < best_pressure) {
+            const double score = regional ? pr * (price[j] / cheapest) : pr;
+            if (best < 0 || score < best_score) {
                 best = static_cast<int>(j);
-                best_pressure = pr;
+                best_score = score;
                 best_plan = std::move(plan);
             }
         }
@@ -611,6 +716,10 @@ void global_coordinator::broker_migrations(cluster::configuration& probe,
         pods_[static_cast<std::size_t>(best)]->adopt_app(app);
         ++brokered_migrations_;
         obs_migrations_.add();
+        if (regional && price[static_cast<std::size_t>(best)] <
+                            price[static_cast<std::size_t>(donor)]) {
+            obs_region_moves_.add();
+        }
         out.invoked = true;
         if (obs::journaling(sink_)) {
             obs::event e("pod_migration", now);

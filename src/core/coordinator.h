@@ -46,6 +46,7 @@
 
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,8 @@
 #include "core/pod_controller.h"
 #include "core/pods.h"
 #include "core/strategies.h"
+#include "econ/region.h"
+#include "econ/tariff.h"
 
 namespace mistral::core {
 
@@ -75,6 +78,19 @@ struct coordinator_options {
     bool parallel_pods = false;
     // Escalation controller's band width (two-level mode; paper: 8 req/s).
     req_per_sec escalation_band = 8.0;
+    // Economics (sharded mode only). `regions` maps every pod to a region
+    // with its own tariff/carbon series: each pod's controller then plans
+    // under its region's prices (the coordinator layers the econ override on
+    // the builder), budget redistribution weights growth headroom by
+    // cheapest/price, and the migration broker donates sooner from — and
+    // bids lower on — expensive regions, shifting load toward cheap/green
+    // ones. Empty (the default) leaves every economic branch untaken: the
+    // decision stream is bit-identical to the region-blind coordinator.
+    econ::region_map regions{};
+    // Cluster power-budget schedule in watts over time (stepped power-cap
+    // emergencies): when set it overrides power_budget each interval. All
+    // values must be positive; infinity is expressed by leaving this unset.
+    std::optional<econ::step_series> budget_schedule{};
 };
 
 class global_coordinator final : public strategy {
@@ -116,8 +132,12 @@ public:
     // Demand-proportional integer-milliwatt split of `total` across the
     // reports; the shares sum to `total` exactly (largest-remainder
     // rounding, ties to the lower index). Exposed for the conservation test.
-    static std::vector<watts> redistribute(watts total, double grow_margin,
-                                           const std::vector<pod_report>& reports);
+    // `growth_weight` (optional, one entry per report, ≥ 0) scales each
+    // pod's growth-headroom term only — the regional cheapest/price bias;
+    // nullptr is the unweighted original.
+    static std::vector<watts> redistribute(
+        watts total, double grow_margin, const std::vector<pod_report>& reports,
+        const std::vector<double>* growth_weight = nullptr);
 
 private:
     const cluster::cluster_model* model_;
@@ -142,15 +162,18 @@ private:
     obs::histogram obs_escalation_seconds_;
     obs::counter obs_migrations_;
     obs::counter obs_reconciles_;
+    obs::counter obs_region_moves_;
 
     void ensure_pods(const cluster::configuration& current);
     void reconcile_ownership(const cluster::configuration& current, seconds now);
     void gather_strays(cluster::configuration& probe, outcome& out, seconds now);
     outcome decide_two_level(const decision_input& in);
     outcome decide_sharded(const decision_input& in);
-    void redistribute_budgets(const decision_input& in);
+    void redistribute_budgets(const decision_input& in, watts total);
     void broker_migrations(cluster::configuration& probe, outcome& out,
                            seconds now);
+    // Per-pod regional price at `now` (empty when regions are unset).
+    [[nodiscard]] std::vector<double> pod_prices(seconds now) const;
     void emit_pod_decision(const pod_controller& pod, const pod_outcome& po,
                            const cluster::configuration& at, seconds now,
                            const char* level) const;

@@ -188,6 +188,15 @@ serial_evaluator::serial_evaluator(const cluster::cluster_model& model,
 
 void serial_evaluator::begin_decision(const std::vector<req_per_sec>& rates) {
     MISTRAL_CHECK(rates.size() == model_->app_count());
+    // Econ-aware runs: a tariff factor change (update_econ bumps the shared
+    // epoch) re-prices every steady evaluation, so memoized results computed
+    // under the previous factors are invalid. The app-solve cache is exempt —
+    // it stores LQN response times, which prices never touch. Without an econ
+    // binding the epoch is permanently 0 and this is one untaken branch.
+    if (utility_.econ_epoch() != econ_epoch_seen_) {
+        econ_epoch_seen_ = utility_.econ_epoch();
+        memo_.clear();
+    }
     rates_ = rates;
     targets_.resize(model_->app_count());
     for (std::size_t a = 0; a < model_->app_count(); ++a) {

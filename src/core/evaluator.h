@@ -370,6 +370,9 @@ protected:
     // Per-app elements of the bound decision's quantized rate key (set by
     // begin_decision; what app signatures embed).
     std::vector<std::int64_t> rate_key_;
+    // Last-seen econ epoch of utility_ (0 = unbound): begin_decision clears
+    // the memo when the shared tariff factors changed underneath it.
+    std::uint64_t econ_epoch_seen_ = 0;
     eval_memo memo_;
     app_solve_cache app_cache_;  // persists across decisions
     evaluation_stats stats_;

@@ -68,7 +68,14 @@ run_result run_scenario(const scenario& scn, strategy& strat) {
     sim::testbed_options tb_options = scn.options.testbed;
     if (tb_options.sink == nullptr) tb_options.sink = scn.options.sink;
     sim::testbed tb(model, scn.initial, tb_options);
-    const utility_model util{scn.options.utility};
+    // Measured-utility pricing. With an econ profile the harness's own model
+    // re-indexes the tariff each interval, so both econ-aware and price-blind
+    // strategies are *measured* under the same time-varying economics —
+    // that's the comparison the day/night bench makes. Disabled, this is the
+    // original constant-price model, bit for bit.
+    const bool econ_on = scn.options.econ.enabled;
+    utility_model util{scn.options.utility};
+    if (econ_on) util.bind_econ(scn.options.econ);
     // Sensor faults corrupt only what the strategy observes; the utility
     // accounting below always uses the true rates.
     sim::sensor_fault_injector sensors(scn.options.sensor_faults,
@@ -165,6 +172,7 @@ run_result run_scenario(const scenario& scn, strategy& strat) {
                              .target_response_time(rates[a]);
             if (obs.response_time[a] > targets[a]) out.violation_fraction[a] += 1.0;
         }
+        if (econ_on) util.update_econ(t);
         const dollars u = util.interval_utility(rates, obs.response_time, targets,
                                                 obs.power) -
                           decision.decision_power_cost;
@@ -192,6 +200,21 @@ run_result run_scenario(const scenario& scn, strategy& strat) {
         out.series.series("search_cost").add(tm, decision.decision_power_cost);
         if (!obs.failed.empty()) {
             out.series.series("failed").add(tm, static_cast<double>(obs.failed.size()));
+        }
+        if (econ_on) {
+            // Decompose the interval's measured utility into its economic
+            // sides: power spend at the tariff in force (power_rate is ≤ 0
+            // and already includes the carbon-price term), carbon mass from
+            // the intensity series, and what remains of interval_utility —
+            // the SLA revenue under the pricing model.
+            const dollars power_cost = -util.power_rate(obs.power) * interval;
+            const double grams = obs.power * interval / 3600.0 *
+                                 util.econ_now().carbon_intensity;
+            out.energy_dollars += power_cost;
+            out.carbon_grams += grams;
+            out.revenue_dollars += u + decision.decision_power_cost + power_cost;
+            out.series.series("energy_cost").add(tm, power_cost);
+            out.series.series("carbon_g").add(tm, grams);
         }
         out.total_wasted_seconds += obs.wasted_fraction * obs.window;
 
@@ -221,6 +244,19 @@ run_result run_scenario(const scenario& scn, strategy& strat) {
     if (intervals > 0) {
         for (auto& v : out.violation_fraction) v /= static_cast<double>(intervals);
     }
+    if (econ_on) {
+        if (auto* reg = obs::metrics_of(scn.options.sink)) {
+            reg->register_gauge("mistral_econ_energy_dollars",
+                                "Tariffed power spend of the run (carbon price included)")
+                .set(out.energy_dollars);
+            reg->register_gauge("mistral_econ_carbon_grams",
+                                "Carbon mass emitted by the run's metered energy")
+                .set(out.carbon_grams);
+            reg->register_gauge("mistral_econ_revenue_dollars",
+                                "SLA revenue of the run under the pricing model")
+                .set(out.revenue_dollars);
+        }
+    }
     return out;
 }
 
@@ -239,6 +275,12 @@ void print_run_summary(const run_result& result, std::ostream& out) {
         << " s mean over " << result.search_duration.count() << " decisions\n";
     out << "  search power cost   $" << result.total_search_cost << "\n";
     out << "  wasted adaptation   " << result.total_wasted_seconds << " s\n";
+    if (result.energy_dollars != 0.0 || result.carbon_grams != 0.0 ||
+        result.revenue_dollars != 0.0) {
+        out << "  energy spend        $" << result.energy_dollars << "\n";
+        out << "  carbon emitted      " << result.carbon_grams << " g\n";
+        out << "  SLA revenue         $" << result.revenue_dollars << "\n";
+    }
 }
 
 }  // namespace mistral::core

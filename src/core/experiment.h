@@ -43,6 +43,16 @@ struct scenario_options {
     // by default: with all probabilities zero the harness never constructs a
     // window and the run is byte-identical to a build without this knob.
     sim::sensor_fault_options sensor_faults{};
+    // Economics accounting (core/utility.h econ_profile). When enabled, the
+    // harness prices *measured* utility under this profile — tariffed power
+    // cost, carbon mass, revenue under the pricing model — and reports the
+    // energy/carbon/revenue totals in run_result plus "energy_cost" /
+    // "carbon_g" series and mistral_econ_* gauges. The strategies under test
+    // keep whatever economics they were built with, so a price-blind
+    // controller can be measured under the same tariff as an econ-aware one
+    // (the day/night bench's comparison). Disabled leaves the accounting —
+    // and the output — byte-identical to the pre-econ harness.
+    econ_profile econ{};
     // Traces per application; when empty, the Fig. 4 workloads are generated
     // (truncated/cycled to app_count).
     std::vector<wl::trace> traces;
@@ -86,6 +96,12 @@ struct run_result {
     // Testbed-reported seconds burnt on adaptations that never took effect
     // (doomed executions and crash-aborted transients); 0 without faults.
     seconds total_wasted_seconds = 0.0;
+    // Economics accounting, all zero unless scenario_options::econ.enabled:
+    // tariffed power spend (carbon price included), emitted carbon mass from
+    // the tariff's intensity series, and SLA revenue under the pricing model.
+    dollars energy_dollars = 0.0;
+    double carbon_grams = 0.0;
+    dollars revenue_dollars = 0.0;
 };
 
 // Runs `strat` over the scenario, one fresh testbed per call (same seed ⇒

@@ -9,10 +9,15 @@
 // the stability interval.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "common/units.h"
+#include "econ/pricing.h"
+#include "econ/tariff.h"
 
 namespace mistral::core {
 
@@ -39,6 +44,41 @@ struct utility_params {
     // penalty. Measured utility (interval_utility) always uses the real
     // target — this only shapes what the optimizer aims for.
     double rt_margin = 0.85;
+};
+
+// The economics layer a controller can bind on top of utility_params: a
+// time-of-use tariff (price + carbon intensity), a revenue model, an optional
+// carbon price, and an optional power-cap schedule. Disabled (the default)
+// means the binding never happens and every utility expression is the
+// original paper arithmetic. With `enabled` and all-default members the
+// bound model is *bit-identical* to the unbound one: the flat tariff equals
+// default_power_cost_per_watt_interval, carbon contributes nothing, and flat
+// pricing takes the exact Eq. 1 code path — proven by ctest -L econ.
+struct econ_profile {
+    bool enabled = false;
+    econ::tariff_schedule tariff{};
+    econ::pricing_options pricing{};
+    // $ per kg of CO2; > 0 adds a carbon term to power_rate using the
+    // tariff's carbon-intensity series (gCO2/Wh).
+    dollars carbon_price_per_kg = 0.0;
+    // Cluster power cap in watts over time; the controller applies it each
+    // step on top of search_options::power_cap terminal legality (stepped
+    // cap emergencies, CloudPowerCap-style).
+    std::optional<econ::step_series> power_cap_schedule{};
+};
+
+// The tariff factors in force at the controller's current timestamp. One
+// struct shared (via utility_model copies) by the controller, both searches,
+// the lookahead planner, and the evaluators, so a single update_econ() call
+// re-prices every layer coherently.
+struct econ_factors {
+    dollars power_price = default_power_cost_per_watt_interval;  // $/W·interval
+    double carbon_intensity = 0.0;                               // gCO2/Wh
+    // The carbon term pre-folded to the power-price unit: intensity ·
+    // (M/3600 h) · price_per_gram. Zero unless carbon_price_per_kg > 0.
+    dollars carbon_dollars_per_watt_interval = 0.0;
+    bool performance_based = false;
+    double pbp_grace = 1.5;
 };
 
 class utility_model {
@@ -76,8 +116,34 @@ public:
                                            std::span<const seconds> targets,
                                            watts mean_power) const;
 
+    // --- Economics binding -------------------------------------------------
+    //
+    // bind_econ attaches a shared econ state; *copies of a bound model share
+    // it* (shared_ptr semantics), which is how the controller keeps its own
+    // model, the searches' models, and the evaluators' models priced
+    // identically. update_econ re-indexes the tariff at `now` and returns
+    // true when any factor changed, bumping the epoch so evaluators drop
+    // price-dependent memos. An unbound model reports epoch 0 and behaves
+    // exactly as before this layer existed.
+    void bind_econ(const econ_profile& profile);
+    bool update_econ(seconds now);
+    [[nodiscard]] bool econ_bound() const { return econ_ != nullptr; }
+    [[nodiscard]] std::uint64_t econ_epoch() const { return econ_ ? econ_->epoch : 0; }
+    [[nodiscard]] const econ_factors& econ_now() const;
+    [[nodiscard]] const econ_profile& econ_profile_ref() const;
+
 private:
+    struct econ_state {
+        econ_profile profile;
+        econ_factors factors;
+        std::uint64_t epoch = 1;
+    };
+
+    [[nodiscard]] dollars pbp_revenue(req_per_sec rate, seconds response_time,
+                                      seconds target) const;
+
     utility_params params_;
+    std::shared_ptr<econ_state> econ_;
 };
 
 }  // namespace mistral::core

@@ -1,0 +1,39 @@
+// Pluggable revenue models for the SLA side of Eq. 1.
+//
+// The paper pays the full reward whenever response time meets the target and
+// the full penalty otherwise — a cliff. Performance-based pricing (see "A
+// Cloud Controller for Performance-Based Pricing", PAPERS.md) instead scales
+// per-interval revenue continuously with delivered vs. target response time:
+// full reward at or under the target, linearly degrading to the full penalty
+// at `grace` times the target. `flat` reproduces the paper's cliff
+// bit-for-bit — it is not an approximation, the econ-bound utility model
+// takes the exact original code path.
+#pragma once
+
+#include "common/check.h"
+
+namespace mistral::econ {
+
+enum class pricing_kind {
+    // The paper's Eq. 1 cliff: reward iff rt <= target, else penalty.
+    flat,
+    // Revenue interpolates from reward(rate) at rt <= target down to
+    // penalty(rate) at rt >= grace·target (continuous and monotone in rt).
+    performance_based,
+};
+
+struct pricing_options {
+    pricing_kind kind = pricing_kind::flat;
+    // Performance-based only: the multiple of the target at which revenue
+    // bottoms out at the full penalty. Must be > 1 so the ramp has width.
+    double grace = 1.5;
+};
+
+inline void validate(const pricing_options& options) {
+    if (options.kind == pricing_kind::performance_based) {
+        MISTRAL_CHECK_MSG(options.grace > 1.0 && options.grace < 1.0e9,
+                          "performance-based pricing needs a finite grace > 1");
+    }
+}
+
+}  // namespace mistral::econ

@@ -1,0 +1,59 @@
+#include "econ/region.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mistral::econ {
+
+region_map::region_map(std::vector<region_spec> regions,
+                       std::vector<std::size_t> pod_region)
+    : regions_(std::move(regions)), pod_region_(std::move(pod_region)) {
+    MISTRAL_CHECK_MSG(!regions_.empty(), "a region map needs at least one region");
+    MISTRAL_CHECK_MSG(!pod_region_.empty(), "a region map needs at least one pod");
+    for (std::size_t r = 0; r < regions_.size(); ++r) {
+        MISTRAL_CHECK_MSG(!regions_[r].name.empty(), "region names must be non-empty");
+        for (std::size_t s = r + 1; s < regions_.size(); ++s) {
+            MISTRAL_CHECK_MSG(regions_[r].name != regions_[s].name,
+                              "duplicate region name " << regions_[r].name);
+        }
+        // The coordinator's regional bias divides by prices (cheapest/price):
+        // a zero or negative price block would poison every weight.
+        for (const auto& bp : regions_[r].tariff.price.points()) {
+            MISTRAL_CHECK_MSG(bp.value > 0.0, "region " << regions_[r].name
+                                  << " has a non-positive price block");
+        }
+        for (const auto& bp : regions_[r].tariff.carbon.points()) {
+            MISTRAL_CHECK_MSG(bp.value >= 0.0, "region " << regions_[r].name
+                                  << " has a negative carbon block");
+        }
+    }
+    std::vector<bool> used(regions_.size(), false);
+    for (std::size_t p = 0; p < pod_region_.size(); ++p) {
+        MISTRAL_CHECK_MSG(pod_region_[p] < regions_.size(),
+                          "pod " << p << " maps to unknown region " << pod_region_[p]);
+        used[pod_region_[p]] = true;
+    }
+    MISTRAL_CHECK_MSG(std::all_of(used.begin(), used.end(), [](bool u) { return u; }),
+                      "every region must host at least one pod");
+}
+
+std::size_t region_map::region_of(std::size_t pod) const {
+    MISTRAL_CHECK_MSG(pod < pod_region_.size(), "pod " << pod << " out of range");
+    return pod_region_[pod];
+}
+
+const region_spec& region_map::region(std::size_t r) const {
+    MISTRAL_CHECK_MSG(r < regions_.size(), "region " << r << " out of range");
+    return regions_[r];
+}
+
+dollars region_map::price_of_pod(std::size_t pod, seconds now) const {
+    return regions_[region_of(pod)].tariff.price_at(now);
+}
+
+double region_map::carbon_of_pod(std::size_t pod, seconds now) const {
+    return regions_[region_of(pod)].tariff.carbon_at(now);
+}
+
+}  // namespace mistral::econ

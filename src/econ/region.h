@@ -1,0 +1,51 @@
+// Pods → regions: per-region tariffs for geo-distributed clusters.
+//
+// A sharded cluster (core/global_coordinator) may span electricity markets:
+// each pod runs in one region, and each region has its own time-of-use price
+// and carbon-intensity series. The coordinator uses this map to bias budget
+// redistribution and the migration broker toward cheap/green regions. An
+// empty map means region-blind operation — every economic branch in the
+// coordinator stays untaken and the decision stream is bit-identical to the
+// pre-econ control plane.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "econ/tariff.h"
+
+namespace mistral::econ {
+
+struct region_spec {
+    std::string name;
+    tariff_schedule tariff{};
+};
+
+class region_map {
+public:
+    region_map() = default;  // empty: region-blind
+
+    // `pod_region[p]` is the index into `regions` for pod p. Validates that
+    // every pod maps to a real region, names are non-empty and unique, and at
+    // least one pod lives in each region (an unused region is almost always a
+    // mis-typed index).
+    region_map(std::vector<region_spec> regions, std::vector<std::size_t> pod_region);
+
+    [[nodiscard]] bool empty() const { return regions_.empty(); }
+    [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
+    [[nodiscard]] std::size_t pod_count() const { return pod_region_.size(); }
+
+    [[nodiscard]] std::size_t region_of(std::size_t pod) const;
+    [[nodiscard]] const region_spec& region(std::size_t r) const;
+
+    // Tariff lookups addressed by pod — the form the coordinator uses.
+    [[nodiscard]] dollars price_of_pod(std::size_t pod, seconds now) const;
+    [[nodiscard]] double carbon_of_pod(std::size_t pod, seconds now) const;
+
+private:
+    std::vector<region_spec> regions_;
+    std::vector<std::size_t> pod_region_;
+};
+
+}  // namespace mistral::econ

@@ -1,0 +1,61 @@
+#include "econ/tariff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mistral::econ {
+
+step_series step_series::constant(double value) {
+    return step_series({{0.0, value}});
+}
+
+step_series::step_series(std::vector<breakpoint> points, seconds period)
+    : points_(std::move(points)), period_(period) {
+    MISTRAL_CHECK_MSG(!points_.empty(), "a step series needs at least one breakpoint");
+    for (const breakpoint& p : points_) {
+        MISTRAL_CHECK_MSG(std::isfinite(p.at), "breakpoint time must be finite");
+        MISTRAL_CHECK_MSG(std::isfinite(p.value), "breakpoint value must be finite");
+    }
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        MISTRAL_CHECK_MSG(points_[i - 1].at < points_[i].at,
+                          "breakpoint times must be strictly increasing");
+    }
+    MISTRAL_CHECK_MSG(std::isfinite(period_) && period_ >= 0.0,
+                      "wraparound period must be finite and >= 0");
+    if (period_ > 0.0) {
+        MISTRAL_CHECK_MSG(points_.back().at - points_.front().at < period_,
+                          "breakpoint span must fit inside the wraparound period");
+    }
+}
+
+double step_series::at(seconds t) const {
+    MISTRAL_CHECK_MSG(std::isfinite(t), "lookup time must be finite");
+    if (period_ > 0.0 &&
+        (t < points_.front().at || t >= points_.front().at + period_)) {
+        // Fold into [first.at, first.at + period): fmod can return a value in
+        // (-period, period), so renormalize the negative branch. Times already
+        // inside the base window skip the fold entirely — the subtraction/
+        // re-addition can lose an ulp, which would break right-continuity at
+        // the breakpoints themselves.
+        double offset = std::fmod(t - points_.front().at, period_);
+        if (offset < 0.0) offset += period_;
+        t = points_.front().at + offset;
+    }
+    // Right-continuous: value of the last breakpoint with at <= t. Before the
+    // first breakpoint (only possible without wraparound) the first value
+    // extends backward.
+    auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                               [](seconds lhs, const breakpoint& rhs) { return lhs < rhs.at; });
+    if (it == points_.begin()) return points_.front().value;
+    return std::prev(it)->value;
+}
+
+bool step_series::is_constant() const {
+    return std::all_of(points_.begin(), points_.end(), [&](const breakpoint& p) {
+        return p.value == points_.front().value;
+    });
+}
+
+}  // namespace mistral::econ

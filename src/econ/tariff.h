@@ -1,0 +1,78 @@
+// Time-of-use tariffs: piecewise-constant price and carbon-intensity series.
+//
+// Real operating cost depends on *when* a watt is burned: electricity price
+// and grid carbon intensity both follow the clock (day/night TOU blocks,
+// wholesale spot steps, renewable availability). This header models such
+// signals as right-continuous step functions of simulation time with an
+// optional wraparound period, so a 24-hour tariff drives multi-day runs
+// deterministically. Lookup is pure (no clocks, no state) — the same
+// timestamp always yields the same value, which is what the bit-identity
+// differential harness (ctest -L econ) leans on.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace mistral::econ {
+
+// A piecewise-constant, right-continuous function of simulation time.
+//
+// `at(t)` returns the value of the last breakpoint with time <= t; before the
+// first breakpoint the series extends its first value backward, so lookup is
+// total. With a wraparound `period` P > 0, t is first folded into
+// [first.at, first.at + P) — the canonical daily-tariff shape. Construction
+// validates everything (finite, strictly increasing, span < period) and
+// throws invariant_error otherwise: a garbage series is rejected up front
+// rather than producing NaN dollars mid-run.
+class step_series {
+public:
+    struct breakpoint {
+        seconds at = 0.0;
+        double value = 0.0;
+
+        friend bool operator==(const breakpoint&, const breakpoint&) = default;
+    };
+
+    // A constant series: one breakpoint at t=0. The degenerate-but-common
+    // case (flat tariff, fixed power cap).
+    static step_series constant(double value);
+
+    step_series() : step_series(constant(0.0)) {}
+    explicit step_series(std::vector<breakpoint> points, seconds period = 0.0);
+
+    [[nodiscard]] double at(seconds t) const;
+
+    [[nodiscard]] const std::vector<breakpoint>& points() const { return points_; }
+    [[nodiscard]] seconds period() const { return period_; }
+
+    // True when every lookup returns the same value — the flat configurations
+    // the differential harness proves bit-identical to the pre-econ model.
+    [[nodiscard]] bool is_constant() const;
+
+    friend bool operator==(const step_series&, const step_series&) = default;
+
+private:
+    std::vector<breakpoint> points_;
+    seconds period_ = 0.0;  // 0 = no wraparound
+};
+
+// The two grid signals the controller prices decisions against. Defaults
+// reproduce the paper's economics exactly: a flat $0.01/W·interval price
+// (Section V-A) and zero carbon intensity.
+struct tariff_schedule {
+    // $ per watt consumed over one monitoring interval, by simulation time.
+    step_series price = step_series::constant(default_power_cost_per_watt_interval);
+    // Grid carbon intensity in gCO2 per Wh, by simulation time.
+    step_series carbon = step_series::constant(0.0);
+
+    [[nodiscard]] dollars price_at(seconds t) const { return price.at(t); }
+    [[nodiscard]] double carbon_at(seconds t) const { return carbon.at(t); }
+    [[nodiscard]] bool is_flat() const {
+        return price.is_constant() && carbon.is_constant();
+    }
+
+    friend bool operator==(const tariff_schedule&, const tariff_schedule&) = default;
+};
+
+}  // namespace mistral::econ

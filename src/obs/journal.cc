@@ -111,11 +111,11 @@ std::string to_json_line(const event& e) {
 const std::vector<std::string>& known_event_types() {
     static const std::vector<std::string> types = {
         "action_fail",    "action_finish", "action_start",
-        "decision",       "host_crash",    "host_recover",
-        "interval",       "ladder_transition", "lookahead",
-        "pod_budget",     "pod_decision",  "pod_migration",
-        "pod_reconcile",  "predictor_divergence", "search",
-        "telemetry_fault",
+        "decision",       "econ_decision", "host_crash",
+        "host_recover",   "interval",      "ladder_transition",
+        "lookahead",      "pod_budget",    "pod_decision",
+        "pod_migration",  "pod_reconcile", "predictor_divergence",
+        "search",         "tariff_change", "telemetry_fault",
     };
     return types;
 }

@@ -157,4 +157,55 @@ std::vector<trace> paper_workloads(std::uint64_t seed) {
     return out;
 }
 
+econ::tariff_schedule day_night_tariff(dollars day_price, dollars night_price,
+                                       seconds day_start, seconds night_start,
+                                       double day_carbon, double night_carbon) {
+    MISTRAL_CHECK(day_price > 0.0 && night_price > 0.0);
+    MISTRAL_CHECK(day_carbon >= 0.0 && night_carbon >= 0.0);
+    MISTRAL_CHECK(0.0 <= day_start && day_start < night_start);
+    MISTRAL_CHECK(night_start < 24.0 * 3600.0);
+    const seconds day = 24.0 * 3600.0;
+    econ::tariff_schedule out;
+    if (day_start > 0.0) {
+        out.price = econ::step_series({{0.0, night_price},
+                                       {day_start, day_price},
+                                       {night_start, night_price}},
+                                      day);
+        out.carbon = econ::step_series({{0.0, night_carbon},
+                                        {day_start, day_carbon},
+                                        {night_start, night_carbon}},
+                                       day);
+    } else {
+        out.price = econ::step_series(
+            {{0.0, day_price}, {night_start, night_price}}, day);
+        out.carbon = econ::step_series(
+            {{0.0, day_carbon}, {night_start, night_carbon}}, day);
+    }
+    return out;
+}
+
+std::vector<econ::region_spec> two_region_spread(dollars cheap_price,
+                                                 dollars expensive_price,
+                                                 double cheap_carbon,
+                                                 double expensive_carbon) {
+    MISTRAL_CHECK(0.0 < cheap_price && cheap_price <= expensive_price);
+    MISTRAL_CHECK(cheap_carbon >= 0.0 && expensive_carbon >= 0.0);
+    std::vector<econ::region_spec> out(2);
+    out[0].name = "cheap";
+    out[0].tariff.price = econ::step_series::constant(cheap_price);
+    out[0].tariff.carbon = econ::step_series::constant(cheap_carbon);
+    out[1].name = "expensive";
+    out[1].tariff.price = econ::step_series::constant(expensive_price);
+    out[1].tariff.carbon = econ::step_series::constant(expensive_carbon);
+    return out;
+}
+
+econ::step_series stepped_power_cap(watts normal, watts emergency, seconds at,
+                                    seconds duration) {
+    MISTRAL_CHECK(normal > 0.0 && emergency > 0.0);
+    MISTRAL_CHECK(at > 0.0 && duration > 0.0);
+    return econ::step_series(
+        {{0.0, normal}, {at, emergency}, {at + duration, normal}});
+}
+
 }  // namespace mistral::wl

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "common/units.h"
+#include "econ/region.h"
+#include "econ/tariff.h"
 #include "workload/trace.h"
 
 namespace mistral::wl {
@@ -59,5 +61,34 @@ trace random_walk_trace(const std::string& name, req_per_sec lo, req_per_sec hi,
 // shape and RUBiS-3/4 from the HP shape, all scaled to 0–100 req/s over
 // 15:00–21:30.
 std::vector<trace> paper_workloads(std::uint64_t seed = 1);
+
+// --- Economics scenario generators (src/econ) -------------------------------
+//
+// The tariff/region shapes the econ benches and tests drive: deterministic
+// piecewise-constant series matching the workload clock above (absolute
+// seconds-of-day timestamps, 24 h wraparound).
+
+// Day/night time-of-use tariff: `day_price` between day_start and
+// night_start (seconds of day), `night_price` otherwise, wrapping every
+// 24 h. Carbon intensity follows the same blocks (gCO2/Wh) — grids are
+// typically dirtier at night when solar drops off.
+econ::tariff_schedule day_night_tariff(dollars day_price, dollars night_price,
+                                       seconds day_start = 8.0 * 3600.0,
+                                       seconds night_start = 20.0 * 3600.0,
+                                       double day_carbon = 300.0,
+                                       double night_carbon = 450.0);
+
+// Two regions with a constant price/carbon spread: region 0 ("cheap") at
+// `cheap_price`, region 1 ("expensive") at `expensive_price`. Pair with a
+// pod→region vector to build the coordinator's econ::region_map.
+std::vector<econ::region_spec> two_region_spread(dollars cheap_price,
+                                                 dollars expensive_price,
+                                                 double cheap_carbon = 250.0,
+                                                 double expensive_carbon = 550.0);
+
+// Stepped power-cap emergency: `normal` watts, dropping to `emergency` at
+// `at` for `duration` seconds, then back. No wraparound — a one-shot event.
+econ::step_series stepped_power_cap(watts normal, watts emergency, seconds at,
+                                    seconds duration);
 
 }  // namespace mistral::wl

@@ -1,8 +1,7 @@
-#include "core/hierarchy.h"
-
 #include <gtest/gtest.h>
 
 #include "apps/rubis.h"
+#include "core/coordinator.h"
 #include "obs/journal.h"
 
 namespace mistral::core {
@@ -38,19 +37,19 @@ struct fixture : ::testing::Test {
     }
 };
 
-using HierarchyTest = fixture;
+using TwoLevelTest = fixture;
 
-TEST_F(HierarchyTest, RejectsOverlappingGroups) {
-    EXPECT_THROW(hierarchical_controller(model, costs, level1_pods({{0, 1}, {1, 2}})),
+TEST_F(TwoLevelTest, RejectsOverlappingGroups) {
+    EXPECT_THROW(global_coordinator(model, costs, level1_pods({{0, 1}, {1, 2}})),
                  invariant_error);
-    EXPECT_THROW(hierarchical_controller(model, costs, level1_pods({{0, 99}})),
+    EXPECT_THROW(global_coordinator(model, costs, level1_pods({{0, 99}})),
                  invariant_error);
-    EXPECT_THROW(hierarchical_controller(model, costs, std::vector<pod_spec>{}),
+    EXPECT_THROW(global_coordinator(model, costs, std::vector<pod_spec>{}),
                  invariant_error);
 }
 
-TEST_F(HierarchyTest, DecisionsAreExecutable) {
-    hierarchical_controller h(model, costs, halves());
+TEST_F(TwoLevelTest, DecisionsAreExecutable) {
+    global_coordinator h(model, costs, halves());
     auto cfg = base();
     seconds t = 0.0;
     for (double rate : {40.0, 42.0, 55.0, 70.0}) {
@@ -67,8 +66,8 @@ TEST_F(HierarchyTest, DecisionsAreExecutable) {
     }
 }
 
-TEST_F(HierarchyTest, LevelOneActsWithinItsGroup) {
-    hierarchical_controller h(model, costs, halves());
+TEST_F(TwoLevelTest, LevelOneActsWithinItsGroup) {
+    global_coordinator h(model, costs, halves());
     auto cfg = base();
     // Small drift: second level's 8 req/s band does not trip after the first
     // invocation, so any actions come from level-1 controllers.
@@ -83,12 +82,12 @@ TEST_F(HierarchyTest, LevelOneActsWithinItsGroup) {
     }
 }
 
-TEST_F(HierarchyTest, LevelTwoFiresOnLargeShift) {
+TEST_F(TwoLevelTest, LevelTwoFiresOnLargeShift) {
     obs::metrics_registry registry;
     obs::memory_sink sink(&registry);
     controller_builder builder;
     builder.sink(&sink);
-    hierarchical_controller h(model, costs, halves(), builder);
+    global_coordinator h(model, costs, halves(), builder);
     auto cfg = base();
     h.decide({0.0, {40.0, 40.0, 40.0}, cfg, 1.0});
     h.decide({120.0, {80.0, 40.0, 40.0}, cfg, 1.0});
@@ -96,20 +95,34 @@ TEST_F(HierarchyTest, LevelTwoFiresOnLargeShift) {
     EXPECT_GT(registry.counter_value("mistral_pod_global_decisions_total"), 1);
 }
 
-TEST_F(HierarchyTest, PerPodMetricsAccumulate) {
+TEST_F(TwoLevelTest, EscalationBandIsConfigurable) {
     obs::metrics_registry registry;
     obs::memory_sink sink(&registry);
     controller_builder builder;
     builder.sink(&sink);
-    hierarchical_controller h(model, costs, halves(), builder);
+    // A huge band: after the first step the escalation controller never
+    // re-fires, no matter the shift.
+    global_coordinator h(model, costs, halves(), builder,
+                         {.escalation_band = 1000.0});
+    auto cfg = base();
+    h.decide({0.0, {40.0, 40.0, 40.0}, cfg, 1.0});
+    h.decide({120.0, {80.0, 40.0, 40.0}, cfg, 1.0});
+    EXPECT_EQ(registry.counter_value("mistral_pod_global_decisions_total"), 1);
+}
+
+TEST_F(TwoLevelTest, PerPodMetricsAccumulate) {
+    obs::metrics_registry registry;
+    obs::memory_sink sink(&registry);
+    controller_builder builder;
+    builder.sink(&sink);
+    global_coordinator h(model, costs, halves(), builder);
     auto cfg = base();
     seconds t = 0.0;
     for (int i = 0; i < 5; ++i) {
         h.decide({t, {40.0 + i, 40.0, 40.0}, cfg, 1.0});
         t += 120.0;
     }
-    // The retired running_stats accessors' successors: per-pod and global
-    // decision counters plus search-duration histograms.
+    // Per-pod and global decision counters plus search-duration histograms.
     const std::int64_t pods =
         registry.counter_value("mistral_pod_0_decisions_total") +
         registry.counter_value("mistral_pod_1_decisions_total");
@@ -123,27 +136,24 @@ TEST_F(HierarchyTest, PerPodMetricsAccumulate) {
     EXPECT_GT(sink.count("pod_decision"), 0u);
 }
 
-TEST_F(HierarchyTest, NameIdentifiesTwoLevels) {
-    hierarchical_controller h(model, costs, level1_pods({{0, 1, 2, 3, 4, 5}}));
+TEST_F(TwoLevelTest, NameIdentifiesTwoLevels) {
+    global_coordinator h(model, costs, level1_pods({{0, 1, 2, 3, 4, 5}}));
     EXPECT_EQ(h.name(), "Mistral-2L");
 }
 
-// The raw host-group constructor survives one release as a deprecated shim
-// and must behave exactly like the typed route.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(HierarchyTest, DeprecatedGroupShimStillWorks) {
-    hierarchical_controller shim(model, costs, {{0, 1, 2}, {3, 4, 5}});
-    hierarchical_controller typed(model, costs, halves());
-    EXPECT_EQ(shim.name(), typed.name());
-    auto cfg = base();
-    const auto a = shim.decide({0.0, {40.0, 40.0, 40.0}, cfg, 1.0});
-    const auto b = typed.decide({0.0, {40.0, 40.0, 40.0}, cfg, 1.0});
-    EXPECT_EQ(a.invoked, b.invoked);
-    EXPECT_EQ(a.actions, b.actions);
-    EXPECT_EQ(a.decision_delay, b.decision_delay);
+TEST_F(TwoLevelTest, TwoLevelModeRejectsShardedOnlyEconOptions) {
+    coordinator_options with_regions;
+    with_regions.regions = econ::region_map(
+        {{"only", econ::tariff_schedule{}}}, {0, 0});
+    EXPECT_THROW(
+        global_coordinator(model, costs, halves(), {}, with_regions),
+        invariant_error);
+    coordinator_options with_schedule;
+    with_schedule.budget_schedule = econ::step_series::constant(1000.0);
+    EXPECT_THROW(
+        global_coordinator(model, costs, halves(), {}, with_schedule),
+        invariant_error);
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace mistral::core

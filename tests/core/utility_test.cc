@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/check.h"
 
 namespace mistral::core {
@@ -107,6 +109,41 @@ TEST(Utility, RejectsNonsenseParameters) {
     EXPECT_THROW(utility_model{q}, invariant_error);
     utility_model u;
     EXPECT_THROW(u.power_rate(-5.0), invariant_error);
+}
+
+TEST(Utility, RejectsNonFiniteOrDegenerateParameters) {
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    auto rejects = [](utility_params p) {
+        EXPECT_THROW(utility_model{p}, invariant_error);
+    };
+    utility_params p;
+    p.max_rate = 0.0;  // reward()/penalty() would divide by zero
+    rejects(p);
+    p = {};
+    p.max_rate = inf;
+    rejects(p);
+    p = {};
+    p.reward_hi = nan;
+    rejects(p);
+    p = {};
+    p.penalty_lo = -inf;
+    rejects(p);
+    p = {};
+    p.power_cost_per_watt_interval = inf;
+    rejects(p);
+    p = {};
+    p.power_cost_per_watt_interval = -0.01;
+    rejects(p);
+    p = {};
+    p.monitoring_interval = inf;
+    rejects(p);
+    p = {};
+    p.power_weight = -1.0;
+    rejects(p);
+    p = {};
+    p.rt_margin = 0.0;
+    rejects(p);
 }
 
 }  // namespace

@@ -1,0 +1,122 @@
+#include "econ/region.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "workload/generators.h"
+
+namespace mistral::econ {
+namespace {
+
+region_map two_regions() {
+    return region_map(wl::two_region_spread(0.01, 0.03), {0, 1, 0});
+}
+
+TEST(RegionMap, DefaultIsEmptyAndRegionBlind) {
+    const region_map m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.region_count(), 0u);
+    EXPECT_EQ(m.pod_count(), 0u);
+}
+
+TEST(RegionMap, MapsPodsToRegionTariffs) {
+    const auto m = two_regions();
+    EXPECT_FALSE(m.empty());
+    EXPECT_EQ(m.region_count(), 2u);
+    EXPECT_EQ(m.pod_count(), 3u);
+    EXPECT_EQ(m.region_of(0), 0u);
+    EXPECT_EQ(m.region_of(1), 1u);
+    EXPECT_EQ(m.region_of(2), 0u);
+    EXPECT_EQ(m.region(0).name, "cheap");
+    EXPECT_EQ(m.region(1).name, "expensive");
+    EXPECT_DOUBLE_EQ(m.price_of_pod(0, 0.0), 0.01);
+    EXPECT_DOUBLE_EQ(m.price_of_pod(1, 0.0), 0.03);
+    EXPECT_DOUBLE_EQ(m.price_of_pod(2, 1e6), 0.01);
+    EXPECT_DOUBLE_EQ(m.carbon_of_pod(0, 0.0), 250.0);
+    EXPECT_DOUBLE_EQ(m.carbon_of_pod(1, 0.0), 550.0);
+}
+
+TEST(RegionMap, TimeVaryingRegionalTariffsIndexByTime) {
+    std::vector<region_spec> specs(1);
+    specs[0].name = "tou";
+    specs[0].tariff = wl::day_night_tariff(0.04, 0.01);
+    const region_map m(std::move(specs), {0});
+    EXPECT_DOUBLE_EQ(m.price_of_pod(0, 3.0 * 3600.0), 0.01);   // night
+    EXPECT_DOUBLE_EQ(m.price_of_pod(0, 12.0 * 3600.0), 0.04);  // day
+    EXPECT_DOUBLE_EQ(m.price_of_pod(0, 22.0 * 3600.0), 0.01);  // night again
+}
+
+TEST(RegionMap, RejectsInvalidShapes) {
+    const auto specs = wl::two_region_spread(0.01, 0.03);
+    // Pod indexed past the region list.
+    EXPECT_THROW(region_map(specs, {0, 2}), invariant_error);
+    // A region no pod lives in.
+    EXPECT_THROW(region_map(specs, {0, 0}), invariant_error);
+    // No pods at all.
+    EXPECT_THROW(region_map(specs, {}), invariant_error);
+    // No regions at all.
+    EXPECT_THROW(region_map({}, {0}), invariant_error);
+    // Empty and duplicate names.
+    auto unnamed = specs;
+    unnamed[0].name = "";
+    EXPECT_THROW(region_map(unnamed, {0, 1}), invariant_error);
+    auto dup = specs;
+    dup[1].name = dup[0].name;
+    EXPECT_THROW(region_map(dup, {0, 1}), invariant_error);
+}
+
+TEST(RegionMap, RejectsNonPositivePriceBlocks) {
+    // The coordinator divides by regional prices (cheapest/price); a zero or
+    // negative block must be rejected at construction, not found mid-run.
+    std::vector<region_spec> zero(1);
+    zero[0].name = "free-lunch";
+    zero[0].tariff.price = step_series::constant(0.0);
+    EXPECT_THROW(region_map(zero, {0}), invariant_error);
+
+    std::vector<region_spec> negative(1);
+    negative[0].name = "subsidy";
+    negative[0].tariff.price = step_series({{0.0, 0.02}, {10.0, -0.01}});
+    EXPECT_THROW(region_map(negative, {0}), invariant_error);
+
+    std::vector<region_spec> dirty(1);
+    dirty[0].name = "anticarbon";
+    dirty[0].tariff.carbon = step_series::constant(-5.0);
+    EXPECT_THROW(region_map(dirty, {0}), invariant_error);
+}
+
+TEST(RegionMap, BoundsCheckedAccessors) {
+    const auto m = two_regions();
+    EXPECT_THROW(m.region_of(3), invariant_error);
+    EXPECT_THROW(m.region(2), invariant_error);
+    EXPECT_THROW(m.price_of_pod(99, 0.0), invariant_error);
+}
+
+TEST(Generators, TwoRegionSpreadValidatesItsPrices) {
+    EXPECT_THROW(wl::two_region_spread(0.0, 0.03), invariant_error);
+    EXPECT_THROW(wl::two_region_spread(0.03, 0.01), invariant_error);
+}
+
+TEST(Generators, SteppedPowerCapDropsAndRecovers) {
+    const auto cap = wl::stepped_power_cap(2000.0, 800.0, 600.0, 300.0);
+    EXPECT_DOUBLE_EQ(cap.at(0.0), 2000.0);
+    EXPECT_DOUBLE_EQ(cap.at(599.9), 2000.0);
+    EXPECT_DOUBLE_EQ(cap.at(600.0), 800.0);
+    EXPECT_DOUBLE_EQ(cap.at(899.9), 800.0);
+    EXPECT_DOUBLE_EQ(cap.at(900.0), 2000.0);
+    EXPECT_DOUBLE_EQ(cap.at(1e9), 2000.0);
+}
+
+TEST(Generators, DayNightTariffWrapsDaily) {
+    const auto t = wl::day_night_tariff(0.035, 0.012);
+    const seconds day = 24.0 * 3600.0;
+    for (double d : {0.0, 1.0, 5.0}) {
+        EXPECT_DOUBLE_EQ(t.price_at(d * day + 4.0 * 3600.0), 0.012);
+        EXPECT_DOUBLE_EQ(t.price_at(d * day + 12.0 * 3600.0), 0.035);
+        EXPECT_DOUBLE_EQ(t.price_at(d * day + 21.0 * 3600.0), 0.012);
+        EXPECT_DOUBLE_EQ(t.carbon_at(d * day + 12.0 * 3600.0), 300.0);
+        EXPECT_DOUBLE_EQ(t.carbon_at(d * day + 22.0 * 3600.0), 450.0);
+    }
+}
+
+}  // namespace
+}  // namespace mistral::econ

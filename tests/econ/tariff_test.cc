@@ -1,0 +1,127 @@
+#include "econ/tariff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mistral::econ {
+namespace {
+
+TEST(StepSeries, ConstantReturnsItsValueEverywhere) {
+    const auto s = step_series::constant(0.042);
+    EXPECT_DOUBLE_EQ(s.at(-1e6), 0.042);
+    EXPECT_DOUBLE_EQ(s.at(0.0), 0.042);
+    EXPECT_DOUBLE_EQ(s.at(1e9), 0.042);
+    EXPECT_TRUE(s.is_constant());
+}
+
+TEST(StepSeries, DefaultIsConstantZero) {
+    const step_series s;
+    EXPECT_DOUBLE_EQ(s.at(12345.6), 0.0);
+    EXPECT_TRUE(s.is_constant());
+}
+
+TEST(StepSeries, RightContinuousLookup) {
+    const step_series s({{0.0, 1.0}, {100.0, 2.0}, {200.0, 3.0}});
+    EXPECT_DOUBLE_EQ(s.at(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.at(99.999), 1.0);
+    EXPECT_DOUBLE_EQ(s.at(100.0), 2.0);  // value jumps *at* the breakpoint
+    EXPECT_DOUBLE_EQ(s.at(150.0), 2.0);
+    EXPECT_DOUBLE_EQ(s.at(200.0), 3.0);
+    EXPECT_DOUBLE_EQ(s.at(1e9), 3.0);  // last value extends forward
+    EXPECT_FALSE(s.is_constant());
+}
+
+TEST(StepSeries, FirstValueExtendsBackward) {
+    const step_series s({{100.0, 5.0}, {200.0, 6.0}});
+    EXPECT_DOUBLE_EQ(s.at(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(s.at(-500.0), 5.0);
+}
+
+TEST(StepSeries, WraparoundFoldsIntoThePeriod) {
+    // A day/night shape: cheap until 8 h, expensive until 20 h, cheap after.
+    const seconds day = 24.0 * 3600.0;
+    const step_series s(
+        {{0.0, 1.0}, {8.0 * 3600.0, 2.0}, {20.0 * 3600.0, 1.0}}, day);
+    EXPECT_DOUBLE_EQ(s.at(3.0 * 3600.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.at(12.0 * 3600.0), 2.0);
+    EXPECT_DOUBLE_EQ(s.at(22.0 * 3600.0), 1.0);
+    // Day 3 looks exactly like day 0.
+    EXPECT_DOUBLE_EQ(s.at(3.0 * day + 12.0 * 3600.0), 2.0);
+    // Negative times fold too (fmod renormalization).
+    EXPECT_DOUBLE_EQ(s.at(-12.0 * 3600.0), 2.0);
+}
+
+TEST(StepSeries, RandomizedWraparoundAndRightContinuityInvariants) {
+    rng r(20260809ULL);
+    for (int trial = 0; trial < 200; ++trial) {
+        // Random strictly-increasing breakpoints inside a random period.
+        const double period = r.uniform(10.0, 1e5);
+        const std::size_t n = 1 + r.uniform_index(6);
+        std::vector<step_series::breakpoint> pts;
+        double t = r.uniform(0.0, period * 0.1);
+        for (std::size_t i = 0; i < n; ++i) {
+            pts.push_back({t, r.uniform(-100.0, 100.0)});
+            t += r.uniform(0.01, (period * 0.85) / static_cast<double>(n));
+        }
+        const step_series s(pts, period);
+        for (int probe = 0; probe < 20; ++probe) {
+            const double x = r.uniform(-3.0 * period, 3.0 * period);
+            const double v = s.at(x);
+            // Total and finite on every input.
+            EXPECT_TRUE(std::isfinite(v));
+            // Periodicity: shifting by whole periods never changes the value.
+            EXPECT_DOUBLE_EQ(v, s.at(x + period));
+            EXPECT_DOUBLE_EQ(v, s.at(x - period));
+            // Right-continuity: a breakpoint's own time yields its value.
+            for (const auto& bp : pts) {
+                EXPECT_DOUBLE_EQ(s.at(bp.at), bp.value);
+            }
+        }
+    }
+}
+
+TEST(StepSeries, RejectsGarbageSeries) {
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    using bp = step_series::breakpoint;
+    EXPECT_THROW(step_series(std::vector<bp>{}), invariant_error);
+    EXPECT_THROW(step_series({bp{0.0, nan}}), invariant_error);
+    EXPECT_THROW(step_series({bp{0.0, inf}}), invariant_error);
+    EXPECT_THROW(step_series({bp{nan, 1.0}}), invariant_error);
+    // Non-increasing times.
+    EXPECT_THROW(step_series({bp{10.0, 1.0}, bp{10.0, 2.0}}), invariant_error);
+    EXPECT_THROW(step_series({bp{10.0, 1.0}, bp{5.0, 2.0}}), invariant_error);
+    // Bad periods: negative, NaN, or too small to contain the span.
+    EXPECT_THROW(step_series({bp{0.0, 1.0}}, -1.0), invariant_error);
+    EXPECT_THROW(step_series({bp{0.0, 1.0}}, nan), invariant_error);
+    EXPECT_THROW(step_series({bp{0.0, 1.0}, bp{50.0, 2.0}}, 50.0),
+                 invariant_error);
+    // Non-finite lookups are rejected rather than returning garbage.
+    const auto s = step_series::constant(1.0);
+    EXPECT_THROW(s.at(nan), invariant_error);
+    EXPECT_THROW(s.at(inf), invariant_error);
+}
+
+TEST(Tariff, DefaultsReproduceThePaperEconomics) {
+    const tariff_schedule t;
+    EXPECT_EQ(t.price_at(0.0), default_power_cost_per_watt_interval);
+    EXPECT_EQ(t.price_at(86400.0), default_power_cost_per_watt_interval);
+    EXPECT_DOUBLE_EQ(t.carbon_at(5000.0), 0.0);
+    EXPECT_TRUE(t.is_flat());
+}
+
+TEST(Tariff, EqualityFollowsTheSeries) {
+    tariff_schedule a;
+    tariff_schedule b;
+    EXPECT_EQ(a, b);
+    b.price = step_series::constant(0.02);
+    EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace mistral::econ

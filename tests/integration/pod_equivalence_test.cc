@@ -1,7 +1,7 @@
 // The identity-lens proof: a single-pod global_coordinator must be
 // *byte-identical* to the flat mistral_strategy — same invocations, same
 // actions, same modeled delays, same accrued utility — at evaluator thread
-// counts 1 and 4 alike. This is what licenses "hierarchical_controller is a
+// counts 1 and 4 alike. This is what licenses "the two-level scheme is a
 // special case of pod_controller + global_coordinator": the sharding
 // machinery costs nothing when there is one shard.
 #include <gtest/gtest.h>

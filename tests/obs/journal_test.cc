@@ -198,6 +198,10 @@ std::vector<event> event_samples() {
     add("decision").text("trigger", "band").boolean("invoked", true)
         .boolean("pruned", false).num("cw", 300.0)
         .num("expected_utility", 15.5).integer("expansions", 64);
+    add("econ_decision").num("price", 0.012).num("carbon_intensity", 450.0)
+        .num("carbon_dollars_per_watt_interval", 0.0005)
+        .boolean("performance_based", false).num("power_cap", 1200.0)
+        .num("expected_utility", 14.25);
     add("host_crash").integer("host", 3);
     add("host_recover").integer("host", 3);
     add("interval").num("rate", 42.5).num("power", 910.0);
@@ -216,6 +220,8 @@ std::vector<event> event_samples() {
         .num("drift", 6.5);
     add("search").integer("expansions", 128).num("duration", 0.25)
         .boolean("pruned", false);
+    add("tariff_change").num("price", 0.018).num("carbon_intensity", 300.0)
+        .num("prev_price", 0.012).num("prev_carbon_intensity", 450.0);
     add("telemetry_fault").integer("app", 1).text("kind", "spike");
     return samples;
 }
